@@ -1,0 +1,83 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``test_bench_*`` module regenerates one table/figure from DESIGN.md's
+per-experiment index (E1-E10).  Benches print the paper-style rows/series to
+stdout (run with ``pytest benchmarks/ --benchmark-only -s`` to see them) and
+assert the *shape* of the result — who wins, in which direction quantities
+move — rather than absolute numbers, per the reproduction contract.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import pytest
+
+from repro.core import (
+    AvailabilityObjective, ConstraintSet, LatencyObjective, MemoryConstraint,
+)
+from repro.desi import Generator, GeneratorConfig
+
+
+def print_table(title: str, headers: Sequence[str],
+                rows: Iterable[Sequence[object]]) -> None:
+    """Render one paper-style table to stdout."""
+    formatted = [
+        [f"{cell:.4f}" if isinstance(cell, float) else str(cell)
+         for cell in row]
+        for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in formatted:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    print()
+    print(f"== {title} ==")
+    print("  " + " | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    print("  " + "-+-".join("-" * w for w in widths))
+    for row in formatted:
+        print("  " + " | ".join(c.ljust(w) for c, w in zip(row, widths)))
+
+
+@pytest.fixture
+def availability():
+    return AvailabilityObjective()
+
+
+@pytest.fixture
+def latency():
+    return LatencyObjective()
+
+
+@pytest.fixture
+def memory_constraints():
+    return ConstraintSet([MemoryConstraint()])
+
+
+def small_architectures(count=4, seed=1000):
+    """Exact-feasible architectures (4 hosts x 8 components).
+
+    Memory is tight and link reliabilities vary widely so the algorithms
+    actually separate; with abundant memory every algorithm trivially packs
+    one host and scores availability 1.0.
+    """
+    config = GeneratorConfig(hosts=4, components=8,
+                             host_memory=(10.0, 25.0),
+                             memory_headroom=1.2,
+                             reliability=(0.2, 0.95))
+    return Generator(config, seed=seed).generate_many(count, "small")
+
+
+def large_architectures(count=3, seed=2000):
+    """Architectures beyond Exact's reach (10 hosts x 40 components).
+
+    Host memory is tight (headroom 1.15, as on the paper's memory-poor
+    PDAs), so deployments must spread across most hosts — the regime where
+    greedy cluster-aware assignment beats random restarts.  With abundant
+    memory the problem degenerates to "pick the best 2-3 hosts and pack
+    them", where many-restart stochastic search can luck into the winner.
+    """
+    config = GeneratorConfig(hosts=10, components=40,
+                             host_memory=(20.0, 50.0),
+                             memory_headroom=1.15)
+    return Generator(config, seed=seed).generate_many(count, "large")

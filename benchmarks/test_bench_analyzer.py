@@ -1,0 +1,133 @@
+"""E6 — Analyzer policy (Section 5.1's three selection factors).
+
+Reproduces the analyzer's decision table:
+
+* *size of the architecture* — Exact only for tiny systems;
+* *availability profile* — expensive suite when stable, cheap when not;
+* *overall latency* — availability-winning plans that blow the latency
+  budget are vetoed.
+"""
+
+import pytest
+
+from repro.core import (
+    AvailabilityObjective, ConstraintSet, DeploymentModel, LatencyObjective,
+    MemoryConstraint,
+)
+from repro.core.analyzer import Analyzer
+from repro.desi import Generator, GeneratorConfig
+from conftest import print_table
+
+
+def make_analyzer(latency_guard=None, seed=70):
+    return Analyzer(AvailabilityObjective(),
+                    ConstraintSet([MemoryConstraint()]),
+                    latency_guard=latency_guard, seed=seed)
+
+
+def test_e6_selection_by_size_and_stability(benchmark):
+    tiny = Generator(GeneratorConfig(hosts=3, components=6),
+                     seed=71).generate()
+    large = Generator(GeneratorConfig(hosts=10, components=30),
+                      seed=72).generate()
+    rows = []
+
+    analyzer = make_analyzer()
+    rows.append(("tiny system, no profile",
+                 "+".join(analyzer.select_algorithms(tiny))))
+    assert analyzer.select_algorithms(tiny) == ["exact"]
+
+    analyzer = make_analyzer()
+    for t in range(5):
+        analyzer.history.record(float(t), 0.9)  # rock stable
+    stable_choice = analyzer.select_algorithms(large)
+    rows.append(("large system, stable profile", "+".join(stable_choice)))
+    assert "exact" not in stable_choice
+    assert "avala" in stable_choice and "hillclimb" in stable_choice
+
+    analyzer = make_analyzer()
+    for t, value in enumerate((0.9, 0.4, 0.8, 0.3, 0.9)):  # thrashing
+        analyzer.history.record(float(t), value)
+    unstable_choice = analyzer.select_algorithms(large)
+    rows.append(("large system, unstable profile",
+                 "+".join(unstable_choice)))
+    assert unstable_choice == ["stochastic_fast"]
+
+    print_table("E6a: analyzer algorithm selection",
+                ["situation", "algorithms chosen"], rows)
+    benchmark(lambda: make_analyzer().analyze(tiny))
+
+
+def test_e6_latency_guard_veto_rate(benchmark):
+    """Availability and latency genuinely conflict when collocation is
+    memory-blocked and the choice is which link carries the traffic: a
+    fast-but-flaky link (latency's pick) or a reliable-but-slow one
+    (availability's pick).  The guarded analyzer vetoes the slow move;
+    the unguarded one takes it (§5.1: "the analyzer either disallows the
+    results of the algorithms to take effect or modifies the solution")."""
+    import random as random_module
+
+    def conflict_model(seed):
+        rng = random_module.Random(seed)
+        model = DeploymentModel(name=f"conflict-{seed}")
+        model.add_host("anchor", memory=10.0)
+        model.add_host("fast", memory=10.0)
+        model.add_host("reliable", memory=10.0)
+        # Fast but flaky vs slow but reliable.
+        model.connect_hosts("anchor", "fast",
+                            reliability=rng.uniform(0.55, 0.7),
+                            bandwidth=1000.0, delay=0.001)
+        model.connect_hosts("anchor", "reliable",
+                            reliability=rng.uniform(0.9, 0.99),
+                            bandwidth=rng.uniform(0.5, 2.0), delay=0.3)
+        model.connect_hosts("fast", "reliable", reliability=0.5,
+                            bandwidth=1.0, delay=0.3)
+        model.add_component("x", memory=10.0)  # fills any host alone
+        model.add_component("y", memory=10.0)
+        model.connect_components("x", "y", frequency=5.0, evt_size=10.0)
+        model.deploy("x", "anchor")
+        model.deploy("y", "fast")
+        return model
+
+    guarded_redeploys = unguarded_redeploys = 0
+    trials = 6
+    for seed in range(trials):
+        guarded = make_analyzer(latency_guard=LatencyObjective())
+        guarded.guard_tolerance = 1.10
+        guarded.min_improvement = 0.001
+        unguarded = make_analyzer()
+        unguarded.min_improvement = 0.001
+        if guarded.analyze(conflict_model(80 + seed)).will_redeploy:
+            guarded_redeploys += 1
+        if unguarded.analyze(conflict_model(80 + seed)).will_redeploy:
+            unguarded_redeploys += 1
+    print_table("E6b: latency guard effect over "
+                f"{trials} conflicted architectures",
+                ["analyzer", "redeployments approved"],
+                [("unguarded", unguarded_redeploys),
+                 ("latency-guarded (10% tolerance)", guarded_redeploys)])
+    # The unguarded analyzer chases the availability win every time; the
+    # guard vetoes it every time.
+    assert unguarded_redeploys == trials
+    assert guarded_redeploys == 0
+
+    benchmark(lambda: make_analyzer(
+        latency_guard=LatencyObjective()).analyze(conflict_model(99)))
+
+
+def test_e6_min_improvement_suppresses_churn(benchmark):
+    """Repeated analysis of an already-improved system stops redeploying."""
+    model = Generator(GeneratorConfig(hosts=3, components=6),
+                      seed=73).generate()
+    analyzer = make_analyzer()
+    first = analyzer.analyze(model)
+    if first.will_redeploy:
+        for component, host in first.plan.target.items():
+            model.deploy(component, host)
+    second = analyzer.analyze(model)
+    third = analyzer.analyze(model)
+    rows = [(1, first.action), (2, second.action), (3, third.action)]
+    print_table("E6c: repeated analysis cycles", ["cycle", "action"], rows)
+    assert not second.will_redeploy
+    assert not third.will_redeploy
+    benchmark(lambda: analyzer.analyze(model))

@@ -1,0 +1,121 @@
+"""E2 — Algorithm complexity growth (Section 5.1's stated orders).
+
+* Exact is O(k^n): runtime multiplies by ~k per added component, and fixing
+  m components cuts the space to O(k^(n-m)).
+* Stochastic is O(n^2) per iteration (one full objective evaluation over
+  the interaction pairs).
+* Avala is polynomial (O(n^3) stated); doubling n must not blow up runtime
+  the way it does for Exact.
+"""
+
+import time
+
+import pytest
+
+from repro.algorithms import AvalaAlgorithm, ExactAlgorithm, StochasticAlgorithm
+from repro.core import AvailabilityObjective, ConstraintSet, MemoryConstraint
+from repro.core.constraints import fix_component
+from repro.desi import Generator, GeneratorConfig
+from conftest import print_table
+
+
+def generate(hosts, components, seed=3000):
+    return Generator(GeneratorConfig(hosts=hosts, components=components),
+                     seed=seed).generate()
+
+
+def timed(callable_):
+    start = time.perf_counter()
+    result = callable_()
+    return result, time.perf_counter() - start
+
+
+def test_e2_exact_exponential_in_components(availability, memory_constraints,
+                                            benchmark):
+    k = 3
+    rows = []
+    visited = {}
+    for n in (5, 6, 7, 8):
+        model = generate(k, n)
+        result = ExactAlgorithm(availability, memory_constraints,
+                                prune=False).run(model)
+        visited[n] = result.extra["visited_leaves"]
+        rows.append((n, k ** n, result.extra["visited_leaves"],
+                     result.elapsed * 1000.0))
+    print_table("E2a: Exact growth with n (k=3 hosts)",
+                ["components n", "k^n", "visited leaves", "time (ms)"],
+                rows)
+    # Enumerated work is exactly k^n, i.e. each added component multiplies
+    # the work by k.
+    for n in (5, 6, 7, 8):
+        assert visited[n] == k ** n
+    benchmark(lambda: ExactAlgorithm(
+        availability, memory_constraints).run(generate(3, 5)))
+
+
+def test_e2_fixing_components_reduces_to_k_pow_n_minus_m(
+        availability, benchmark):
+    """O(k^(n-m)): each pinned component divides the visited space by k."""
+    k, n = 3, 7
+    model = generate(k, n)
+    rows = []
+    baseline = None
+    for m in (0, 1, 2, 3):
+        constraints = ConstraintSet(
+            [fix_component(c, model.deployment[c])
+             for c in model.component_ids[:m]])
+        result = ExactAlgorithm(availability, constraints).run(model)
+        leaves = result.extra["visited_leaves"]
+        if m == 0:
+            baseline = leaves
+        rows.append((m, k ** (n - m), leaves, result.elapsed * 1000.0))
+        assert leaves == k ** (n - m)
+    print_table("E2b: Exact with m fixed components (k=3, n=7)",
+                ["fixed m", "k^(n-m)", "visited leaves", "time (ms)"], rows)
+    assert baseline == k ** n
+    benchmark(lambda: ExactAlgorithm(
+        availability,
+        ConstraintSet([fix_component(model.component_ids[0],
+                                     model.deployment[model.component_ids[0]])
+                       ])).run(model))
+
+
+def test_e2_approximative_polynomial_scaling(availability,
+                                             memory_constraints, benchmark):
+    """Avala/Stochastic runtimes stay polynomial: growing n by 4x grows
+    runtime by far less than the 4x-exponent blowup Exact would suffer."""
+    rows = []
+    times = {}
+    for n in (10, 20, 40):
+        model = generate(6, n)
+        __, avala_time = timed(lambda m=model: AvalaAlgorithm(
+            availability, memory_constraints, seed=1).run(m))
+        __, stochastic_time = timed(lambda m=model: StochasticAlgorithm(
+            availability, memory_constraints, seed=1, iterations=20).run(m))
+        times[n] = (avala_time, stochastic_time)
+        rows.append((n, avala_time * 1000.0, stochastic_time * 1000.0))
+    print_table("E2c: approximative algorithm scaling (6 hosts)",
+                ["components n", "avala (ms)", "stochastic (ms)"], rows)
+    # 4x the components: allow generous polynomial growth (<= ~n^4), but
+    # nothing like the k^30 factor exact would need.
+    assert times[40][0] < times[10][0] * 256
+    assert times[40][1] < times[10][1] * 256
+    benchmark(lambda: AvalaAlgorithm(
+        availability, memory_constraints, seed=1).run(generate(6, 20)))
+
+
+def test_e2_stochastic_cost_linear_in_iterations(availability,
+                                                 memory_constraints,
+                                                 benchmark):
+    model = generate(5, 15)
+    __, t10 = timed(lambda: StochasticAlgorithm(
+        availability, memory_constraints, seed=1, iterations=10).run(model))
+    __, t80 = timed(lambda: StochasticAlgorithm(
+        availability, memory_constraints, seed=1, iterations=80).run(model))
+    print_table("E2d: Stochastic cost vs iterations (5 hosts x 15)",
+                ["iterations", "time (ms)"],
+                [(10, t10 * 1000.0), (80, t80 * 1000.0)])
+    assert t80 > t10 * 2  # clearly grows with iterations
+    assert t80 < t10 * 40  # but only linearly-ish, not worse
+    benchmark(lambda: StochasticAlgorithm(
+        availability, memory_constraints, seed=1, iterations=10).run(model))

@@ -1,0 +1,102 @@
+"""E10 — Multi-objective trade-off (Section 6 future work, realized).
+
+"we plan to devise mitigating techniques for situations where different
+desired system characteristics may be conflicting".  The WeightedObjective
+plus the analyzer guard are those techniques; this bench sweeps the
+availability-vs-latency weight and traces the trade-off curve, plus a
+security-objective column demonstrating objective pluggability beyond the
+paper's two worked examples.
+"""
+
+import pytest
+
+from repro.algorithms import HillClimbingAlgorithm
+from repro.core import (
+    AvailabilityObjective, ConstraintSet, DeploymentModel, LatencyObjective,
+    MemoryConstraint,
+)
+from repro.core.objectives import SecurityObjective, WeightedObjective
+from repro.desi import Generator, GeneratorConfig
+from conftest import print_table
+
+
+def trade_off_model(seed=110):
+    """Mixed network: some links fast-but-flaky, some reliable-but-slow."""
+    import random as random_module
+    rng = random_module.Random(seed)
+    model = Generator(GeneratorConfig(
+        hosts=6, components=16, host_memory=(25.0, 45.0),
+        memory_headroom=1.3, reliability=(0.5, 0.99),
+        bandwidth=(1.0, 500.0), delay=(0.001, 0.2),
+        evt_size=(1.0, 20.0)), seed=seed).generate()
+    # Anticorrelate reliability and speed so the objectives fight.
+    for link in model.physical_links:
+        reliability = link.params.get("reliability")
+        speed = 1.0 - (reliability - 0.5) / 0.49  # reliable -> slow
+        model.set_physical_link_param(*link.hosts, "bandwidth",
+                                      1.0 + 499.0 * max(speed, 0.0))
+        model.set_physical_link_param(*link.hosts, "delay",
+                                      0.001 + 0.2 * (1.0 - max(speed, 0.0)))
+        model.set_physical_link_param(*link.hosts, "security",
+                                      rng.uniform(0.3, 1.0))
+    return model
+
+
+def test_e10_weight_sweep(benchmark):
+    model = trade_off_model()
+    availability = AvailabilityObjective()
+    latency = LatencyObjective()
+    constraints = ConstraintSet([MemoryConstraint()])
+    # Scale latency into availability's unit range using the initial value.
+    latency_scale = max(latency.evaluate(model, model.deployment), 1e-9)
+
+    rows = []
+    availabilities = {}
+    latencies = {}
+    weights = (0.0, 0.25, 0.5, 0.75, 1.0)
+    for weight in weights:
+        combo = WeightedObjective(
+            [(availability, weight), (latency, 1.0 - weight)],
+            scales=[1.0, latency_scale])
+        result = HillClimbingAlgorithm(combo, constraints, seed=1,
+                                       max_rounds=200).run(model)
+        achieved_availability = availability.evaluate(model,
+                                                      result.deployment)
+        achieved_latency = latency.evaluate(model, result.deployment)
+        availabilities[weight] = achieved_availability
+        latencies[weight] = achieved_latency
+        rows.append((weight, achieved_availability, achieved_latency))
+    print_table("E10: availability/latency trade-off "
+                "(weight sweep, hill-climb on WeightedObjective)",
+                ["availability weight", "availability", "latency"], rows)
+
+    # Endpoint shape: the all-availability corner achieves at least the
+    # availability of the all-latency corner, and vice versa for latency.
+    assert availabilities[1.0] >= availabilities[0.0] - 1e-9
+    assert latencies[0.0] <= latencies[1.0] + 1e-9
+    # The sweep actually explores a trade-off (corners differ).
+    assert availabilities[1.0] - availabilities[0.0] > 0.005 or \
+        latencies[1.0] - latencies[0.0] > 1e-4
+
+    combo = WeightedObjective([(availability, 0.5), (latency, 0.5)],
+                              scales=[1.0, latency_scale])
+    benchmark(lambda: HillClimbingAlgorithm(
+        combo, constraints, seed=1, max_rounds=30).run(model))
+
+
+def test_e10_security_objective_pluggability(benchmark):
+    """A third objective (security, §3.1's example) plugs into the same
+    algorithms unchanged and steers deployments onto secure links."""
+    model = trade_off_model(seed=111)
+    security = SecurityObjective()
+    constraints = ConstraintSet([MemoryConstraint()])
+    initial = security.evaluate(model, model.deployment)
+    result = HillClimbingAlgorithm(security, constraints, seed=1,
+                                   max_rounds=200).run(model)
+    print_table("E10b: security objective",
+                ["deployment", "security score"],
+                [("initial", initial), ("optimized", result.value)])
+    assert result.valid
+    assert result.value >= initial
+    benchmark(lambda: HillClimbingAlgorithm(
+        security, constraints, seed=1, max_rounds=30).run(model))

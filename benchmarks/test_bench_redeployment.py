@@ -1,0 +1,116 @@
+"""E7 — Cost of effecting a redeployment (Section 4.3's protocol).
+
+Live migration over the middleware: transferred kilobytes grow linearly
+with the number (and size) of moved components, simulated migration time is
+bounded by link characteristics, and buffered application events survive
+the move.  Also exercises the Deployer-mediated path between hosts that
+share no direct link.
+"""
+
+import pytest
+
+from repro.core import DeploymentModel
+from repro.middleware import DistributedSystem
+from repro.sim import SimClock
+from conftest import print_table
+
+
+def star_model(leaves=4, components=8, component_memory=25.0):
+    """hub + leaves; components start scattered on the leaves."""
+    model = DeploymentModel()
+    model.add_host("hub", memory=10_000.0)
+    for index in range(leaves):
+        model.add_host(f"leaf{index}", memory=500.0)
+        model.connect_hosts("hub", f"leaf{index}", reliability=1.0,
+                            bandwidth=100.0, delay=0.01)
+    for index in range(components):
+        model.add_component(f"c{index}", memory=component_memory)
+        model.deploy(f"c{index}", f"leaf{index % leaves}")
+    for index in range(components - 1):
+        model.connect_components(f"c{index}", f"c{index + 1}", frequency=1.0)
+    return model
+
+
+def test_e7_cost_scales_with_moved_components(benchmark):
+    rows = []
+    kb_per_count = {}
+    for moves in (1, 2, 4, 8):
+        model = star_model()
+        clock = SimClock()
+        system = DistributedSystem(model, clock, master_host="hub", seed=90)
+        target = dict(model.deployment)
+        for index in range(moves):
+            target[f"c{index}"] = "hub"
+        stats = system.redeploy(target)
+        kb_per_count[moves] = stats["kb_transferred"]
+        rows.append((moves, stats["kb_transferred"],
+                     stats["sim_duration"]))
+    print_table("E7a: migration cost vs moved components "
+                "(25 KB components, 100 KB/s links)",
+                ["components moved", "KB transferred", "sim time (s)"],
+                rows)
+    # Roughly linear in component count: 8 moves cost ~8x one move's
+    # payload (control traffic adds a sublinear overhead).
+    assert kb_per_count[8] > 6 * kb_per_count[1] * 0.8
+    assert kb_per_count[2] > kb_per_count[1]
+
+    def one_move():
+        model = star_model()
+        clock = SimClock()
+        system = DistributedSystem(model, clock, master_host="hub", seed=90)
+        target = dict(model.deployment)
+        target["c0"] = "hub"
+        return system.redeploy(target)
+    benchmark(one_move)
+
+
+def test_e7_cost_scales_with_component_size(benchmark):
+    rows = []
+    times = {}
+    for size in (10.0, 100.0, 400.0):
+        model = star_model(component_memory=size)
+        clock = SimClock()
+        system = DistributedSystem(model, clock, master_host="hub", seed=91)
+        target = dict(model.deployment)
+        target["c0"] = "hub"
+        stats = system.redeploy(target)
+        times[size] = stats["sim_duration"]
+        rows.append((size, stats["kb_transferred"], stats["sim_duration"]))
+    print_table("E7b: migration cost vs component size (one move)",
+                ["component KB", "KB transferred", "sim time (s)"], rows)
+    # A 40x bigger component takes decisively longer to ship.
+    assert times[400.0] > times[10.0] * 5
+
+    benchmark(lambda: star_model(component_memory=100.0))
+
+
+def test_e7_mediated_migration_costs_two_hops(benchmark):
+    """Moving between unlinked leaves relays via the hub: double payload on
+    the wire, roughly double the time of a direct hop."""
+    def migrate(direct: bool):
+        model = DeploymentModel()
+        model.add_host("hub", memory=1000.0)
+        model.add_host("a", memory=1000.0)
+        model.add_host("b", memory=1000.0)
+        model.connect_hosts("hub", "a", bandwidth=100.0, delay=0.01)
+        model.connect_hosts("hub", "b", bandwidth=100.0, delay=0.01)
+        if direct:
+            model.connect_hosts("a", "b", bandwidth=100.0, delay=0.01)
+        model.add_component("x", memory=50.0)
+        model.deploy("x", "a")
+        clock = SimClock()
+        system = DistributedSystem(model, clock, master_host="hub", seed=92)
+        return system.redeploy({"x": "b"})
+
+    direct = migrate(direct=True)
+    mediated = migrate(direct=False)
+    print_table("E7c: direct vs Deployer-mediated migration (50 KB payload)",
+                ["path", "KB transferred", "sim time (s)"],
+                [("direct link", direct["kb_transferred"],
+                  direct["sim_duration"]),
+                 ("mediated via hub", mediated["kb_transferred"],
+                  mediated["sim_duration"])])
+    assert mediated["kb_transferred"] > direct["kb_transferred"] * 1.5
+    assert mediated["sim_duration"] > direct["sim_duration"]
+
+    benchmark(lambda: migrate(direct=True))

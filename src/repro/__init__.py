@@ -1,0 +1,56 @@
+"""repro — reproduction of "A Framework for Ensuring and Improving
+Dependability in Highly Distributed Systems" (Malek, Beckman, Mikic-Rakic,
+Medvidovic; DSN 2004).
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.core` — the deployment improvement framework: model,
+  objectives, constraints, monitoring interpretation, analyzer, effector,
+  and the centralized framework loop.
+* :mod:`repro.algorithms` — Exact / Stochastic / Avala / DecAp plus
+  baselines (I5 BIP, Coign min-cut) and extensions (hill-climb, annealing,
+  genetic).
+* :mod:`repro.middleware` — the Prism-MW substrate: bricks, events,
+  connectors, scaffolds, monitors, Admin/Deployer migration machinery.
+* :mod:`repro.sim` — the simulated execution environment: clock, network,
+  fluctuation, workload.
+* :mod:`repro.desi` — the DeSi exploration environment: reactive model,
+  generator, modifier, algorithm container, views, xADL, middleware
+  adapter.
+* :mod:`repro.decentralized` — awareness, knowledge synchronization,
+  auctions, voting, and the decentralized framework instantiation.
+* :mod:`repro.scenarios` — the paper's crisis-response scenario and
+  companions.
+
+Quickstart::
+
+    from repro.core import AvailabilityObjective, ConstraintSet, MemoryConstraint
+    from repro.algorithms import AvalaAlgorithm
+    from repro.desi import Generator, GeneratorConfig
+
+    model = Generator(GeneratorConfig(hosts=6, components=20), seed=1).generate()
+    objective = AvailabilityObjective()
+    result = AvalaAlgorithm(objective, ConstraintSet([MemoryConstraint()])).run(model)
+    print(result.summary())
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (
+    AvailabilityObjective, ConstraintSet, Deployment, DeploymentModel,
+    LatencyObjective, MemoryConstraint,
+)
+from repro.core.framework import CentralizedFramework
+from repro.decentralized import DecentralizedFramework
+
+__all__ = [
+    "AvailabilityObjective",
+    "CentralizedFramework",
+    "ConstraintSet",
+    "DecentralizedFramework",
+    "Deployment",
+    "DeploymentModel",
+    "LatencyObjective",
+    "MemoryConstraint",
+    "__version__",
+]

@@ -1,0 +1,48 @@
+"""Redeployment algorithms (the paper's pluggable Algorithm component).
+
+Paper algorithms: :class:`ExactAlgorithm`, :class:`StochasticAlgorithm`,
+:class:`AvalaAlgorithm` (centralized, Section 5.1) and
+:class:`DecApAlgorithm` (decentralized, Section 5.2).
+
+Related-work baselines: :class:`BIPAlgorithm` (I5) and
+:class:`MinCutAlgorithm` (Coign).
+
+Framework-extension main bodies: :class:`HillClimbingAlgorithm`,
+:class:`SimulatedAnnealingAlgorithm`, :class:`GeneticAlgorithm`.
+"""
+
+from repro.algorithms.annealing import SimulatedAnnealingAlgorithm
+from repro.algorithms.avala import AvalaAlgorithm
+from repro.algorithms.base import (
+    AlgorithmResult, DeploymentAlgorithm, greedy_fill_deployment,
+    random_valid_deployment,
+)
+from repro.algorithms.bip import BIPAlgorithm
+from repro.algorithms.decap import (
+    AwarenessMap, DecApAlgorithm, connectivity_awareness,
+)
+from repro.algorithms.exact import ExactAlgorithm
+from repro.algorithms.genetic import GeneticAlgorithm
+from repro.algorithms.hillclimb import HillClimbingAlgorithm
+from repro.algorithms.mincut import MinCutAlgorithm
+from repro.algorithms.stochastic import StochasticAlgorithm
+from repro.algorithms.swapsearch import SwapSearchAlgorithm
+
+__all__ = [
+    "AlgorithmResult",
+    "AwarenessMap",
+    "AvalaAlgorithm",
+    "BIPAlgorithm",
+    "DecApAlgorithm",
+    "DeploymentAlgorithm",
+    "ExactAlgorithm",
+    "GeneticAlgorithm",
+    "HillClimbingAlgorithm",
+    "MinCutAlgorithm",
+    "SimulatedAnnealingAlgorithm",
+    "StochasticAlgorithm",
+    "SwapSearchAlgorithm",
+    "connectivity_awareness",
+    "greedy_fill_deployment",
+    "random_valid_deployment",
+]

@@ -1,0 +1,205 @@
+"""Algorithm plumbing shared by all redeployment algorithms.
+
+Figure 7 of the paper decomposes an algorithm into a *main body* (the search
+strategy — greedy, genetic, ...), an *ObjectiveQuantifier*, a
+*ConstraintChecker*, and (for decentralized algorithms) a
+*CoordinationImplementation*.  Here:
+
+* the main body is a :class:`DeploymentAlgorithm` subclass;
+* the objective quantifier is a :class:`repro.core.objectives.Objective`;
+* the constraint checker is a :class:`repro.core.constraints.ConstraintSet`;
+* coordination lives in :mod:`repro.decentralized` and is injected into the
+  decentralized algorithms.
+
+Every run returns an :class:`AlgorithmResult` carrying the fields DeSi's
+``AlgoResultData`` records: the estimated deployment, the achieved objective
+value, the algorithm's running time, and the estimated cost of effecting the
+redeployment.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.core.constraints import ConstraintSet
+from repro.core.errors import AlgorithmError, NoValidDeploymentError
+from repro.core.model import Deployment, DeploymentModel
+from repro.core.objectives import Objective
+
+
+@dataclass
+class AlgorithmResult:
+    """Outcome of one algorithm run (DeSi's AlgoResultData record)."""
+
+    algorithm: str
+    deployment: Deployment
+    value: float
+    objective: str
+    valid: bool
+    elapsed: float
+    evaluations: int
+    #: Number of component moves needed to reach ``deployment`` from the
+    #: deployment that was current when the algorithm started — DeSi's
+    #: "estimated time to effect a redeployment" proxy.
+    moves_from_initial: int
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        return (f"{self.algorithm}: {self.objective}={self.value:.4f} "
+                f"({'valid' if self.valid else 'INVALID'}, "
+                f"{self.elapsed * 1000:.1f} ms, {self.evaluations} evals, "
+                f"{self.moves_from_initial} moves)")
+
+
+class DeploymentAlgorithm(ABC):
+    """Base class for all (re)deployment algorithms.
+
+    Subclasses implement :meth:`_search` and report the deployments they
+    score through :meth:`_evaluate` so evaluation counting and timing are
+    uniform.  The public entry point is :meth:`run`.
+    """
+
+    #: Short name used in analyzer logs, DeSi result tables, and benches.
+    name: str = "abstract"
+    #: Whether the algorithm guarantees an optimal deployment.
+    exact: bool = False
+    #: Whether the algorithm is decentralized (Section 3.1's taxonomy).
+    decentralized: bool = False
+
+    def __init__(self, objective: Objective,
+                 constraints: Optional[ConstraintSet] = None,
+                 seed: Optional[int] = None):
+        self.objective = objective
+        self.constraints = constraints if constraints is not None else ConstraintSet()
+        self.rng = random.Random(seed)
+        self._evaluations = 0
+
+    # ------------------------------------------------------------------
+    def run(self, model: DeploymentModel,
+            initial: Optional[Mapping[str, str]] = None) -> AlgorithmResult:
+        """Search for an improved deployment of *model*.
+
+        Args:
+            model: The deployment model to improve.
+            initial: The deployment to measure movement cost against;
+                defaults to the model's current deployment.
+
+        Returns:
+            The best deployment found.  ``result.valid`` is False only when
+            the algorithm could not find any constraint-satisfying
+            deployment and fell back to its best-effort answer.
+        """
+        if not model.component_ids:
+            raise AlgorithmError(f"{self.name}: model has no components")
+        if not model.host_ids:
+            raise AlgorithmError(f"{self.name}: model has no hosts")
+        if initial is None:
+            initial = model.deployment
+        self._evaluations = 0
+        start = time.perf_counter()
+        deployment, extra = self._search(model, dict(initial))
+        elapsed = time.perf_counter() - start
+        if deployment is None:
+            raise NoValidDeploymentError(
+                f"{self.name}: no deployment satisfies the constraints")
+        final = Deployment(deployment)
+        value = self.objective.evaluate(model, final)
+        valid = self.constraints.is_satisfied(model, final)
+        moves = sum(1 for c in final
+                    if c in initial and initial[c] != final[c])
+        return AlgorithmResult(
+            algorithm=self.name,
+            deployment=final,
+            value=value,
+            objective=self.objective.name,
+            valid=valid,
+            elapsed=elapsed,
+            evaluations=self._evaluations,
+            moves_from_initial=moves,
+            extra=extra,
+        )
+
+    @abstractmethod
+    def _search(self, model: DeploymentModel, initial: Dict[str, str],
+                ) -> Tuple[Optional[Mapping[str, str]], Dict[str, Any]]:
+        """Produce (best deployment or None, extra stats)."""
+
+    # ------------------------------------------------------------------
+    def _evaluate(self, model: DeploymentModel,
+                  deployment: Mapping[str, str]) -> float:
+        self._evaluations += 1
+        return self.objective.evaluate(model, deployment)
+
+    def _count_evaluation(self, n: int = 1) -> None:
+        """Record *n* incremental (delta-based) evaluations."""
+        self._evaluations += n
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}(objective={self.objective.name}, "
+                f"constraints={len(self.constraints)})")
+
+
+def random_valid_deployment(model: DeploymentModel,
+                            constraints: ConstraintSet,
+                            rng: random.Random,
+                            max_attempts: int = 200,
+                            ) -> Optional[Dict[str, str]]:
+    """Build a random constraint-satisfying deployment, or None.
+
+    This is one iteration of the Stochastic algorithm's inner loop (and the
+    seeding step for the annealing/genetic extensions): order hosts and
+    components randomly, then place each component on the first host (in the
+    random order) that the constraint checker allows.
+    """
+    for __ in range(max_attempts):
+        hosts = list(model.host_ids)
+        components = list(model.component_ids)
+        rng.shuffle(hosts)
+        rng.shuffle(components)
+        assignment: Dict[str, str] = {}
+        feasible = True
+        for component in components:
+            placed = False
+            for host in hosts:
+                if constraints.allows(model, assignment, component, host):
+                    assignment[component] = host
+                    placed = True
+                    break
+            if not placed:
+                feasible = False
+                break
+        if feasible and constraints.is_satisfied(model, assignment):
+            return assignment
+    return None
+
+
+def greedy_fill_deployment(model: DeploymentModel,
+                           constraints: ConstraintSet,
+                           hosts: Sequence[str],
+                           components: Sequence[str],
+                           ) -> Optional[Dict[str, str]]:
+    """Assign *components* to *hosts* in the given orders, host by host.
+
+    "Going in order, it assigns as many components to a given host as can
+    fit on that host ... Once the host is full, the algorithm proceeds with
+    the same process for the next host" (Section 5.1, Stochastic).
+    """
+    assignment: Dict[str, str] = {}
+    remaining = list(components)
+    for host in hosts:
+        still_remaining = []
+        for component in remaining:
+            if constraints.allows(model, assignment, component, host):
+                assignment[component] = host
+            else:
+                still_remaining.append(component)
+        remaining = still_remaining
+        if not remaining:
+            break
+    if remaining:
+        return None
+    return assignment

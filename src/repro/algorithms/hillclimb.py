@@ -1,0 +1,73 @@
+"""Hill-climbing refinement over single-component moves.
+
+Not one of the paper's named algorithms, but the simplest demonstration of
+the framework's algorithm pluggability (Section 4.3): a new main body reusing
+the same ObjectiveQuantifier and ConstraintChecker.  It is also the analyzer's
+cheap "immediate improvement" option for unstable systems, and the refinement
+stage the annealing/genetic extensions share.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.algorithms.base import DeploymentAlgorithm, random_valid_deployment
+from repro.core.model import DeploymentModel
+
+
+class HillClimbingAlgorithm(DeploymentAlgorithm):
+    """Steepest-ascent local search over one-component relocations.
+
+    Starts from the model's current deployment when it is valid (so the
+    result is reachable with few moves — cheap to effect), otherwise from a
+    random valid deployment.  Each round scans every (component, host) move
+    allowed by the constraints and takes the best strictly-improving one;
+    terminates at a local optimum or after ``max_rounds``.
+    """
+
+    name = "hillclimb"
+
+    def __init__(self, objective, constraints=None, seed=None,
+                 max_rounds: int = 1000):
+        super().__init__(objective, constraints, seed)
+        self.max_rounds = max_rounds
+
+    def _search(self, model: DeploymentModel, initial: Dict[str, str],
+                ) -> Tuple[Optional[Mapping[str, str]], Dict[str, Any]]:
+        assignment: Optional[Dict[str, str]] = None
+        if (len(initial) == len(model.component_ids)
+                and self.constraints.is_satisfied(model, initial)):
+            assignment = dict(initial)
+        else:
+            assignment = random_valid_deployment(
+                model, self.constraints, self.rng)
+        if assignment is None:
+            return None, {"rounds": 0}
+
+        rounds = 0
+        moves_taken = 0
+        for rounds in range(1, self.max_rounds + 1):
+            best_delta = 0.0
+            best_move: Optional[Tuple[str, str]] = None
+            for component in model.component_ids:
+                current_host = assignment[component]
+                for host in model.host_ids:
+                    if host == current_host:
+                        continue
+                    if not self.constraints.allows(
+                            model, assignment, component, host):
+                        continue
+                    delta = self.objective.move_delta(
+                        model, assignment, component, host)
+                    self._count_evaluation()
+                    gain = (delta if self.objective.direction == "max"
+                            else -delta)
+                    if gain > best_delta + 1e-12:
+                        best_delta = gain
+                        best_move = (component, host)
+            if best_move is None:
+                break  # local optimum
+            component, host = best_move
+            assignment[component] = host
+            moves_taken += 1
+        return assignment, {"rounds": rounds, "moves_taken": moves_taken}

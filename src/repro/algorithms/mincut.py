@@ -1,0 +1,102 @@
+"""Coign-style two-host min-cut partitioning baseline ([7] in the paper).
+
+"Coign monitors inter-component communication and then selects a
+distribution of the application that will minimize communication time,
+using the lift-to-front minimum-cut graph cutting algorithm.  However,
+Coign can only handle situations with two machine, client-server
+applications."
+
+The classic formulation: build a flow network whose nodes are the software
+components plus two terminals standing for the two hosts; component
+interactions become edges weighted by communication volume, and components
+pinned to a host (by location constraints, here) get infinite-capacity edges
+to that host's terminal.  A minimum s-t cut then separates the components
+into the two host-sides while cutting (i.e., leaving remote) the least
+communication volume.  We compute the cut with networkx's max-flow/min-cut.
+
+The two-host restriction is structural — :class:`MinCutAlgorithm` raises on
+any model with a different host count, which bench E8 demonstrates against
+the framework's host-count-agnostic algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+import networkx as nx
+
+from repro.algorithms.base import DeploymentAlgorithm
+from repro.core.constraints import ConstraintSet, LocationConstraint
+from repro.core.errors import AlgorithmError
+from repro.core.model import DeploymentModel
+from repro.core.objectives import CommunicationCostObjective
+
+
+class MinCutAlgorithm(DeploymentAlgorithm):
+    """Optimal two-host partitioning by minimum cut.
+
+    Only :class:`~repro.core.constraints.LocationConstraint` pins are
+    honored (they become terminal edges); resource constraints are outside
+    Coign's model and are reported via ``result.valid`` rather than enforced
+    during the cut.
+    """
+
+    name = "mincut"
+    exact = True  # optimal for its (two-host, pin-only) problem class
+
+    # Effectively-infinite capacity for pin edges.
+    _PIN_CAPACITY = 1.0e15
+
+    def __init__(self, constraints: Optional[ConstraintSet] = None, seed=None):
+        super().__init__(CommunicationCostObjective(), constraints, seed)
+
+    def _search(self, model: DeploymentModel, initial: Dict[str, str],
+                ) -> Tuple[Optional[Mapping[str, str]], Dict[str, Any]]:
+        hosts = model.host_ids
+        if len(hosts) != 2:
+            raise AlgorithmError(
+                f"mincut: Coign-style partitioning handles exactly two "
+                f"hosts, got {len(hosts)} (the limitation noted in the "
+                "paper's related work)")
+        host_s, host_t = hosts
+        source = ("__host__", host_s)
+        sink = ("__host__", host_t)
+
+        graph = nx.Graph()
+        graph.add_node(source)
+        graph.add_node(sink)
+        for component in model.component_ids:
+            graph.add_node(component)
+        for comp_a, comp_b, link in model.interaction_pairs():
+            volume = link.frequency * link.evt_size
+            if volume > 0.0:
+                graph.add_edge(comp_a, comp_b, capacity=volume)
+
+        # Location pins become terminal edges.
+        for constraint in self.constraints:
+            if not isinstance(constraint, LocationConstraint):
+                continue
+            permits_s = constraint.permits_host(host_s)
+            permits_t = constraint.permits_host(host_t)
+            if permits_s and not permits_t:
+                graph.add_edge(source, constraint.component,
+                               capacity=self._PIN_CAPACITY)
+            elif permits_t and not permits_s:
+                graph.add_edge(sink, constraint.component,
+                               capacity=self._PIN_CAPACITY)
+            elif not permits_s and not permits_t:
+                return None, {"reason":
+                              f"{constraint.component} allowed on neither host"}
+
+        cut_value, (side_s, side_t) = nx.minimum_cut(graph, source, sink)
+        self._count_evaluation()
+
+        assignment: Dict[str, str] = {}
+        for component in model.component_ids:
+            if component in side_s:
+                assignment[component] = host_s
+            else:
+                assignment[component] = host_t
+        extra = {"cut_value": cut_value,
+                 "side_sizes": (len(side_s) - 1, len(side_t) - 1)}
+        return assignment, extra

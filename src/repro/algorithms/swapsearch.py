@@ -1,0 +1,128 @@
+"""Kernighan-Lin-style swap search (framework-extension algorithm).
+
+Single-component relocation (hill-climb) gets stuck when every host is
+full: no component can move anywhere, even though *exchanging* two
+components across hosts would help.  Swap search explores exactly that
+neighborhood — the classic Kernighan-Lin move for balanced partitioning —
+making it the right local search under tight memory, where the paper's
+scenarios (memory-poor PDAs) live.
+
+Each round considers all single moves *and* all pairwise swaps, taking the
+best strictly-improving step.  Swap feasibility is checked against the
+constraint set with each component hypothetically removed from its side, so
+memory-exact configurations remain searchable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.algorithms.base import DeploymentAlgorithm, random_valid_deployment
+from repro.core.model import DeploymentModel
+
+
+class SwapSearchAlgorithm(DeploymentAlgorithm):
+    """Steepest-ascent search over single moves and pairwise swaps."""
+
+    name = "swapsearch"
+
+    def __init__(self, objective, constraints=None, seed=None,
+                 max_rounds: int = 500):
+        super().__init__(objective, constraints, seed)
+        self.max_rounds = max_rounds
+
+    # ------------------------------------------------------------------
+    def _gain(self, delta: float) -> float:
+        return delta if self.objective.direction == "max" else -delta
+
+    def _swap_delta(self, model: DeploymentModel,
+                    assignment: Dict[str, str], comp_a: str,
+                    comp_b: str) -> float:
+        """Objective delta of exchanging comp_a and comp_b's hosts.
+
+        Computed as two sequential single-move deltas (the second against
+        the intermediate assignment), which is exact.
+        """
+        host_a = assignment[comp_a]
+        host_b = assignment[comp_b]
+        first = self.objective.move_delta(model, assignment, comp_a, host_b)
+        assignment[comp_a] = host_b  # temporarily apply
+        second = self.objective.move_delta(model, assignment, comp_b, host_a)
+        assignment[comp_a] = host_a  # restore
+        return first + second
+
+    def _swap_allowed(self, model: DeploymentModel,
+                      assignment: Dict[str, str], comp_a: str,
+                      comp_b: str) -> bool:
+        host_a = assignment[comp_a]
+        host_b = assignment[comp_b]
+        # Check each landing with the other component already gone from the
+        # destination, so exact-fit exchanges pass.
+        without_b = {c: h for c, h in assignment.items() if c != comp_b}
+        if not self.constraints.allows(model, without_b, comp_a, host_b):
+            return False
+        trial = dict(assignment)
+        trial[comp_a] = host_b
+        trial[comp_b] = host_a
+        return self.constraints.is_satisfied_partial(model, trial)
+
+    # ------------------------------------------------------------------
+    def _search(self, model: DeploymentModel, initial: Dict[str, str],
+                ) -> Tuple[Optional[Mapping[str, str]], Dict[str, Any]]:
+        if (len(initial) == len(model.component_ids)
+                and self.constraints.is_satisfied(model, initial)):
+            assignment = dict(initial)
+        else:
+            assignment = random_valid_deployment(
+                model, self.constraints, self.rng)
+        if assignment is None:
+            return None, {"rounds": 0}
+
+        components = model.component_ids
+        hosts = model.host_ids
+        moves_taken = swaps_taken = 0
+        rounds = 0
+        for rounds in range(1, self.max_rounds + 1):
+            best_gain = 1e-12
+            best_action: Optional[Tuple[str, ...]] = None
+            # Single moves.
+            for component in components:
+                for host in hosts:
+                    if host == assignment[component]:
+                        continue
+                    if not self.constraints.allows(model, assignment,
+                                                   component, host):
+                        continue
+                    self._count_evaluation()
+                    gain = self._gain(self.objective.move_delta(
+                        model, assignment, component, host))
+                    if gain > best_gain:
+                        best_gain = gain
+                        best_action = ("move", component, host)
+            # Pairwise swaps (only across distinct hosts).
+            for i, comp_a in enumerate(components):
+                for comp_b in components[i + 1:]:
+                    if assignment[comp_a] == assignment[comp_b]:
+                        continue
+                    if not self._swap_allowed(model, assignment,
+                                              comp_a, comp_b):
+                        continue
+                    self._count_evaluation()
+                    gain = self._gain(self._swap_delta(
+                        model, assignment, comp_a, comp_b))
+                    if gain > best_gain:
+                        best_gain = gain
+                        best_action = ("swap", comp_a, comp_b)
+            if best_action is None:
+                break
+            if best_action[0] == "move":
+                __, component, host = best_action
+                assignment[component] = host
+                moves_taken += 1
+            else:
+                __, comp_a, comp_b = best_action
+                assignment[comp_a], assignment[comp_b] = \
+                    assignment[comp_b], assignment[comp_a]
+                swaps_taken += 1
+        return assignment, {"rounds": rounds, "moves_taken": moves_taken,
+                            "swaps_taken": swaps_taken}

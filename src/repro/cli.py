@@ -1,0 +1,294 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Headless DeSi for the terminal — generate hypothetical architectures,
+inspect them, run the algorithm suite, simulate the closed improvement
+loop, and sweep experiment grids, all without writing code.
+
+Commands:
+
+* ``generate`` — create a random-but-feasible architecture as xADL;
+* ``inspect``  — print an xADL architecture's tables / graph / DOT;
+* ``improve``  — run redeployment algorithms against an xADL architecture;
+* ``simulate`` — run the closed centralized or decentralized loop on a
+  built-in scenario and print the availability trajectory;
+* ``sweep``    — batch-compare algorithms over generated families.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.algorithms import (
+    AvalaAlgorithm, DecApAlgorithm, ExactAlgorithm, GeneticAlgorithm,
+    HillClimbingAlgorithm, SimulatedAnnealingAlgorithm, StochasticAlgorithm,
+    SwapSearchAlgorithm,
+)
+from repro.core import (
+    AvailabilityObjective, CommunicationCostObjective, ConstraintSet,
+    DurabilityObjective, LatencyObjective, MemoryConstraint,
+    SecurityObjective, ThroughputObjective,
+)
+from repro.core.framework import CentralizedFramework
+from repro.core.objectives import Objective
+from repro.decentralized import DecentralizedFramework
+from repro.desi import (
+    DeSiModel, ExperimentRunner, Generator, GeneratorConfig, GraphView,
+    TableView, xadl,
+)
+from repro.middleware import DistributedSystem
+from repro.scenarios import (
+    CrisisConfig, build_crisis_scenario, build_sensor_field,
+)
+from repro.sim import InteractionWorkload, SimClock, StepChange
+
+OBJECTIVES: Dict[str, type] = {
+    "availability": AvailabilityObjective,
+    "latency": LatencyObjective,
+    "communication": CommunicationCostObjective,
+    "security": SecurityObjective,
+    "throughput": ThroughputObjective,
+    "durability": DurabilityObjective,
+}
+
+ALGORITHM_BUILDERS = {
+    "exact": lambda o, c, seed: ExactAlgorithm(o, c, seed=seed),
+    "avala": lambda o, c, seed: AvalaAlgorithm(o, c, seed=seed),
+    "stochastic": lambda o, c, seed: StochasticAlgorithm(
+        o, c, seed=seed, iterations=100),
+    "hillclimb": lambda o, c, seed: HillClimbingAlgorithm(o, c, seed=seed),
+    "annealing": lambda o, c, seed: SimulatedAnnealingAlgorithm(
+        o, c, seed=seed),
+    "genetic": lambda o, c, seed: GeneticAlgorithm(o, c, seed=seed),
+    "decap": lambda o, c, seed: DecApAlgorithm(o, c, seed=seed),
+    "swapsearch": lambda o, c, seed: SwapSearchAlgorithm(o, c, seed=seed),
+}
+
+
+def _objective(name: str) -> Objective:
+    return OBJECTIVES[name]()
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    config = GeneratorConfig(
+        hosts=args.hosts, components=args.components,
+        physical_density=args.density,
+        reliability=(args.min_reliability, args.max_reliability),
+        memory_headroom=args.headroom)
+    model = Generator(config, seed=args.seed).generate(args.name)
+    document = xadl.to_xml(model)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(document)
+        print(f"wrote {model.stats()} to {args.output}")
+    else:
+        print(document)
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    model = xadl.load(args.file)
+    desi = DeSiModel(model)
+    if args.dot:
+        print(GraphView(desi).render_dot())
+    elif args.graph:
+        print(GraphView(desi).render_text())
+    else:
+        print(TableView(desi).render())
+        objective = _objective(args.objective)
+        if model.is_fully_deployed():
+            value = objective.evaluate(model, model.deployment)
+            print(f"{objective.name} of current deployment: {value:.4f}")
+    return 0
+
+
+def cmd_improve(args: argparse.Namespace) -> int:
+    model = xadl.load(args.file)
+    objective = _objective(args.objective)
+    constraints = ConstraintSet([MemoryConstraint()])
+    for constraint in model.constraints:
+        constraints.add(constraint)
+    initial = objective.evaluate(model, model.deployment)
+    print(f"initial {objective.name}: {initial:.4f}")
+    best = None
+    for name in args.algorithms:
+        algorithm = ALGORITHM_BUILDERS[name](objective, constraints,
+                                             args.seed)
+        result = algorithm.run(model)
+        print(f"  {result.summary()}")
+        if result.valid and (best is None
+                             or objective.is_better(result.value,
+                                                    best.value)):
+            best = result
+    if best is None:
+        print("no algorithm produced a valid deployment", file=sys.stderr)
+        return 1
+    if args.apply:
+        model.set_deployment(best.deployment)
+        output = args.output or args.file
+        xadl.save(model, output)
+        print(f"applied {best.algorithm}'s deployment -> {output}")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    objective = AvailabilityObjective()
+    if args.scenario == "crisis":
+        scenario = build_crisis_scenario(CrisisConfig(seed=args.seed))
+        model = scenario.model
+        clock = SimClock()
+        system = DistributedSystem(model, clock, master_host=scenario.hq,
+                                   seed=args.seed)
+        framework = CentralizedFramework(
+            system, objective, scenario.constraints,
+            user_input=scenario.user_input, monitor_interval=2.0,
+            seed=args.seed)
+        framework.start(cycles_per_analysis=2)
+        if args.degrade_at is not None:
+            StepChange(system.network, scenario.hq, scenario.commanders[0],
+                       at=args.degrade_at, attribute="reliability",
+                       value=0.3).start()
+        decentralized = None
+    else:
+        scenario = build_sensor_field(seed=args.seed)
+        model = scenario.model
+        clock = SimClock()
+        system = DistributedSystem(model, clock, decentralized=True,
+                                   seed=args.seed)
+        system.install_monitoring(ping_interval=0.5, pings_per_round=5)
+        decentralized = DecentralizedFramework(
+            system, objective, bid_timeout=0.3, availability_goal=0.99)
+        framework = None
+
+    workload = InteractionWorkload(model, clock, system.emit,
+                                   seed=args.seed + 1).start()
+    steps = max(1, int(args.duration / 10))
+    print(f"t=0      availability "
+          f"{objective.evaluate(model, system.actual_deployment()):.4f}")
+    for step in range(steps):
+        if decentralized is not None:
+            decentralized.improvement_round()
+        clock.run((step + 1) * 10.0 - clock.now)
+        system.network.apply_to_model(model)
+        value = objective.evaluate(model, system.actual_deployment())
+        print(f"t={clock.now:<7.1f}availability {value:.4f}")
+    workload.stop()
+    if framework is not None:
+        framework.stop()
+        for cycle in framework.cycles:
+            print(f"  {cycle.summary()}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    objective = _objective(args.objective)
+    constraints = ConstraintSet([MemoryConstraint()])
+    algorithms = {
+        name: (lambda n=name: ALGORITHM_BUILDERS[n](objective, constraints,
+                                                    args.seed))
+        for name in args.algorithms
+    }
+    families = {}
+    for spec in args.family:
+        try:
+            label, hosts, components = spec.split(":")
+            families[label] = GeneratorConfig(
+                hosts=int(hosts), components=int(components),
+                host_memory=(20.0, 50.0), memory_headroom=1.2)
+        except ValueError:
+            print(f"bad family spec {spec!r}; use label:hosts:components",
+                  file=sys.stderr)
+            return 2
+    runner = ExperimentRunner(objective, algorithms,
+                              replicates=args.replicates, seed=args.seed)
+    report = runner.run(families)
+    print(report.render())
+    for family in families:
+        best = report.best_algorithm(
+            family, direction=objective.direction)
+        print(f"best for {family}: {best}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Deployment improvement framework (DSN 2004 "
+                    "reproduction) command line")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate an architecture as xADL")
+    p.add_argument("--hosts", type=int, default=4)
+    p.add_argument("--components", type=int, default=10)
+    p.add_argument("--density", type=float, default=1.0)
+    p.add_argument("--min-reliability", type=float, default=0.3)
+    p.add_argument("--max-reliability", type=float, default=1.0)
+    p.add_argument("--headroom", type=float, default=1.5)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--name", default="generated")
+    p.add_argument("-o", "--output", help="xADL output path (default stdout)")
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("inspect", help="show an xADL architecture")
+    p.add_argument("file")
+    p.add_argument("--graph", action="store_true",
+                   help="text graph view instead of tables")
+    p.add_argument("--dot", action="store_true", help="Graphviz DOT output")
+    p.add_argument("--objective", choices=sorted(OBJECTIVES),
+                   default="availability")
+    p.set_defaults(func=cmd_inspect)
+
+    p = sub.add_parser("improve", help="run algorithms on an architecture")
+    p.add_argument("file")
+    p.add_argument("-a", "--algorithms", nargs="+",
+                   choices=sorted(ALGORITHM_BUILDERS),
+                   default=["avala", "stochastic"])
+    p.add_argument("--objective", choices=sorted(OBJECTIVES),
+                   default="availability")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--apply", action="store_true",
+                   help="write the best deployment back to the file")
+    p.add_argument("-o", "--output",
+                   help="write the improved xADL here instead of in place")
+    p.set_defaults(func=cmd_improve)
+
+    p = sub.add_parser("simulate", help="run a closed-loop scenario")
+    p.add_argument("--scenario", choices=["crisis", "sensorfield"],
+                   default="crisis")
+    p.add_argument("--duration", type=float, default=60.0)
+    p.add_argument("--degrade-at", type=float, default=30.0,
+                   help="time of the mid-run link degradation (crisis)")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("sweep", help="batch-compare algorithms")
+    p.add_argument("--family", nargs="+", required=True,
+                   metavar="LABEL:HOSTS:COMPONENTS")
+    p.add_argument("-a", "--algorithms", nargs="+",
+                   choices=sorted(ALGORITHM_BUILDERS),
+                   default=["avala", "stochastic", "hillclimb"])
+    p.add_argument("--objective", choices=sorted(OBJECTIVES),
+                   default="availability")
+    p.add_argument("--replicates", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_sweep)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

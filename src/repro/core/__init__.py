@@ -1,0 +1,72 @@
+"""Core of the deployment improvement framework (paper Section 3).
+
+The six framework components map onto this package as follows:
+
+* **Model** — :mod:`repro.core.model` (+ :mod:`repro.core.parameters`)
+* **Algorithm** — :mod:`repro.algorithms` (objective quantifiers in
+  :mod:`repro.core.objectives`, constraint checkers in
+  :mod:`repro.core.constraints`)
+* **Analyzer** — :mod:`repro.core.analyzer`
+* **Monitor** (platform-independent half) — :mod:`repro.core.monitoring`
+* **Effector** (platform-independent half) — :mod:`repro.core.effector`
+* **User Input** — :mod:`repro.core.user_input`
+
+:mod:`repro.core.framework` wires them into the centralized (Figure 2) and
+decentralized (Figure 3) instantiations.
+"""
+
+from repro.core.model import (
+    Component, Deployment, DeploymentModel, Host, LogicalLink, Move,
+    PhysicalLink,
+)
+from repro.core.objectives import (
+    AvailabilityObjective, CommunicationCostObjective, DurabilityObjective,
+    LatencyObjective, Objective, SecurityObjective, ThroughputObjective,
+    WeightedObjective,
+)
+from repro.core.utility import (
+    SatisfactionObjective, UserPreferences, UtilityFunction,
+    overall_satisfaction,
+)
+from repro.core.constraints import (
+    BandwidthConstraint, CollocationConstraint, Constraint, ConstraintSet,
+    CpuConstraint, LocationConstraint, MemoryConstraint, fix_component,
+    standard_constraints,
+)
+from repro.core.parameters import (
+    ParameterDefinition, ParameterRegistry, standard_registry,
+)
+
+__all__ = [
+    "AvailabilityObjective",
+    "BandwidthConstraint",
+    "CollocationConstraint",
+    "CommunicationCostObjective",
+    "Component",
+    "Constraint",
+    "ConstraintSet",
+    "CpuConstraint",
+    "Deployment",
+    "DeploymentModel",
+    "DurabilityObjective",
+    "Host",
+    "LatencyObjective",
+    "LocationConstraint",
+    "LogicalLink",
+    "MemoryConstraint",
+    "Move",
+    "Objective",
+    "ParameterDefinition",
+    "ParameterRegistry",
+    "PhysicalLink",
+    "SatisfactionObjective",
+    "SecurityObjective",
+    "ThroughputObjective",
+    "UserPreferences",
+    "UtilityFunction",
+    "WeightedObjective",
+    "overall_satisfaction",
+    "fix_component",
+    "standard_constraints",
+    "standard_registry",
+]

@@ -1,0 +1,353 @@
+"""Hard constraints restricting the space of valid deployments.
+
+Section 3.1 (User Input): the architect "must be capable of providing
+constraints on the allowable deployment architectures", giving *location*
+constraints ("a subset of hosts on which a given component may be legally
+deployed") and *collocation* constraints ("a subset of components that
+either must be or may not be deployed on the same host") as the canonical
+examples.  Section 5.1 adds resource constraints: component memory against
+host memory, and bandwidth feasibility.
+
+Constraints expose two operations:
+
+* :meth:`Constraint.is_satisfied` — validate a complete deployment; and
+* :meth:`Constraint.allows` — an *incremental* check used by constructive
+  algorithms (Avala, Stochastic, Exact-with-pruning) while they build a
+  partial assignment component by component.
+
+:class:`ConstraintSet` is the paper's ``ConstraintChecker`` (Figure 7): the
+pluggable aggregation that algorithms consult.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.model import DeploymentModel
+
+
+class Constraint(ABC):
+    """A hard predicate over deployments."""
+
+    @abstractmethod
+    def is_satisfied(self, model: DeploymentModel,
+                     deployment: Mapping[str, str]) -> bool:
+        """True when the (complete) *deployment* honors the constraint."""
+
+    def violations(self, model: DeploymentModel,
+                   deployment: Mapping[str, str]) -> List[str]:
+        """Human-readable description of each violation (empty when clean)."""
+        if self.is_satisfied(model, deployment):
+            return []
+        return [f"{self} violated"]
+
+    def allows(self, model: DeploymentModel, partial: Mapping[str, str],
+               component: str, host: str) -> bool:
+        """May *component* be placed on *host* given the *partial* assignment?
+
+        The default is conservative-but-correct: test the partial assignment
+        extended with the candidate placement.  Subclasses override with
+        cheaper checks.
+        """
+        extended = dict(partial)
+        extended[component] = host
+        return self.is_satisfied_partial(model, extended)
+
+    def is_satisfied_partial(self, model: DeploymentModel,
+                             partial: Mapping[str, str]) -> bool:
+        """Whether a *partial* assignment could still extend to a valid one.
+
+        Defaults to :meth:`is_satisfied`; constraints that can only be
+        judged on complete deployments (e.g. "must collocate" where one
+        member is unplaced) override to avoid premature rejection.
+        """
+        return self.is_satisfied(model, partial)
+
+
+class MemoryConstraint(Constraint):
+    """Sum of component memory on each host must not exceed host memory.
+
+    The paper's canonical constraint-satisfaction example: "total memory of
+    components deployed onto a host cannot exceed that host's available
+    memory".
+    """
+
+    def is_satisfied(self, model: DeploymentModel,
+                     deployment: Mapping[str, str]) -> bool:
+        return not self._overloaded_hosts(model, deployment)
+
+    def violations(self, model: DeploymentModel,
+                   deployment: Mapping[str, str]) -> List[str]:
+        return [
+            f"host {host!r}: components need {used:g} KB but only "
+            f"{capacity:g} KB available"
+            for host, used, capacity in self._overloaded_hosts(model, deployment)
+        ]
+
+    def allows(self, model: DeploymentModel, partial: Mapping[str, str],
+               component: str, host: str) -> bool:
+        used = sum(
+            model.component(c).memory
+            for c, h in partial.items() if h == host and c != component
+        )
+        return used + model.component(component).memory <= model.host(host).memory
+
+    def _overloaded_hosts(self, model: DeploymentModel,
+                          deployment: Mapping[str, str],
+                          ) -> List[Tuple[str, float, float]]:
+        used: Dict[str, float] = {}
+        for component_id, host_id in deployment.items():
+            used[host_id] = used.get(host_id, 0.0) + \
+                model.component(component_id).memory
+        return [
+            (host_id, total, model.host(host_id).memory)
+            for host_id, total in sorted(used.items())
+            if total > model.host(host_id).memory
+        ]
+
+    def __repr__(self) -> str:
+        return "MemoryConstraint()"
+
+
+class CpuConstraint(Constraint):
+    """Sum of component CPU demand on each host must fit the host's CPU.
+
+    Listed in the introduction as a representative constraint ("the
+    processing requirements of components deployed onto a host do not
+    exceed that host's CPU capacity").
+    """
+
+    def is_satisfied(self, model: DeploymentModel,
+                     deployment: Mapping[str, str]) -> bool:
+        demand: Dict[str, float] = {}
+        for component_id, host_id in deployment.items():
+            demand[host_id] = demand.get(host_id, 0.0) + \
+                model.component(component_id).cpu
+        return all(total <= model.host(h).cpu for h, total in demand.items())
+
+    def allows(self, model: DeploymentModel, partial: Mapping[str, str],
+               component: str, host: str) -> bool:
+        used = sum(
+            model.component(c).cpu
+            for c, h in partial.items() if h == host and c != component
+        )
+        return used + model.component(component).cpu <= model.host(host).cpu
+
+    def __repr__(self) -> str:
+        return "CpuConstraint()"
+
+
+class LocationConstraint(Constraint):
+    """Restrict the hosts a component may legally occupy.
+
+    Provide either ``allowed`` (whitelist) or ``forbidden`` (blacklist) —
+    DeSi's UI exposes both ("the location constraint that denotes the hosts
+    that a component can not be deployed on", Section 4.1, and "fixing a
+    component to a selected host", Figure 9).
+    """
+
+    def __init__(self, component: str,
+                 allowed: Optional[Iterable[str]] = None,
+                 forbidden: Optional[Iterable[str]] = None):
+        if (allowed is None) == (forbidden is None):
+            raise ValueError(
+                "provide exactly one of allowed= or forbidden=")
+        self.component = component
+        self.allowed: Optional[Set[str]] = set(allowed) if allowed is not None else None
+        self.forbidden: Optional[Set[str]] = (
+            set(forbidden) if forbidden is not None else None)
+
+    def permits_host(self, host: str) -> bool:
+        if self.allowed is not None:
+            return host in self.allowed
+        assert self.forbidden is not None
+        return host not in self.forbidden
+
+    def is_satisfied(self, model: DeploymentModel,
+                     deployment: Mapping[str, str]) -> bool:
+        host = deployment.get(self.component)
+        return host is None or self.permits_host(host)
+
+    def violations(self, model: DeploymentModel,
+                   deployment: Mapping[str, str]) -> List[str]:
+        host = deployment.get(self.component)
+        if host is None or self.permits_host(host):
+            return []
+        return [f"component {self.component!r} may not be deployed on {host!r}"]
+
+    def allows(self, model: DeploymentModel, partial: Mapping[str, str],
+               component: str, host: str) -> bool:
+        if component != self.component:
+            return True
+        return self.permits_host(host)
+
+    def __repr__(self) -> str:
+        if self.allowed is not None:
+            return (f"LocationConstraint({self.component!r}, "
+                    f"allowed={sorted(self.allowed)})")
+        return (f"LocationConstraint({self.component!r}, "
+                f"forbidden={sorted(self.forbidden or ())})")
+
+
+def fix_component(component: str, host: str) -> LocationConstraint:
+    """Pin *component* to *host* — the ``m`` fixed components that reduce the
+    Exact algorithm's complexity to O(k^(n-m)) (Section 5.1)."""
+    return LocationConstraint(component, allowed=[host])
+
+
+class CollocationConstraint(Constraint):
+    """Force a component group onto one host, or keep a pair apart.
+
+    ``together=True``: every listed component must share a host ("must be
+    deployed on the same host").  ``together=False``: no two listed
+    components may share a host ("may not be deployed on the same host").
+    """
+
+    def __init__(self, components: Sequence[str], together: bool):
+        if len(components) < 2:
+            raise ValueError("collocation needs at least two components")
+        self.components: Tuple[str, ...] = tuple(components)
+        self.together = together
+
+    def is_satisfied(self, model: DeploymentModel,
+                     deployment: Mapping[str, str]) -> bool:
+        hosts = [deployment[c] for c in self.components if c in deployment]
+        if len(hosts) < 2:
+            return True
+        if self.together:
+            return len(set(hosts)) == 1
+        placed = [deployment[c] for c in self.components if c in deployment]
+        return len(set(placed)) == len(placed)
+
+    def violations(self, model: DeploymentModel,
+                   deployment: Mapping[str, str]) -> List[str]:
+        if self.is_satisfied(model, deployment):
+            return []
+        placement = {c: deployment.get(c) for c in self.components}
+        mode = "must share a host" if self.together else "must be separated"
+        return [f"components {placement} {mode}"]
+
+    def allows(self, model: DeploymentModel, partial: Mapping[str, str],
+               component: str, host: str) -> bool:
+        if component not in self.components:
+            return True
+        others = [
+            partial[c] for c in self.components
+            if c != component and c in partial
+        ]
+        if self.together:
+            return all(h == host for h in others)
+        return host not in others
+
+    def is_satisfied_partial(self, model: DeploymentModel,
+                             partial: Mapping[str, str]) -> bool:
+        # A partial assignment never violates "together" prematurely; it can
+        # violate "apart" as soon as two members collide.
+        return self.is_satisfied(model, partial)
+
+    def __repr__(self) -> str:
+        mode = "together" if self.together else "apart"
+        return f"CollocationConstraint({list(self.components)}, {mode})"
+
+
+class BandwidthConstraint(Constraint):
+    """Traffic routed over each physical link must fit its bandwidth.
+
+    The volume a link must carry is the sum of ``frequency * evt_size`` over
+    the component pairs whose hosts the link directly connects.  Host pairs
+    with interacting components but no physical link at all are also
+    rejected (their required bandwidth is unsatisfiable).
+    """
+
+    def is_satisfied(self, model: DeploymentModel,
+                     deployment: Mapping[str, str]) -> bool:
+        return not self._overloads(model, deployment)
+
+    def violations(self, model: DeploymentModel,
+                   deployment: Mapping[str, str]) -> List[str]:
+        return [
+            f"link {a!r}<->{b!r}: needs {need:g} KB/s, capacity {cap:g} KB/s"
+            for a, b, need, cap in self._overloads(model, deployment)
+        ]
+
+    def _overloads(self, model: DeploymentModel,
+                   deployment: Mapping[str, str],
+                   ) -> List[Tuple[str, str, float, float]]:
+        demand: Dict[Tuple[str, str], float] = {}
+        for comp_a, comp_b, link in model.interaction_pairs():
+            host_a = deployment.get(comp_a)
+            host_b = deployment.get(comp_b)
+            if host_a is None or host_b is None or host_a == host_b:
+                continue
+            key = (host_a, host_b) if host_a <= host_b else (host_b, host_a)
+            demand[key] = demand.get(key, 0.0) + link.frequency * link.evt_size
+        overloads = []
+        for (host_a, host_b), need in sorted(demand.items()):
+            capacity = model.bandwidth(host_a, host_b)
+            if need > capacity:
+                overloads.append((host_a, host_b, need, capacity))
+        return overloads
+
+    def __repr__(self) -> str:
+        return "BandwidthConstraint()"
+
+
+class ConstraintSet(Constraint):
+    """Aggregation of constraints — the paper's ``ConstraintChecker``.
+
+    Algorithms receive one ConstraintSet and never inspect individual
+    constraints, which is what makes the constraint dimension pluggable
+    (Figure 7's algorithm-development methodology).
+    """
+
+    def __init__(self, constraints: Iterable[Constraint] = ()):
+        self.constraints: List[Constraint] = list(constraints)
+
+    def add(self, constraint: Constraint) -> "ConstraintSet":
+        self.constraints.append(constraint)
+        return self
+
+    def is_satisfied(self, model: DeploymentModel,
+                     deployment: Mapping[str, str]) -> bool:
+        return all(c.is_satisfied(model, deployment) for c in self.constraints)
+
+    def violations(self, model: DeploymentModel,
+                   deployment: Mapping[str, str]) -> List[str]:
+        out: List[str] = []
+        for constraint in self.constraints:
+            out.extend(constraint.violations(model, deployment))
+        return out
+
+    def allows(self, model: DeploymentModel, partial: Mapping[str, str],
+               component: str, host: str) -> bool:
+        return all(c.allows(model, partial, component, host)
+                   for c in self.constraints)
+
+    def is_satisfied_partial(self, model: DeploymentModel,
+                             partial: Mapping[str, str]) -> bool:
+        return all(c.is_satisfied_partial(model, partial)
+                   for c in self.constraints)
+
+    def allowed_hosts(self, model: DeploymentModel,
+                      partial: Mapping[str, str],
+                      component: str) -> Tuple[str, ...]:
+        """Hosts on which *component* may currently be placed."""
+        return tuple(
+            host_id for host_id in model.host_ids
+            if self.allows(model, partial, component, host_id)
+        )
+
+    def __len__(self) -> int:
+        return len(self.constraints)
+
+    def __iter__(self):
+        return iter(self.constraints)
+
+    def __repr__(self) -> str:
+        return f"ConstraintSet({self.constraints!r})"
+
+
+def standard_constraints() -> ConstraintSet:
+    """The resource constraints of the paper's Section 5.1 scenario."""
+    return ConstraintSet([MemoryConstraint(), BandwidthConstraint()])

@@ -1,0 +1,179 @@
+"""Platform-independent effecting: redeployment plans and coordination.
+
+Section 3.1 (Effector): "effectors are also composed of two parts: (1) a
+platform-dependent part that 'hooks' into the platform to perform the
+redeployment of software components; and (2) a platform-independent part
+that receives the redeployment instructions from the analyzer and
+coordinates the redeployment process."
+
+The platform-dependent half is the Admin/Deployer machinery of
+:mod:`repro.middleware.admin`.  Here live the platform-independent pieces:
+
+* :class:`RedeploymentPlan` — the analyzer's instructions: target
+  deployment, derived move list, and cost estimates (data volume and time)
+  computed from the model's link parameters;
+* :class:`Effector` implementations — :class:`MiddlewareEffector` drives a
+  live :class:`~repro.middleware.runtime.DistributedSystem`;
+  :class:`ModelEffector` applies a plan to the model only (DeSi's
+  hypothetical "what-if" mode, where no real system is attached).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.core.errors import EffectorError
+from repro.core.model import Deployment, DeploymentModel, Move
+
+
+@dataclass
+class RedeploymentPlan:
+    """Instructions to take the system from one deployment to another."""
+
+    current: Deployment
+    target: Deployment
+    moves: Tuple[Move, ...]
+    #: Total serialized component data to ship, KB.
+    estimated_kb: float
+    #: Rough simulated-time estimate of the migration, seconds.
+    estimated_time: float
+
+    @property
+    def is_noop(self) -> bool:
+        return not self.moves
+
+    def summary(self) -> str:
+        return (f"RedeploymentPlan({len(self.moves)} moves, "
+                f"~{self.estimated_kb:.1f} KB, "
+                f"~{self.estimated_time:.3f} s)")
+
+
+def plan_redeployment(model: DeploymentModel,
+                      target: Mapping[str, str],
+                      current: Optional[Mapping[str, str]] = None,
+                      ) -> RedeploymentPlan:
+    """Build a :class:`RedeploymentPlan` from the model's current deployment
+    to *target*, estimating costs from component sizes and link parameters.
+
+    The time estimate assumes moves proceed in parallel per source-target
+    host pair: each pair's transfer time is the shipped volume over that
+    pair's bandwidth plus its delay, and the plan completes when the slowest
+    pair does.  Host pairs without a direct link are charged a relay through
+    the most capacious mutual neighbor (the Deployer-mediated path).
+    """
+    current_deployment = (model.deployment if current is None
+                          else Deployment(current))
+    target_deployment = Deployment(target)
+    moves = current_deployment.diff(target_deployment)
+    total_kb = 0.0
+    pair_kb: Dict[Tuple[str, str], float] = {}
+    for move in moves:
+        size = max(model.component(move.component).memory, 0.1)
+        total_kb += size
+        key = (move.source, move.target)
+        pair_kb[key] = pair_kb.get(key, 0.0) + size
+
+    def pair_time(source: str, destination: str, kb: float) -> float:
+        bandwidth = model.bandwidth(source, destination)
+        delay = model.delay(source, destination)
+        if bandwidth > 0.0 and delay != float("inf"):
+            transfer = 0.0 if bandwidth == float("inf") else kb / bandwidth
+            return delay + transfer
+        # Relay via the best mutual neighbor.
+        best = float("inf")
+        for relay in model.host_ids:
+            if relay in (source, destination):
+                continue
+            bw1 = model.bandwidth(source, relay)
+            bw2 = model.bandwidth(relay, destination)
+            if bw1 <= 0.0 or bw2 <= 0.0:
+                continue
+            leg1 = model.delay(source, relay) + (
+                0.0 if bw1 == float("inf") else kb / bw1)
+            leg2 = model.delay(relay, destination) + (
+                0.0 if bw2 == float("inf") else kb / bw2)
+            best = min(best, leg1 + leg2)
+        return best
+
+    estimated_time = 0.0
+    for (source, destination), kb in pair_kb.items():
+        estimated_time = max(estimated_time,
+                             pair_time(source, destination, kb))
+    if estimated_time == float("inf"):
+        # Unreachable move: flag it via a sentinel the analyzer can check.
+        estimated_time = float("inf")
+    return RedeploymentPlan(current_deployment, target_deployment,
+                            moves, total_kb, estimated_time)
+
+
+@dataclass
+class EffectReport:
+    """What actually happened when a plan was effected."""
+
+    plan: RedeploymentPlan
+    succeeded: bool
+    moves_executed: int
+    sim_duration: float = 0.0
+    kb_transferred: float = 0.0
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+
+class Effector(ABC):
+    """Platform-independent coordinator; receives plans from the analyzer."""
+
+    @abstractmethod
+    def effect(self, plan: RedeploymentPlan) -> EffectReport:
+        """Execute *plan*; raises :class:`EffectorError` on hard failure."""
+
+
+class ModelEffector(Effector):
+    """Applies the plan to the deployment model only (what-if exploration)."""
+
+    def __init__(self, model: DeploymentModel):
+        self.model = model
+        self.history: list = []
+
+    def effect(self, plan: RedeploymentPlan) -> EffectReport:
+        for component_id, host_id in plan.target.items():
+            self.model.deploy(component_id, host_id)
+        report = EffectReport(plan, True, len(plan.moves))
+        self.history.append(report)
+        return report
+
+
+class MiddlewareEffector(Effector):
+    """Drives a live :class:`~repro.middleware.runtime.DistributedSystem`.
+
+    The heavy lifting — the request/transfer/reconstitute protocol with
+    buffering — is the platform-dependent half inside the middleware's
+    Admin/Deployer components; this class is the coordination shim that the
+    analyzer talks to.
+    """
+
+    def __init__(self, system: Any, max_wait: float = 1000.0):
+        self.system = system
+        self.max_wait = max_wait
+        self.history: list = []
+
+    def effect(self, plan: RedeploymentPlan) -> EffectReport:
+        if plan.is_noop:
+            report = EffectReport(plan, True, 0)
+            self.history.append(report)
+            return report
+        try:
+            stats = self.system.redeploy(plan.target.as_dict(),
+                                         max_wait=self.max_wait)
+        except EffectorError as exc:
+            report = EffectReport(plan, False, 0,
+                                  detail={"error": str(exc)})
+            self.history.append(report)
+            raise
+        report = EffectReport(
+            plan, True, stats["moves"],
+            sim_duration=stats["sim_duration"],
+            kb_transferred=stats["kb_transferred"],
+        )
+        self.history.append(report)
+        return report

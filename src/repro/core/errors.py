@@ -1,0 +1,103 @@
+"""Exception hierarchy for the deployment improvement framework.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers embedding the framework can catch a single base class.  The
+sub-hierarchy mirrors the framework's high-level components (model,
+algorithm, analyzer, monitor, effector) described in Section 3 of the paper.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ModelError(ReproError):
+    """A problem with the deployment model (unknown entity, bad parameter)."""
+
+
+class UnknownEntityError(ModelError):
+    """An operation referenced a host, component, or link not in the model."""
+
+    def __init__(self, kind: str, identifier: str):
+        super().__init__(f"unknown {kind}: {identifier!r}")
+        self.kind = kind
+        self.identifier = identifier
+
+
+class DuplicateEntityError(ModelError):
+    """An entity with the same identifier already exists in the model."""
+
+    def __init__(self, kind: str, identifier: str):
+        super().__init__(f"duplicate {kind}: {identifier!r}")
+        self.kind = kind
+        self.identifier = identifier
+
+
+class ParameterError(ModelError):
+    """A parameter value violated its definition (type, bounds, kind)."""
+
+
+class DeploymentError(ReproError):
+    """An invalid deployment mapping (component deployed nowhere/twice)."""
+
+
+class ConstraintViolationError(ReproError):
+    """A deployment was rejected because it violates a hard constraint."""
+
+    def __init__(self, constraint: object, detail: str = ""):
+        message = f"constraint violated: {constraint}"
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)
+        self.constraint = constraint
+        self.detail = detail
+
+
+class AlgorithmError(ReproError):
+    """An algorithm could not produce a valid deployment."""
+
+
+class NoValidDeploymentError(AlgorithmError):
+    """The constraint set admits no deployment at all."""
+
+
+class AnalyzerError(ReproError):
+    """The analyzer could not select a course of action."""
+
+
+class MonitoringError(ReproError):
+    """A monitor failed to produce data for a model parameter."""
+
+
+class EffectorError(ReproError):
+    """Redeployment could not be effected on the implementation platform."""
+
+
+class MigrationError(EffectorError):
+    """A component migration failed mid-flight."""
+
+
+class MiddlewareError(ReproError):
+    """An error inside the Prism-MW style middleware substrate."""
+
+
+class SerializationError(MiddlewareError):
+    """A component or event could not be (de)serialized for migration."""
+
+
+class NetworkError(ReproError):
+    """A simulated network operation failed (disconnected link, timeout)."""
+
+
+class LinkDownError(NetworkError):
+    """A message was dropped because the physical link is disconnected."""
+
+
+class SynchronizationError(ReproError):
+    """Decentralized model/algorithm synchronization failed."""
+
+
+class AuctionError(ReproError):
+    """A DecAp auction could not complete."""

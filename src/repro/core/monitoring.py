@@ -1,0 +1,227 @@
+"""Platform-independent monitoring: interpretation and stability detection.
+
+Section 3.1 (Monitor): "The monitor is implemented in two parts: a
+platform-dependent part that 'hooks' into the implementation platform and
+performs the actual monitoring of the system, and a platform-independent
+part that interprets and may look for patterns in the monitored data.  For
+example, it determines if the data is stable enough to be passed on to the
+model."
+
+The platform-dependent halves live in :mod:`repro.middleware.monitors`; they
+produce per-window raw reports.  This module interprets those reports:
+
+* :class:`StabilityDetector` implements the paper's ε-rule — "once the
+  monitored data is stable (i.e., the difference in the data across a
+  desired number [of] consecutive intervals is less than an adjustable
+  value ε)" it is released to the model (§4.3);
+* :class:`MonitoringHub` aggregates the per-host reports the Deployer
+  receives, reconciles the two ends' estimates of each link, converts
+  directed event rates into undirected logical-link frequencies, runs every
+  series through its detector, and writes stable values into the
+  :class:`~repro.core.model.DeploymentModel`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Iterable, List, Optional, Tuple
+
+from repro.core import parameters as P
+from repro.core.model import DeploymentModel
+
+
+class StabilityDetector:
+    """ε-stability over a sliding window of consecutive interval values.
+
+    A series is *stable* when it holds at least ``window`` samples and the
+    spread (max - min) of the last ``window`` samples is below ``epsilon``.
+    """
+
+    def __init__(self, epsilon: float = 0.05, window: int = 3):
+        if epsilon < 0:
+            raise ValueError("epsilon must be >= 0")
+        if window < 2:
+            raise ValueError("window must be >= 2")
+        self.epsilon = epsilon
+        self.window = window
+        self._values: Deque[float] = deque(maxlen=window)
+        self.samples_seen = 0
+
+    def update(self, value: float) -> bool:
+        """Feed one interval's value; returns current stability."""
+        self._values.append(value)
+        self.samples_seen += 1
+        return self.is_stable
+
+    @property
+    def is_stable(self) -> bool:
+        if len(self._values) < self.window:
+            return False
+        return max(self._values) - min(self._values) < self.epsilon
+
+    @property
+    def last_value(self) -> Optional[float]:
+        return self._values[-1] if self._values else None
+
+    def stable_value(self) -> Optional[float]:
+        """Mean of the window when stable, else None."""
+        if not self.is_stable:
+            return None
+        return sum(self._values) / len(self._values)
+
+    def reset(self) -> None:
+        self._values.clear()
+
+
+#: A monitored parameter's identity: (entity kind, entity key, param name).
+ParameterKey = Tuple[str, Any, str]
+
+
+@dataclass
+class MonitoringUpdate:
+    """One stable value written into the model."""
+
+    kind: str
+    entity: Any
+    name: str
+    value: float
+
+
+class MonitoringHub:
+    """Aggregates per-host monitoring reports into model updates.
+
+    Wire report format (produced by
+    :meth:`repro.middleware.admin.AdminComponent.collect_report`)::
+
+        {"host": "h1",
+         "reliability": {"h0": 0.91, ...},
+         "evt_frequency": {"c1|c2": 3.4, ...},
+         "evt_sizes": {"c1|c2": 1.9, ...}}
+
+    Reconciliation rules:
+
+    * *link reliability* — both endpoints estimate the same undirected
+      link; their estimates are averaged;
+    * *logical-link frequency* — the model's links are undirected, so the
+      two directed rates (``a->b`` and ``b->a``) are summed;
+    * *event size* — event-count-weighted combination of both directions,
+      approximated by the mean of reported averages.
+    """
+
+    def __init__(self, model: DeploymentModel, epsilon: float = 0.05,
+                 window: int = 3,
+                 frequency_epsilon: Optional[float] = None):
+        self.model = model
+        self.epsilon = epsilon
+        self.window = window
+        # Frequencies are not bounded to [0,1]; allow a separate (usually
+        # larger) epsilon.
+        self.frequency_epsilon = (frequency_epsilon if frequency_epsilon
+                                  is not None else epsilon * 20)
+        self._detectors: Dict[ParameterKey, StabilityDetector] = {}
+        # Raw data from the current interval, keyed by reporting host.
+        self._current_reports: Dict[str, Dict[str, Any]] = {}
+        self.updates_applied: List[MonitoringUpdate] = []
+        self.intervals_processed = 0
+
+    # ------------------------------------------------------------------
+    def ingest(self, host: str, report: Dict[str, Any]) -> None:
+        """Store one host's report for the current interval."""
+        self._current_reports[host] = report
+
+    # ------------------------------------------------------------------
+    def _detector_for(self, key: ParameterKey) -> StabilityDetector:
+        detector = self._detectors.get(key)
+        if detector is None:
+            epsilon = (self.frequency_epsilon
+                       if key[2] in ("frequency", "evt_size")
+                       else self.epsilon)
+            detector = StabilityDetector(epsilon, self.window)
+            self._detectors[key] = detector
+        return detector
+
+    def _interval_values(self) -> Dict[ParameterKey, float]:
+        """Reconcile the current interval's reports into parameter values."""
+        values: Dict[ParameterKey, float] = {}
+        # -- link reliability: average the two ends' estimates --------
+        link_estimates: Dict[Tuple[str, str], List[float]] = {}
+        for host, report in self._current_reports.items():
+            for peer, estimate in (report.get("reliability") or {}).items():
+                key = (host, peer) if host <= peer else (peer, host)
+                link_estimates.setdefault(key, []).append(estimate)
+        for link_key, estimates in link_estimates.items():
+            if self.model.physical_link(*link_key) is None:
+                continue
+            values[(P.PHYSICAL_LINK, link_key, "reliability")] = (
+                sum(estimates) / len(estimates))
+        # -- logical links: sum directions, average sizes ---------------
+        directed_rates: Dict[Tuple[str, str], float] = {}
+        directed_sizes: Dict[Tuple[str, str], float] = {}
+        for report in self._current_reports.values():
+            for pair, rate in (report.get("evt_frequency") or {}).items():
+                src, __, dst = pair.partition("|")
+                directed_rates[(src, dst)] = rate
+            for pair, size in (report.get("evt_sizes") or {}).items():
+                src, __, dst = pair.partition("|")
+                directed_sizes[(src, dst)] = size
+        undirected: Dict[Tuple[str, str], float] = {}
+        sizes: Dict[Tuple[str, str], List[float]] = {}
+        for (src, dst), rate in directed_rates.items():
+            key = (src, dst) if src <= dst else (dst, src)
+            undirected[key] = undirected.get(key, 0.0) + rate
+        for (src, dst), size in directed_sizes.items():
+            key = (src, dst) if src <= dst else (dst, src)
+            sizes.setdefault(key, []).append(size)
+        for pair_key, rate in undirected.items():
+            if self.model.logical_link(*pair_key) is None:
+                continue
+            values[(P.LOGICAL_LINK, pair_key, "frequency")] = rate
+            if pair_key in sizes:
+                values[(P.LOGICAL_LINK, pair_key, "evt_size")] = (
+                    sum(sizes[pair_key]) / len(sizes[pair_key]))
+        return values
+
+    def process_interval(self) -> List[MonitoringUpdate]:
+        """Close the current interval: feed detectors, apply stable values.
+
+        Returns the updates written to the model this interval.
+        """
+        applied: List[MonitoringUpdate] = []
+        for key, value in sorted(self._interval_values().items(),
+                                 key=lambda kv: repr(kv[0])):
+            detector = self._detector_for(key)
+            if detector.update(value):
+                stable = detector.stable_value()
+                assert stable is not None
+                update = MonitoringUpdate(key[0], key[1], key[2], stable)
+                self._apply(update)
+                applied.append(update)
+        self._current_reports.clear()
+        self.intervals_processed += 1
+        self.updates_applied.extend(applied)
+        return applied
+
+    def _apply(self, update: MonitoringUpdate) -> None:
+        if update.kind == P.PHYSICAL_LINK:
+            self.model.set_physical_link_param(
+                *update.entity, update.name, update.value)
+        elif update.kind == P.LOGICAL_LINK:
+            self.model.set_logical_link_param(
+                *update.entity, update.name, update.value)
+        elif update.kind == P.HOST:
+            self.model.set_host_param(update.entity, update.name, update.value)
+        elif update.kind == P.COMPONENT:
+            self.model.set_component_param(update.entity, update.name,
+                                           update.value)
+
+    # ------------------------------------------------------------------
+    def stability_report(self) -> Dict[str, Any]:
+        """Which monitored parameters are currently stable."""
+        stable = sum(1 for d in self._detectors.values() if d.is_stable)
+        return {
+            "parameters_tracked": len(self._detectors),
+            "parameters_stable": stable,
+            "intervals_processed": self.intervals_processed,
+            "updates_applied": len(self.updates_applied),
+        }

@@ -1,0 +1,316 @@
+"""Extensible parameter registry for deployment models.
+
+The paper stresses that the framework must allow "inclusion of arbitrary
+system parameters (hardware host properties, network link properties,
+software component properties, software interaction properties)".  This
+module provides that extension point: a :class:`ParameterDefinition`
+describes one parameter attached to one kind of model entity, and a
+:class:`ParameterRegistry` holds the set of definitions used by a model.
+
+A fresh :class:`~repro.core.model.DeploymentModel` starts from
+:func:`standard_registry`, which registers the parameters the paper's two
+example objectives (availability, latency) and constraint set need; callers
+add new definitions at any time — including at run time, which is what lets
+an analyzer extend the model when a new objective is plugged in.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
+
+from repro.core.errors import ParameterError
+
+# The four kinds of model entity a parameter may attach to (Section 3.1:
+# "hosts, components, physical links between hosts, and logical links
+# between components").
+HOST = "host"
+COMPONENT = "component"
+PHYSICAL_LINK = "physical_link"
+LOGICAL_LINK = "logical_link"
+
+KINDS = (HOST, COMPONENT, PHYSICAL_LINK, LOGICAL_LINK)
+
+
+@dataclass(frozen=True)
+class ParameterDefinition:
+    """Schema for a single model parameter.
+
+    Attributes:
+        name: Identifier used to read/write the parameter on an entity.
+        kind: Which entity kind it attaches to (one of :data:`KINDS`).
+        default: Value used when an entity does not set the parameter.
+        minimum: Inclusive lower bound, or ``None`` for unbounded.
+        maximum: Inclusive upper bound, or ``None`` for unbounded.
+        monitorable: Whether a run-time monitor can supply this value
+            (Section 3.1, Monitor) — non-monitorable parameters must come
+            from user input at design time.
+        description: Human-readable documentation string.
+        validator: Optional extra predicate; receives the candidate value
+            and returns True when acceptable.
+    """
+
+    name: str
+    kind: str
+    default: Any = 0.0
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+    monitorable: bool = False
+    description: str = ""
+    validator: Optional[Callable[[Any], bool]] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ParameterError(
+                f"parameter {self.name!r}: kind must be one of {KINDS}, "
+                f"got {self.kind!r}"
+            )
+
+    def validate(self, value: Any) -> Any:
+        """Check *value* against bounds and the custom validator.
+
+        Returns the value unchanged on success; raises
+        :class:`ParameterError` otherwise.
+        """
+        if isinstance(value, bool):
+            # Booleans are fine for flag-like parameters; skip numeric bounds.
+            if self.validator is not None and not self.validator(value):
+                raise ParameterError(
+                    f"parameter {self.name!r}: value {value!r} rejected by validator"
+                )
+            return value
+        if isinstance(value, (int, float)):
+            if isinstance(value, float) and math.isnan(value):
+                raise ParameterError(f"parameter {self.name!r}: NaN is not allowed")
+            if self.minimum is not None and value < self.minimum:
+                raise ParameterError(
+                    f"parameter {self.name!r}: {value} < minimum {self.minimum}"
+                )
+            if self.maximum is not None and value > self.maximum:
+                raise ParameterError(
+                    f"parameter {self.name!r}: {value} > maximum {self.maximum}"
+                )
+        if self.validator is not None and not self.validator(value):
+            raise ParameterError(
+                f"parameter {self.name!r}: value {value!r} rejected by validator"
+            )
+        return value
+
+
+class ParameterRegistry:
+    """Collection of :class:`ParameterDefinition` objects, keyed by kind+name.
+
+    The registry is the model's schema.  It is deliberately mutable: the
+    paper's Analyzer may "add or remove low-level components" and new
+    objectives may require new parameters mid-execution.
+    """
+
+    def __init__(self) -> None:
+        self._defs: Dict[Tuple[str, str], ParameterDefinition] = {}
+
+    def register(self, definition: ParameterDefinition) -> ParameterDefinition:
+        """Add *definition*; replacing an existing definition is an error."""
+        key = (definition.kind, definition.name)
+        if key in self._defs:
+            raise ParameterError(
+                f"parameter {definition.name!r} already registered for kind "
+                f"{definition.kind!r}"
+            )
+        self._defs[key] = definition
+        return definition
+
+    def register_all(self, definitions: Iterator[ParameterDefinition]) -> None:
+        for definition in definitions:
+            self.register(definition)
+
+    def unregister(self, kind: str, name: str) -> None:
+        try:
+            del self._defs[(kind, name)]
+        except KeyError:
+            raise ParameterError(
+                f"parameter {name!r} is not registered for kind {kind!r}"
+            ) from None
+
+    def get(self, kind: str, name: str) -> ParameterDefinition:
+        try:
+            return self._defs[(kind, name)]
+        except KeyError:
+            raise ParameterError(
+                f"parameter {name!r} is not registered for kind {kind!r}"
+            ) from None
+
+    def has(self, kind: str, name: str) -> bool:
+        return (kind, name) in self._defs
+
+    def defined_for(self, kind: str) -> Tuple[ParameterDefinition, ...]:
+        """All definitions attached to entity kind *kind*, sorted by name."""
+        return tuple(
+            sorted(
+                (d for (k, __), d in self._defs.items() if k == kind),
+                key=lambda d: d.name,
+            )
+        )
+
+    def default_values(self, kind: str) -> Dict[str, Any]:
+        """Mapping of parameter name to default for entity kind *kind*."""
+        return {d.name: d.default for d in self.defined_for(kind)}
+
+    def validate(self, kind: str, name: str, value: Any) -> Any:
+        """Validate *value* for parameter *name* of entity kind *kind*.
+
+        Unregistered parameters are rejected — this is what makes the model
+        schema explicit rather than an open dict.
+        """
+        return self.get(kind, name).validate(value)
+
+    def monitorable(self, kind: str) -> Tuple[ParameterDefinition, ...]:
+        return tuple(d for d in self.defined_for(kind) if d.monitorable)
+
+    def copy(self) -> "ParameterRegistry":
+        clone = ParameterRegistry()
+        clone._defs = dict(self._defs)
+        return clone
+
+    def __len__(self) -> int:
+        return len(self._defs)
+
+    def __iter__(self) -> Iterator[ParameterDefinition]:
+        return iter(sorted(self._defs.values(), key=lambda d: (d.kind, d.name)))
+
+
+# ---------------------------------------------------------------------------
+# Standard parameters (Section 5.1's centralized model)
+# ---------------------------------------------------------------------------
+
+def standard_definitions() -> Tuple[ParameterDefinition, ...]:
+    """The parameter set used by the paper's example scenarios (§5.1).
+
+    * each component has a required memory size;
+    * each host has an available memory;
+    * each logical link has a frequency of interaction and an average
+      event size;
+    * each physical link has a reliability, bandwidth, and transmission
+      delay.
+
+    We additionally register CPU, battery, link security, and a
+    ``connected`` flag, all of which appear in the paper's motivating
+    discussion (Sections 1 and 3.1).
+    """
+    return (
+        # --- hosts -------------------------------------------------------
+        ParameterDefinition(
+            "memory", HOST, default=float("inf"), minimum=0.0,
+            description="Available memory on the host (KB).",
+        ),
+        ParameterDefinition(
+            "cpu", HOST, default=float("inf"), minimum=0.0,
+            description="Processing capacity of the host (MIPS).",
+        ),
+        ParameterDefinition(
+            "battery", HOST, default=float("inf"), minimum=0.0,
+            monitorable=True,
+            description="Remaining battery power (mWh); infinite for mains.",
+        ),
+        ParameterDefinition(
+            "on", HOST, default=True,
+            description="Whether the host is powered on.",
+        ),
+        # --- components ---------------------------------------------------
+        ParameterDefinition(
+            "memory", COMPONENT, default=0.0, minimum=0.0,
+            description="Memory the component requires when deployed (KB).",
+        ),
+        ParameterDefinition(
+            "cpu", COMPONENT, default=0.0, minimum=0.0,
+            description="Processing the component requires (MIPS).",
+        ),
+        # --- physical links -------------------------------------------------
+        ParameterDefinition(
+            "reliability", PHYSICAL_LINK, default=1.0, minimum=0.0, maximum=1.0,
+            monitorable=True,
+            description="Probability that a transmission over the link succeeds.",
+        ),
+        ParameterDefinition(
+            "bandwidth", PHYSICAL_LINK, default=float("inf"), minimum=0.0,
+            monitorable=True,
+            description="Link bandwidth (KB/s).",
+        ),
+        ParameterDefinition(
+            "delay", PHYSICAL_LINK, default=0.0, minimum=0.0,
+            monitorable=True,
+            description="Transmission delay over the link (s).",
+        ),
+        ParameterDefinition(
+            "security", PHYSICAL_LINK, default=1.0, minimum=0.0, maximum=1.0,
+            description="Security level of the link; supplied by user input "
+                        "(the paper's example of a hard-to-monitor parameter).",
+        ),
+        ParameterDefinition(
+            "connected", PHYSICAL_LINK, default=True,
+            monitorable=True,
+            description="Whether the link is currently up.",
+        ),
+        # --- logical links ---------------------------------------------------
+        ParameterDefinition(
+            "frequency", LOGICAL_LINK, default=0.0, minimum=0.0,
+            monitorable=True,
+            description="Frequency of interaction between the two components "
+                        "(events per unit time).",
+        ),
+        ParameterDefinition(
+            "evt_size", LOGICAL_LINK, default=1.0, minimum=0.0,
+            monitorable=True,
+            description="Average event size exchanged over the link (KB).",
+        ),
+        ParameterDefinition(
+            "criticality", LOGICAL_LINK, default=1.0, minimum=0.0,
+            description="Relative importance of the interaction.",
+        ),
+    )
+
+
+def standard_registry() -> ParameterRegistry:
+    """A fresh registry pre-populated with :func:`standard_definitions`."""
+    registry = ParameterRegistry()
+    registry.register_all(iter(standard_definitions()))
+    return registry
+
+
+@dataclass
+class ParameterBag:
+    """Per-entity parameter storage validated against a registry.
+
+    Entities (hosts, components, links) each own one bag.  Reads fall back
+    to the registry default so that sparsely-specified models behave
+    sensibly; writes are validated eagerly so bad data fails at the point
+    of entry, not deep inside an algorithm.
+    """
+
+    kind: str
+    registry: ParameterRegistry
+    values: Dict[str, Any] = field(default_factory=dict)
+
+    def get(self, name: str) -> Any:
+        definition = self.registry.get(self.kind, name)
+        return self.values.get(name, definition.default)
+
+    def set(self, name: str, value: Any) -> None:
+        self.values[name] = self.registry.validate(self.kind, name, value)
+
+    def update(self, mapping: Dict[str, Any]) -> None:
+        for name, value in mapping.items():
+            self.set(name, value)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Every registered parameter resolved to its effective value."""
+        result = self.registry.default_values(self.kind)
+        result.update(self.values)
+        return result
+
+    def explicit(self) -> Dict[str, Any]:
+        """Only the values explicitly set on this entity (no defaults)."""
+        return dict(self.values)
+
+    def copy(self, registry: Optional[ParameterRegistry] = None) -> "ParameterBag":
+        return ParameterBag(self.kind, registry or self.registry, dict(self.values))

@@ -1,0 +1,109 @@
+"""Design-time user input — the framework's User Input component.
+
+Section 3.1: "Some system parameters may not be easily monitored (e.g.,
+security of a network link).  Also, some parameters may be stable throughout
+the system's execution (e.g., CPU speed on a given host).  The values for
+such parameters are provided by the system's architect at design time ...
+the architect also must be capable of providing constraints on the allowable
+deployment architectures."
+
+:class:`UserInput` is a declarative record of those architect-supplied
+values and constraints; :meth:`UserInput.apply` writes them into a model.
+Keeping user input as data (rather than imperative model edits) lets the
+same input be replayed onto the centralized model and onto each host's
+decentralized model, and round-trips through the xADL serializer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.core.constraints import (
+    CollocationConstraint, Constraint, LocationConstraint,
+)
+from repro.core.model import DeploymentModel
+
+
+@dataclass
+class UserInput:
+    """Architect-supplied parameter values and deployment constraints."""
+
+    #: host id -> {param: value}
+    host_params: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: component id -> {param: value}
+    component_params: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: (host a, host b) -> {param: value}
+    physical_link_params: Dict[Tuple[str, str], Dict[str, Any]] = \
+        field(default_factory=dict)
+    #: (comp a, comp b) -> {param: value}
+    logical_link_params: Dict[Tuple[str, str], Dict[str, Any]] = \
+        field(default_factory=dict)
+    constraints: List[Constraint] = field(default_factory=list)
+
+    # -- builder API ----------------------------------------------------------
+    def set_host(self, host: str, **params: Any) -> "UserInput":
+        self.host_params.setdefault(host, {}).update(params)
+        return self
+
+    def set_component(self, component: str, **params: Any) -> "UserInput":
+        self.component_params.setdefault(component, {}).update(params)
+        return self
+
+    def set_physical_link(self, host_a: str, host_b: str,
+                          **params: Any) -> "UserInput":
+        key = (host_a, host_b) if host_a <= host_b else (host_b, host_a)
+        self.physical_link_params.setdefault(key, {}).update(params)
+        return self
+
+    def set_logical_link(self, comp_a: str, comp_b: str,
+                         **params: Any) -> "UserInput":
+        key = (comp_a, comp_b) if comp_a <= comp_b else (comp_b, comp_a)
+        self.logical_link_params.setdefault(key, {}).update(params)
+        return self
+
+    def restrict_location(self, component: str,
+                          allowed: Sequence[str] = None,
+                          forbidden: Sequence[str] = None) -> "UserInput":
+        self.constraints.append(
+            LocationConstraint(component, allowed=allowed,
+                               forbidden=forbidden))
+        return self
+
+    def collocate(self, *components: str) -> "UserInput":
+        self.constraints.append(
+            CollocationConstraint(list(components), together=True))
+        return self
+
+    def separate(self, *components: str) -> "UserInput":
+        self.constraints.append(
+            CollocationConstraint(list(components), together=False))
+        return self
+
+    # -- application --------------------------------------------------------
+    def apply(self, model: DeploymentModel) -> None:
+        """Write every recorded value and constraint into *model*.
+
+        Entities the model does not contain are skipped silently — a
+        decentralized host's partial model receives only the inputs that
+        concern it.
+        """
+        for host, params in self.host_params.items():
+            if model.has_host(host):
+                for name, value in params.items():
+                    model.set_host_param(host, name, value)
+        for component, params in self.component_params.items():
+            if model.has_component(component):
+                for name, value in params.items():
+                    model.set_component_param(component, name, value)
+        for (host_a, host_b), params in self.physical_link_params.items():
+            if model.physical_link(host_a, host_b) is not None:
+                for name, value in params.items():
+                    model.set_physical_link_param(host_a, host_b, name, value)
+        for (comp_a, comp_b), params in self.logical_link_params.items():
+            if model.logical_link(comp_a, comp_b) is not None:
+                for name, value in params.items():
+                    model.set_logical_link_param(comp_a, comp_b, name, value)
+        for constraint in self.constraints:
+            if constraint not in model.constraints:
+                model.constraints.append(constraint)

@@ -1,0 +1,162 @@
+"""Utility-based user preferences over system characteristics.
+
+Section 6: "modelling user preferences for multiple desired system
+characteristics in a decentralized environment ... we will leverage utility
+computing techniques to determine a deployment architecture that maximizes
+the users' overall satisfaction with a distributed system."
+
+This module implements that future-work direction:
+
+* a :class:`UtilityFunction` maps one objective's raw value (availability in
+  [0,1], latency in seconds, ...) onto a normalized satisfaction in [0,1]
+  through a monotone piecewise-linear curve — the standard shape in the
+  utility-computing literature the paper cites toward;
+* :class:`UserPreferences` weights several utility functions into one
+  user's satisfaction score;
+* :class:`SatisfactionObjective` turns the *overall* (mean) satisfaction of
+  a set of users into a pluggable
+  :class:`~repro.core.objectives.Objective`, so every existing algorithm —
+  centralized or decentralized — can directly optimize it;
+* :func:`host_preferences_vote` adapts per-host preferences to the
+  decentralized analyzers' voting interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.errors import ModelError
+from repro.core.model import DeploymentModel
+from repro.core.objectives import MAXIMIZE, Objective
+
+
+class UtilityFunction:
+    """Monotone piecewise-linear mapping of an objective value to [0, 1].
+
+    Args:
+        objective: The characteristic being judged.
+        points: ``(value, utility)`` control points, at least two, with
+            strictly increasing values and utilities inside [0, 1].
+            Values outside the covered range clamp to the end utilities,
+            so a curve like ``[(0.5, 0.0), (0.95, 1.0)]`` reads "useless
+            below 50% availability, fully satisfying from 95% up".
+    """
+
+    def __init__(self, objective: Objective,
+                 points: Sequence[Tuple[float, float]]):
+        if len(points) < 2:
+            raise ModelError("utility curve needs at least two points")
+        values = [value for value, __ in points]
+        if any(b <= a for a, b in zip(values, values[1:])):
+            raise ModelError("utility curve values must strictly increase")
+        for __, utility in points:
+            if not 0.0 <= utility <= 1.0:
+                raise ModelError("utilities must lie in [0, 1]")
+        self.objective = objective
+        self.points: Tuple[Tuple[float, float], ...] = tuple(points)
+
+    def utility_of_value(self, value: float) -> float:
+        """Interpolate the curve at *value* (clamped at the ends)."""
+        points = self.points
+        if value <= points[0][0]:
+            return points[0][1]
+        if value >= points[-1][0]:
+            return points[-1][1]
+        for (x0, y0), (x1, y1) in zip(points, points[1:]):
+            if x0 <= value <= x1:
+                fraction = (value - x0) / (x1 - x0)
+                return y0 + fraction * (y1 - y0)
+        raise AssertionError("unreachable: curve covers the value range")
+
+    def utility(self, model: DeploymentModel,
+                deployment: Mapping[str, str]) -> float:
+        return self.utility_of_value(
+            self.objective.evaluate(model, deployment))
+
+    def __repr__(self) -> str:
+        return (f"UtilityFunction({self.objective.name}, "
+                f"{list(self.points)})")
+
+
+@dataclass
+class UserPreferences:
+    """One stakeholder's weighted utility functions.
+
+    ``satisfaction`` is the weight-normalized sum of the member utilities:
+    always in [0, 1], higher is happier.
+    """
+
+    name: str
+    entries: List[Tuple[UtilityFunction, float]] = field(default_factory=list)
+
+    def add(self, function: UtilityFunction,
+            weight: float = 1.0) -> "UserPreferences":
+        if weight <= 0.0:
+            raise ModelError("preference weights must be positive")
+        self.entries.append((function, weight))
+        return self
+
+    def satisfaction(self, model: DeploymentModel,
+                     deployment: Mapping[str, str]) -> float:
+        if not self.entries:
+            return 1.0  # no stated preferences: trivially satisfied
+        total_weight = sum(weight for __, weight in self.entries)
+        score = sum(function.utility(model, deployment) * weight
+                    for function, weight in self.entries)
+        return score / total_weight
+
+    def breakdown(self, model: DeploymentModel,
+                  deployment: Mapping[str, str]) -> Dict[str, float]:
+        return {
+            function.objective.name: function.utility(model, deployment)
+            for function, __ in self.entries
+        }
+
+
+def overall_satisfaction(users: Sequence[UserPreferences],
+                         model: DeploymentModel,
+                         deployment: Mapping[str, str]) -> float:
+    """Mean satisfaction across users — "the users' overall satisfaction"."""
+    if not users:
+        return 1.0
+    return sum(user.satisfaction(model, deployment)
+               for user in users) / len(users)
+
+
+class SatisfactionObjective(Objective):
+    """Overall user satisfaction as a first-class pluggable objective."""
+
+    name = "satisfaction"
+    direction = MAXIMIZE
+
+    def __init__(self, users: Sequence[UserPreferences]):
+        if not users:
+            raise ModelError("need at least one user's preferences")
+        self.users: Tuple[UserPreferences, ...] = tuple(users)
+
+    def evaluate(self, model: DeploymentModel,
+                 deployment: Mapping[str, str]) -> float:
+        return overall_satisfaction(self.users, model, deployment)
+
+    def least_satisfied(self, model: DeploymentModel,
+                        deployment: Mapping[str, str],
+                        ) -> Tuple[str, float]:
+        """(user, satisfaction) of the unhappiest stakeholder — the
+        fairness diagnostic an analyzer can report."""
+        scored = [(user.name, user.satisfaction(model, deployment))
+                  for user in self.users]
+        return min(scored, key=lambda pair: pair[1])
+
+
+def host_preferences_vote(preferences: UserPreferences,
+                          model: DeploymentModel,
+                          deployment: Mapping[str, str],
+                          goal: float = 0.8) -> bool:
+    """Decentralized adapter: should this host's user vote for acting now?
+
+    True when the user's current satisfaction is below *goal* — plugging
+    per-host preferences into the voting/polling protocols of
+    :mod:`repro.decentralized.voting`.
+    """
+    return preferences.satisfaction(model, deployment) < goal

@@ -1,0 +1,46 @@
+"""Decentralized instantiation of the framework (paper Section 3.2 / 5.2).
+
+No host has global knowledge or control: knowledge lives in per-host
+:class:`~repro.decentralized.sync.KnowledgeBase` objects bounded by an
+:class:`~repro.decentralized.awareness.AwarenessGraph` and synchronized by
+gossip; redeployment decisions are made by auctions
+(:mod:`repro.decentralized.auction`) and analyzer coordination uses voting
+or polling (:mod:`repro.decentralized.voting`).
+"""
+
+from repro.decentralized.agent import (
+    DecentralizedAnalyzer, DecentralizedFramework, RoundReport,
+)
+from repro.decentralized.auction import (
+    AuctionAgentComponent, AuctionRecord, agent_id,
+)
+from repro.decentralized.awareness import (
+    AwarenessGraph, from_connectivity, full_awareness, k_hop_awareness,
+    random_awareness,
+)
+from repro.decentralized.sync import Fact, KnowledgeBase, ModelSynchronizer
+from repro.decentralized.voting import (
+    PollingProtocol, PollOutcome, Voter, VoteOutcome, VotingProtocol,
+)
+
+__all__ = [
+    "AuctionAgentComponent",
+    "AuctionRecord",
+    "AwarenessGraph",
+    "DecentralizedAnalyzer",
+    "DecentralizedFramework",
+    "Fact",
+    "KnowledgeBase",
+    "ModelSynchronizer",
+    "PollOutcome",
+    "PollingProtocol",
+    "RoundReport",
+    "VoteOutcome",
+    "Voter",
+    "VotingProtocol",
+    "agent_id",
+    "from_connectivity",
+    "full_awareness",
+    "k_hop_awareness",
+    "random_awareness",
+]

@@ -1,0 +1,154 @@
+"""Awareness: each host's partial knowledge of the system.
+
+Section 5.2: "we were able to reuse the centralized model by extending it to
+include the notion of 'awareness'.  Awareness denotes the extent of each
+host's knowledge about the global system parameters."
+
+An :class:`AwarenessGraph` records, per host, the set of hosts it exchanges
+model data with.  The paper's default is physical connectivity; the builders
+below also produce the sweeps bench E5 uses (awareness fraction from "only
+direct neighbors" to "everyone"), since DecAp's solution quality as a
+function of awareness is the decentralized claim we reproduce.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set, Tuple
+
+from repro.core.errors import ModelError, UnknownEntityError
+from repro.core.model import DeploymentModel
+
+
+class AwarenessGraph:
+    """Symmetric host-awareness relation."""
+
+    def __init__(self, hosts: Iterable[str],
+                 edges: Iterable[Tuple[str, str]] = ()):
+        self._hosts: Tuple[str, ...] = tuple(sorted(set(hosts)))
+        if not self._hosts:
+            raise ModelError("awareness graph needs at least one host")
+        host_set = set(self._hosts)
+        self._aware: Dict[str, Set[str]] = {h: set() for h in self._hosts}
+        for a, b in edges:
+            if a not in host_set:
+                raise UnknownEntityError("host", a)
+            if b not in host_set:
+                raise UnknownEntityError("host", b)
+            if a != b:
+                self._aware[a].add(b)
+                self._aware[b].add(a)
+
+    # ------------------------------------------------------------------
+    @property
+    def hosts(self) -> Tuple[str, ...]:
+        return self._hosts
+
+    def aware_of(self, host: str) -> Tuple[str, ...]:
+        try:
+            return tuple(sorted(self._aware[host]))
+        except KeyError:
+            raise UnknownEntityError("host", host) from None
+
+    def are_aware(self, host_a: str, host_b: str) -> bool:
+        return host_b in self._aware.get(host_a, ())
+
+    def add(self, host_a: str, host_b: str) -> None:
+        if host_a not in self._aware:
+            raise UnknownEntityError("host", host_a)
+        if host_b not in self._aware:
+            raise UnknownEntityError("host", host_b)
+        if host_a != host_b:
+            self._aware[host_a].add(host_b)
+            self._aware[host_b].add(host_a)
+
+    def edges(self) -> Tuple[Tuple[str, str], ...]:
+        seen = set()
+        for host, peers in self._aware.items():
+            for peer in peers:
+                seen.add((host, peer) if host <= peer else (peer, host))
+        return tuple(sorted(seen))
+
+    def degree(self, host: str) -> int:
+        return len(self._aware[host])
+
+    def mean_degree(self) -> float:
+        if not self._hosts:
+            return 0.0
+        return sum(len(p) for p in self._aware.values()) / len(self._hosts)
+
+    def awareness_fraction(self) -> float:
+        """Mean fraction of *other* hosts each host is aware of (1.0 = full
+        global knowledge)."""
+        n = len(self._hosts)
+        if n <= 1:
+            return 1.0
+        return self.mean_degree() / (n - 1)
+
+    def as_map(self) -> Dict[str, Set[str]]:
+        """Mutable copy in the format :mod:`repro.algorithms.decap` takes."""
+        return {h: set(p) for h, p in self._aware.items()}
+
+    def __repr__(self) -> str:
+        return (f"AwarenessGraph(hosts={len(self._hosts)}, "
+                f"fraction={self.awareness_fraction():.2f})")
+
+
+# ---------------------------------------------------------------------------
+# Builders
+# ---------------------------------------------------------------------------
+
+def from_connectivity(model: DeploymentModel) -> AwarenessGraph:
+    """The paper's default: aware of directly connected hosts."""
+    edges = [link.hosts for link in model.physical_links]
+    return AwarenessGraph(model.host_ids, edges)
+
+
+def full_awareness(model: DeploymentModel) -> AwarenessGraph:
+    """Every host aware of every other (centralized-equivalent knowledge)."""
+    hosts = model.host_ids
+    edges = [(a, b) for i, a in enumerate(hosts) for b in hosts[i + 1:]]
+    return AwarenessGraph(hosts, edges)
+
+
+def k_hop_awareness(model: DeploymentModel, k: int) -> AwarenessGraph:
+    """Aware of hosts within *k* physical-link hops (k=1 == connectivity)."""
+    if k < 1:
+        raise ModelError("k must be >= 1")
+    hosts = model.host_ids
+    neighbors = {h: set(model.host_neighbors(h)) for h in hosts}
+    edges = []
+    for host in hosts:
+        frontier = {host}
+        reached: Set[str] = set()
+        for __ in range(k):
+            frontier = set().union(*(neighbors[f] for f in frontier)) - {host}
+            reached |= frontier
+        edges.extend((host, other) for other in reached)
+    return AwarenessGraph(hosts, edges)
+
+
+def random_awareness(model: DeploymentModel, fraction: float,
+                     seed: Optional[int] = None,
+                     include_connectivity: bool = True) -> AwarenessGraph:
+    """Awareness where each host knows ~``fraction`` of the other hosts.
+
+    Used for E5's awareness sweep.  With ``include_connectivity`` the
+    physical neighbors are always included (a host can hardly be unaware of
+    a host it has a live link to), and random extra edges are added until
+    the requested mean fraction is reached.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ModelError("fraction must be in [0, 1]")
+    rng = random.Random(seed)
+    base_edges = ([link.hosts for link in model.physical_links]
+                  if include_connectivity else [])
+    graph = AwarenessGraph(model.host_ids, base_edges)
+    hosts = list(model.host_ids)
+    all_pairs = [(a, b) for i, a in enumerate(hosts) for b in hosts[i + 1:]]
+    rng.shuffle(all_pairs)
+    for a, b in all_pairs:
+        if graph.awareness_fraction() >= fraction:
+            break
+        graph.add(a, b)
+    return graph

@@ -1,0 +1,147 @@
+"""Coordination protocols for decentralized analyzers.
+
+Section 3.1 lists "distributed voting" and "auction-based" as the
+decentralized cooperative protocols the algorithm layer must accommodate,
+and Section 5.2 says "the analyzer uses either the voting or the polling
+protocol to decide on the appropriate course of action".
+
+Both protocols here run over a set of *participants* — objects exposing the
+small :class:`Voter` interface — filtered by awareness: only hosts the
+initiator is aware of take part, so a vote in a fragmented system is
+genuinely local, with all the consequences that has for global optimality.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.errors import SynchronizationError
+from repro.decentralized.awareness import AwarenessGraph
+
+
+class Voter(ABC):
+    """A participant in voting/polling, usually a decentralized agent."""
+
+    @property
+    @abstractmethod
+    def host(self) -> str:
+        """The host this participant speaks for."""
+
+    @abstractmethod
+    def vote(self, proposal: Mapping[str, Any]) -> bool:
+        """Yes/no on a concrete proposal (VotingProtocol)."""
+
+    @abstractmethod
+    def preference(self, options: Sequence[str],
+                   context: Mapping[str, Any]) -> str:
+        """Pick the preferred option (PollingProtocol)."""
+
+
+@dataclass
+class VoteOutcome:
+    """Result of one voting round."""
+
+    proposal: Dict[str, Any]
+    initiator: str
+    yes: Tuple[str, ...]
+    no: Tuple[str, ...]
+    passed: bool
+
+    @property
+    def participation(self) -> int:
+        return len(self.yes) + len(self.no)
+
+
+class VotingProtocol:
+    """Majority (or configurable-quorum) yes/no voting among aware hosts.
+
+    The initiator always votes; ties fail (a change of deployment should
+    need a real majority).
+    """
+
+    def __init__(self, awareness: AwarenessGraph,
+                 quorum_fraction: float = 0.5):
+        if not 0.0 <= quorum_fraction <= 1.0:
+            raise SynchronizationError("quorum_fraction must be in [0,1]")
+        self.awareness = awareness
+        self.quorum_fraction = quorum_fraction
+        self.history: List[VoteOutcome] = []
+
+    def conduct(self, initiator: Voter, participants: Mapping[str, Voter],
+                proposal: Mapping[str, Any]) -> VoteOutcome:
+        eligible = [initiator.host]
+        eligible.extend(
+            h for h in self.awareness.aware_of(initiator.host)
+            if h in participants)
+        yes: List[str] = []
+        no: List[str] = []
+        for host in sorted(set(eligible)):
+            voter = participants.get(host) if host != initiator.host \
+                else initiator
+            if voter is None:
+                continue
+            (yes if voter.vote(proposal) else no).append(host)
+        passed = len(yes) > self.quorum_fraction * (len(yes) + len(no))
+        outcome = VoteOutcome(dict(proposal), initiator.host,
+                              tuple(yes), tuple(no), passed)
+        self.history.append(outcome)
+        return outcome
+
+
+@dataclass
+class PollOutcome:
+    """Result of one polling round."""
+
+    options: Tuple[str, ...]
+    initiator: str
+    choices: Dict[str, str]
+    winner: str
+
+    def tally(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {option: 0 for option in self.options}
+        for choice in self.choices.values():
+            counts[choice] = counts.get(choice, 0) + 1
+        return counts
+
+
+class PollingProtocol:
+    """Plurality polling: each aware host names its preferred option.
+
+    Ties break toward the option listed first (deterministic, and lets the
+    initiator order options by its own preference).
+    """
+
+    def __init__(self, awareness: AwarenessGraph):
+        self.awareness = awareness
+        self.history: List[PollOutcome] = []
+
+    def conduct(self, initiator: Voter, participants: Mapping[str, Voter],
+                options: Sequence[str],
+                context: Optional[Mapping[str, Any]] = None) -> PollOutcome:
+        if not options:
+            raise SynchronizationError("polling requires at least one option")
+        context = dict(context or {})
+        eligible = [initiator.host]
+        eligible.extend(
+            h for h in self.awareness.aware_of(initiator.host)
+            if h in participants)
+        choices: Dict[str, str] = {}
+        for host in sorted(set(eligible)):
+            voter = participants.get(host) if host != initiator.host \
+                else initiator
+            if voter is None:
+                continue
+            choice = voter.preference(list(options), context)
+            if choice not in options:
+                raise SynchronizationError(
+                    f"{host} voted for unknown option {choice!r}")
+            choices[host] = choice
+        counts = {option: 0 for option in options}
+        for choice in choices.values():
+            counts[choice] += 1
+        winner = max(options, key=lambda option: counts[option])
+        outcome = PollOutcome(tuple(options), initiator.host, choices, winner)
+        self.history.append(outcome)
+        return outcome

@@ -1,0 +1,44 @@
+"""DeSi reimplementation: the deployment exploration environment.
+
+Architecture after Figure 4 — a reactive Model
+(:class:`~repro.desi.systemdata.DeSiModel` holding SystemData,
+GraphViewData, AlgoResultData), a Controller
+(:class:`~repro.desi.generator.Generator`,
+:class:`~repro.desi.modifier.Modifier`,
+:class:`~repro.desi.container.AlgorithmContainer`,
+:class:`~repro.desi.adapter.MiddlewareAdapter`), and headless Views
+(:class:`~repro.desi.views.TableView`, :class:`~repro.desi.views.GraphView`).
+xADL import/export lives in :mod:`repro.desi.xadl`.
+"""
+
+from repro.desi.adapter import AdapterEffector, AdapterMonitor, MiddlewareAdapter
+from repro.desi.batch import CellResult, ExperimentReport, ExperimentRunner
+from repro.desi.container import AlgorithmContainer
+from repro.desi.generator import Generator, GeneratorConfig
+from repro.desi.modifier import Modifier
+from repro.desi.systemdata import (
+    AlgoResultData, DeSiModel, GraphStyle, GraphViewData, SystemData,
+)
+from repro.desi.views import GraphView, TableView
+from repro.desi import xadl
+
+__all__ = [
+    "AdapterEffector",
+    "AdapterMonitor",
+    "AlgoResultData",
+    "AlgorithmContainer",
+    "CellResult",
+    "DeSiModel",
+    "ExperimentReport",
+    "ExperimentRunner",
+    "Generator",
+    "GeneratorConfig",
+    "GraphStyle",
+    "GraphView",
+    "GraphViewData",
+    "MiddlewareAdapter",
+    "Modifier",
+    "SystemData",
+    "TableView",
+    "xadl",
+]

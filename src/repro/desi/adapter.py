@@ -1,0 +1,90 @@
+"""DeSi's MiddlewareAdapter: the bridge to a running system.
+
+Section 4.1: "The MiddlewareAdapter component ... provides DeSi with the
+same information from a running, real system.  MiddlewareAdapter's Monitor
+subcomponent captures the run-time data from the external
+MiddlewarePlatform and stores it inside the Model's SystemData component.
+MiddlewareAdapter's Effector subcomponent is informed by the Controller's
+AlgorithmContainer component of the calculated (improved) deployment
+architecture; in turn, the Effector issues a set of commands to the
+MiddlewarePlatform to modify the running system's deployment architecture."
+
+Section 4.3 describes the wiring we reproduce: the adapter's Monitor and
+Effector are registered against the platform's DeployerComponent — reports
+flow in through ``deployer.on_report``; redeployment commands flow out
+through the Deployer's enactment protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.algorithms.base import AlgorithmResult
+from repro.core.effector import (
+    EffectReport, MiddlewareEffector, plan_redeployment,
+)
+from repro.core.monitoring import MonitoringHub
+from repro.desi.systemdata import DeSiModel
+from repro.middleware.runtime import DistributedSystem
+
+
+class AdapterMonitor:
+    """Monitor subcomponent: deployer reports -> DeSi's SystemData model."""
+
+    def __init__(self, desi: DeSiModel, system: DistributedSystem,
+                 epsilon: float = 0.05, window: int = 3):
+        self.desi = desi
+        self.system = system
+        self.hub = MonitoringHub(desi.deployment_model, epsilon=epsilon,
+                                 window=window)
+        self.reports_received = 0
+        system.deployer.on_report = self._on_report
+
+    def _on_report(self, host: str, report: Dict[str, Any]) -> None:
+        self.reports_received += 1
+        self.hub.ingest(host, report)
+
+    def close_interval(self) -> int:
+        """Finish a monitoring window; returns model updates applied.
+
+        The master host's own data is pulled directly (it does not send
+        itself events).
+        """
+        master = self.system.master_host
+        if master is not None:
+            self.hub.ingest(master,
+                            self.system.deployer.collect_report())
+        return len(self.hub.process_interval())
+
+
+class AdapterEffector:
+    """Effector subcomponent: selected results -> platform commands."""
+
+    def __init__(self, desi: DeSiModel, system: DistributedSystem):
+        self.desi = desi
+        self.system = system
+        self._effector = MiddlewareEffector(system)
+
+    def effect_result(self, result: AlgorithmResult) -> EffectReport:
+        """Issue the commands realizing *result*'s deployment."""
+        plan = plan_redeployment(self.desi.deployment_model,
+                                 result.deployment)
+        return self._effector.effect(plan)
+
+
+class MiddlewareAdapter:
+    """The complete adapter (Monitor + Effector subcomponents)."""
+
+    def __init__(self, desi: DeSiModel, system: DistributedSystem,
+                 epsilon: float = 0.05, window: int = 3):
+        self.desi = desi
+        self.system = system
+        self.monitor = AdapterMonitor(desi, system, epsilon, window)
+        self.effector = AdapterEffector(desi, system)
+
+    def sync_from_platform(self) -> int:
+        """One monitoring interval's worth of model updates."""
+        return self.monitor.close_interval()
+
+    def deploy_to_platform(self, result: AlgorithmResult) -> EffectReport:
+        return self.effector.effect_result(result)

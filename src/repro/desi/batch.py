@@ -1,0 +1,173 @@
+"""Batch experimentation over generated architectures.
+
+Section 4.1: DeSi's Generator/Modifier/AlgorithmContainer "allow DeSi to be
+used to automatically generate and manipulate large numbers of hypothetical
+deployment architectures".  :class:`ExperimentRunner` packages that
+workflow: a sweep over architecture families x algorithms, with aggregate
+statistics per cell — the machinery behind this repository's benchmark
+tables, exposed as a public API so downstream users can run their own
+comparisons.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.algorithms.base import DeploymentAlgorithm
+from repro.core.errors import AlgorithmError, ReproError
+from repro.core.model import DeploymentModel
+from repro.core.objectives import Objective
+from repro.desi.generator import Generator, GeneratorConfig
+
+AlgorithmFactory = Callable[[], DeploymentAlgorithm]
+
+
+@dataclass
+class CellResult:
+    """Aggregate outcome of one (family, algorithm) experiment cell."""
+
+    family: str
+    algorithm: str
+    runs: int
+    failures: int
+    mean_value: Optional[float]
+    stdev_value: Optional[float]
+    mean_initial: float
+    mean_elapsed: float
+    mean_moves: float
+
+    @property
+    def mean_improvement(self) -> Optional[float]:
+        if self.mean_value is None:
+            return None
+        return self.mean_value - self.mean_initial
+
+
+@dataclass
+class ExperimentReport:
+    """All cells of one sweep, with table rendering."""
+
+    objective_name: str
+    cells: List[CellResult] = field(default_factory=list)
+
+    def cell(self, family: str, algorithm: str) -> CellResult:
+        for candidate in self.cells:
+            if candidate.family == family and candidate.algorithm == algorithm:
+                return candidate
+        raise KeyError((family, algorithm))
+
+    def best_algorithm(self, family: str,
+                       direction: str = "max") -> Optional[str]:
+        candidates = [c for c in self.cells
+                      if c.family == family and c.mean_value is not None]
+        if not candidates:
+            return None
+        if direction == "max":
+            return max(candidates, key=lambda c: c.mean_value).algorithm
+        return min(candidates, key=lambda c: c.mean_value).algorithm
+
+    def rows(self) -> List[Tuple]:
+        return [
+            (cell.family, cell.algorithm, cell.runs - cell.failures,
+             cell.mean_initial,
+             cell.mean_value if cell.mean_value is not None else "-",
+             cell.mean_elapsed * 1000.0, cell.mean_moves)
+            for cell in self.cells
+        ]
+
+    def render(self) -> str:
+        headers = ["family", "algorithm", "ok runs", "initial",
+                   self.objective_name, "time (ms)", "moves"]
+        formatted = [
+            [f"{v:.4f}" if isinstance(v, float) else str(v) for v in row]
+            for row in self.rows()
+        ]
+        widths = [len(h) for h in headers]
+        for row in formatted:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [
+            " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+            "-+-".join("-" * w for w in widths),
+        ]
+        lines += [" | ".join(c.ljust(w) for c, w in zip(row, widths))
+                  for row in formatted]
+        return "\n".join(lines)
+
+
+class ExperimentRunner:
+    """Sweep architecture families against an algorithm suite.
+
+    Args:
+        objective: Objective every algorithm run is scored against.
+        algorithms: Name -> factory; a fresh algorithm instance is built
+            per run so internal RNG state never leaks across runs.
+        replicates: Architectures generated per family.
+        seed: Base seed; family i, replicate j uses ``seed + i*1000 + j``.
+    """
+
+    def __init__(self, objective: Objective,
+                 algorithms: Dict[str, AlgorithmFactory],
+                 replicates: int = 5, seed: int = 0):
+        if not algorithms:
+            raise ReproError("need at least one algorithm")
+        if replicates < 1:
+            raise ReproError("replicates must be >= 1")
+        self.objective = objective
+        self.algorithms = dict(algorithms)
+        self.replicates = replicates
+        self.seed = seed
+
+    def run(self, families: Dict[str, GeneratorConfig]) -> ExperimentReport:
+        """Execute the sweep; returns per-cell aggregates."""
+        report = ExperimentReport(self.objective.name)
+        for family_index, (family, config) in enumerate(
+                sorted(families.items())):
+            models = [
+                Generator(config,
+                          seed=self.seed + family_index * 1000 + j
+                          ).generate(f"{family}-{j}")
+                for j in range(self.replicates)
+            ]
+            initials = [self.objective.evaluate(m, m.deployment)
+                        for m in models]
+            for algorithm_name in sorted(self.algorithms):
+                report.cells.append(self._run_cell(
+                    family, algorithm_name, models, initials))
+        return report
+
+    def _run_cell(self, family: str, algorithm_name: str,
+                  models: Sequence[DeploymentModel],
+                  initials: Sequence[float]) -> CellResult:
+        values: List[float] = []
+        elapsed: List[float] = []
+        moves: List[float] = []
+        failures = 0
+        for model in models:
+            algorithm = self.algorithms[algorithm_name]()
+            try:
+                result = algorithm.run(model.copy())
+            except AlgorithmError:
+                failures += 1
+                continue
+            if not result.valid:
+                failures += 1
+                continue
+            values.append(result.value)
+            elapsed.append(result.elapsed)
+            moves.append(result.moves_from_initial)
+        return CellResult(
+            family=family,
+            algorithm=algorithm_name,
+            runs=len(models),
+            failures=failures,
+            mean_value=statistics.mean(values) if values else None,
+            stdev_value=(statistics.stdev(values)
+                         if len(values) > 1 else 0.0 if values else None),
+            mean_initial=statistics.mean(initials),
+            mean_elapsed=statistics.mean(elapsed) if elapsed else 0.0,
+            mean_moves=statistics.mean(moves) if moves else 0.0,
+        )

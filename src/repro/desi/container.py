@@ -1,0 +1,69 @@
+"""DeSi's AlgorithmContainer: pluggable algorithm invocation.
+
+Section 4.1: "the AlgorithmContainer component invokes the selected
+redeployment algorithms ... and updates the Model's AlgoResultData.  In
+each case, the ... components also inform the View subsystem that the Model
+has been modified."
+
+Section 4.3 adds the meta-level API the Analyzer uses: "The API allows for
+addition and removal of algorithms, modification of the model, and access
+to DeSi's internal data structure that holds the results of executing
+algorithms."
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.algorithms.base import AlgorithmResult, DeploymentAlgorithm
+from repro.core.effector import plan_redeployment
+from repro.core.errors import AnalyzerError
+from repro.desi.systemdata import DeSiModel
+
+AlgorithmFactory = Callable[[], DeploymentAlgorithm]
+
+
+class AlgorithmContainer:
+    """Registry + runner for deployment estimation algorithms."""
+
+    def __init__(self, desi: DeSiModel):
+        self.desi = desi
+        self._factories: Dict[str, AlgorithmFactory] = {}
+
+    # -- the meta-level API (add/remove/query) ------------------------------
+    def register(self, name: str, factory: AlgorithmFactory) -> None:
+        if name in self._factories:
+            raise AnalyzerError(f"algorithm {name!r} already registered")
+        self._factories[name] = factory
+
+    def unregister(self, name: str) -> None:
+        if name not in self._factories:
+            raise AnalyzerError(f"algorithm {name!r} is not registered")
+        del self._factories[name]
+
+    @property
+    def algorithm_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._factories))
+
+    # -- invocation ------------------------------------------------------------
+    def invoke(self, name: str) -> AlgorithmResult:
+        """Run one registered algorithm against the current model and record
+        its outcome (including the effecting-time estimate) in
+        AlgoResultData."""
+        factory = self._factories.get(name)
+        if factory is None:
+            raise AnalyzerError(f"algorithm {name!r} is not registered")
+        model = self.desi.deployment_model
+        result = factory().run(model)
+        plan = plan_redeployment(model, result.deployment)
+        self.desi.results.record(result, effect_estimate=plan.estimated_time)
+        return result
+
+    def invoke_all(self) -> List[AlgorithmResult]:
+        """Run every registered algorithm (DeSi's Algorithms panel buttons,
+        pressed in order)."""
+        return [self.invoke(name) for name in self.algorithm_names]
+
+    def results(self) -> List[AlgorithmResult]:
+        """Access to the result store (part of the meta-level API)."""
+        return list(self.desi.results.results)

@@ -1,0 +1,210 @@
+"""DeSi's Generator: random deployment architectures from parameter ranges.
+
+Section 4.1: "The Generator component takes as its input the desired number
+of hardware hosts, software components, and a set of ranges for system
+parameters (e.g., minimum and maximum network reliability, component
+interaction frequency, available memory, and so on).  Based on this
+information, Generator creates a specific deployment architecture that
+satisfies the given input ... The above components allow DeSi to be used to
+automatically generate and manipulate large numbers of hypothetical
+deployment architectures."
+
+The generator guarantees a *feasible* starting point: total host memory
+comfortably exceeds total component memory (controlled by
+``memory_headroom``) and the initial deployment satisfies the memory
+constraint, so every algorithm starts from a valid configuration.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.errors import ModelError
+from repro.core.model import DeploymentModel
+
+
+@dataclass
+class GeneratorConfig:
+    """Parameter ranges for architecture generation (DeSi's input form)."""
+
+    hosts: int = 4
+    components: int = 10
+    # Inclusive (low, high) ranges.
+    host_memory: Tuple[float, float] = (50.0, 150.0)
+    component_memory: Tuple[float, float] = (2.0, 10.0)
+    reliability: Tuple[float, float] = (0.3, 1.0)
+    bandwidth: Tuple[float, float] = (30.0, 300.0)
+    delay: Tuple[float, float] = (0.001, 0.05)
+    frequency: Tuple[float, float] = (1.0, 10.0)
+    evt_size: Tuple[float, float] = (0.1, 4.0)
+    #: Probability that any host pair has a physical link (a spanning tree
+    #: is always added first, so the network is connected).
+    physical_density: float = 1.0
+    #: Probability that any component pair interacts.
+    logical_density: float = 0.35
+    #: Total host memory is at least this multiple of total component
+    #: memory (regenerated host memories enforce it).
+    memory_headroom: float = 1.5
+    host_prefix: str = "h"
+    component_prefix: str = "c"
+
+    def validate(self) -> None:
+        if self.hosts < 1:
+            raise ModelError("need at least one host")
+        if self.components < 1:
+            raise ModelError("need at least one component")
+        for name in ("host_memory", "component_memory", "reliability",
+                     "bandwidth", "delay", "frequency", "evt_size"):
+            low, high = getattr(self, name)
+            if low > high:
+                raise ModelError(f"range {name} is inverted: {low} > {high}")
+        if not 0.0 <= self.physical_density <= 1.0:
+            raise ModelError("physical_density must be in [0,1]")
+        if not 0.0 <= self.logical_density <= 1.0:
+            raise ModelError("logical_density must be in [0,1]")
+        if self.memory_headroom < 1.0:
+            raise ModelError("memory_headroom must be >= 1.0 for feasibility")
+
+
+class Generator:
+    """Produces random-but-feasible :class:`DeploymentModel` instances."""
+
+    def __init__(self, config: Optional[GeneratorConfig] = None,
+                 seed: Optional[int] = None):
+        self.config = config if config is not None else GeneratorConfig()
+        self.config.validate()
+        self.rng = random.Random(seed)
+
+    def _uniform(self, bounds: Tuple[float, float]) -> float:
+        return self.rng.uniform(*bounds)
+
+    # ------------------------------------------------------------------
+    def generate(self, name: str = "generated") -> DeploymentModel:
+        """One random architecture with a valid initial deployment."""
+        config = self.config
+        model = DeploymentModel(name=name)
+        host_ids = [f"{config.host_prefix}{i}" for i in range(config.hosts)]
+        component_ids = [f"{config.component_prefix}{i}"
+                         for i in range(config.components)]
+
+        component_memories = {
+            c: self._uniform(config.component_memory) for c in component_ids
+        }
+        total_component_memory = sum(component_memories.values())
+
+        # Host memories: drawn from the range, then scaled up if the
+        # headroom requirement is not met.
+        host_memories = {
+            h: self._uniform(config.host_memory) for h in host_ids
+        }
+        total_host_memory = sum(host_memories.values())
+        required = total_component_memory * config.memory_headroom
+        if total_host_memory < required:
+            scale = required / total_host_memory
+            host_memories = {h: m * scale for h, m in host_memories.items()}
+
+        for host_id in host_ids:
+            model.add_host(host_id, memory=host_memories[host_id])
+        for component_id in component_ids:
+            model.add_component(component_id,
+                                memory=component_memories[component_id])
+
+        # Physical topology: random spanning tree for connectivity, then
+        # extra links per density.
+        shuffled = list(host_ids)
+        self.rng.shuffle(shuffled)
+        for index in range(1, len(shuffled)):
+            attach_to = shuffled[self.rng.randrange(index)]
+            self._add_physical(model, shuffled[index], attach_to)
+        for i, host_a in enumerate(host_ids):
+            for host_b in host_ids[i + 1:]:
+                if model.physical_link(host_a, host_b) is not None:
+                    continue
+                if self.rng.random() < self.config.physical_density:
+                    self._add_physical(model, host_a, host_b)
+
+        # Logical topology.
+        for i, comp_a in enumerate(component_ids):
+            for comp_b in component_ids[i + 1:]:
+                if self.rng.random() < self.config.logical_density:
+                    model.connect_components(
+                        comp_a, comp_b,
+                        frequency=self._uniform(config.frequency),
+                        evt_size=self._uniform(config.evt_size))
+
+        self._initial_deployment(model, host_ids, component_ids)
+        return model
+
+    def _add_physical(self, model: DeploymentModel, host_a: str,
+                      host_b: str) -> None:
+        model.connect_hosts(
+            host_a, host_b,
+            reliability=self._uniform(self.config.reliability),
+            bandwidth=self._uniform(self.config.bandwidth),
+            delay=self._uniform(self.config.delay))
+
+    def _initial_deployment(self, model: DeploymentModel,
+                            host_ids, component_ids) -> None:
+        """Random memory-feasible placement.
+
+        Tries random first-fit a few times (maximally random starts); under
+        tight headroom random orders can fragment capacity, so it falls back
+        to best-fit-decreasing with random tie-jitter, which succeeds
+        whenever a reasonably-balanced packing exists.
+        """
+        for __ in range(10):
+            placement = self._first_fit_random(model, host_ids, component_ids)
+            if placement is not None:
+                break
+        else:
+            placement = self._best_fit_decreasing(model, host_ids,
+                                                  component_ids)
+        if placement is None:
+            raise ModelError(
+                "generator could not place all components; "
+                "increase memory_headroom")
+        for component_id, host_id in placement.items():
+            model.deploy(component_id, host_id)
+
+    def _first_fit_random(self, model, host_ids, component_ids):
+        remaining = {h: model.host(h).memory for h in host_ids}
+        order = list(component_ids)
+        self.rng.shuffle(order)
+        placement = {}
+        for component_id in order:
+            need = model.component(component_id).memory
+            candidates = list(host_ids)
+            self.rng.shuffle(candidates)
+            for host_id in candidates:
+                if remaining[host_id] >= need:
+                    placement[component_id] = host_id
+                    remaining[host_id] -= need
+                    break
+            else:
+                return None
+        return placement
+
+    def _best_fit_decreasing(self, model, host_ids, component_ids):
+        remaining = {h: model.host(h).memory for h in host_ids}
+        order = sorted(component_ids,
+                       key=lambda c: -model.component(c).memory)
+        placement = {}
+        for component_id in order:
+            need = model.component(component_id).memory
+            viable = [h for h in host_ids if remaining[h] >= need]
+            if not viable:
+                return None
+            # Most remaining capacity first (balanced), random tie-break.
+            host_id = max(viable,
+                          key=lambda h: (remaining[h], self.rng.random()))
+            placement[component_id] = host_id
+            remaining[host_id] -= need
+        return placement
+
+    def generate_many(self, count: int,
+                      name_prefix: str = "generated") -> Tuple[DeploymentModel, ...]:
+        """A batch of architectures (benches average over these)."""
+        return tuple(self.generate(f"{name_prefix}-{index}")
+                     for index in range(count))

@@ -1,0 +1,120 @@
+"""DeSi's Modifier: fine-grained, undoable tuning of an architecture.
+
+Section 4.1: "The Modifier component allows fine-grain tuning of the
+generated deployment architecture (e.g., by altering a single network
+link's reliability, a single component's required memory, and so on)."
+
+Every mutation is recorded with its inverse, so an architect exploring a
+what-if ("assess a system's sensitivity to changes in specific parameters",
+Section 4.3) can back out of it — the programmatic equivalent of DeSi's
+interactive property sheet plus drag-and-drop exploration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.core.errors import ModelError
+from repro.desi.systemdata import DeSiModel
+
+
+@dataclass
+class _Edit:
+    description: str
+    undo: Callable[[], None]
+
+
+class Modifier:
+    """Undoable edits against the DeSi model's deployment model."""
+
+    def __init__(self, desi: DeSiModel):
+        self.desi = desi
+        self._undo_stack: List[_Edit] = []
+
+    @property
+    def model(self):
+        return self.desi.deployment_model
+
+    # ------------------------------------------------------------------
+    def set_link_reliability(self, host_a: str, host_b: str,
+                             value: float) -> None:
+        link = self.model.physical_link(host_a, host_b)
+        if link is None:
+            raise ModelError(f"no physical link {host_a}<->{host_b}")
+        old = link.params.get("reliability")
+        self.model.set_physical_link_param(host_a, host_b, "reliability",
+                                           value)
+        self._push(f"reliability({host_a},{host_b}) {old} -> {value}",
+                   lambda: self.model.set_physical_link_param(
+                       host_a, host_b, "reliability", old))
+
+    def set_link_bandwidth(self, host_a: str, host_b: str,
+                           value: float) -> None:
+        link = self.model.physical_link(host_a, host_b)
+        if link is None:
+            raise ModelError(f"no physical link {host_a}<->{host_b}")
+        old = link.params.get("bandwidth")
+        self.model.set_physical_link_param(host_a, host_b, "bandwidth", value)
+        self._push(f"bandwidth({host_a},{host_b}) {old} -> {value}",
+                   lambda: self.model.set_physical_link_param(
+                       host_a, host_b, "bandwidth", old))
+
+    def set_host_memory(self, host: str, value: float) -> None:
+        old = self.model.host(host).params.get("memory")
+        self.model.set_host_param(host, "memory", value)
+        self._push(f"memory({host}) {old} -> {value}",
+                   lambda: self.model.set_host_param(host, "memory", old))
+
+    def set_component_memory(self, component: str, value: float) -> None:
+        old = self.model.component(component).params.get("memory")
+        self.model.set_component_param(component, "memory", value)
+        self._push(f"memory({component}) {old} -> {value}",
+                   lambda: self.model.set_component_param(
+                       component, "memory", old))
+
+    def set_interaction_frequency(self, comp_a: str, comp_b: str,
+                                  value: float) -> None:
+        link = self.model.logical_link(comp_a, comp_b)
+        if link is None:
+            raise ModelError(f"no logical link {comp_a}<->{comp_b}")
+        old = link.params.get("frequency")
+        self.model.set_logical_link_param(comp_a, comp_b, "frequency", value)
+        self._push(f"frequency({comp_a},{comp_b}) {old} -> {value}",
+                   lambda: self.model.set_logical_link_param(
+                       comp_a, comp_b, "frequency", old))
+
+    def move_component(self, component: str, host: str) -> None:
+        """Drag-and-drop: manually re-deploy a component (Section 4.3:
+        'Components can also be dragged-and-dropped from one host to
+        another')."""
+        old = self.model.deployment.get(component)
+        self.model.deploy(component, host)
+        if old is not None:
+            self._push(f"move {component} {old} -> {host}",
+                       lambda: self.model.deploy(component, old))
+        else:
+            self._push(f"deploy {component} -> {host}",
+                       lambda: self.model.undeploy(component))
+
+    # ------------------------------------------------------------------
+    def _push(self, description: str, undo: Callable[[], None]) -> None:
+        self._undo_stack.append(_Edit(description, undo))
+
+    @property
+    def edits(self) -> Tuple[str, ...]:
+        return tuple(edit.description for edit in self._undo_stack)
+
+    def undo(self) -> Optional[str]:
+        """Revert the most recent edit; returns its description."""
+        if not self._undo_stack:
+            return None
+        edit = self._undo_stack.pop()
+        edit.undo()
+        return edit.description
+
+    def undo_all(self) -> int:
+        count = 0
+        while self.undo() is not None:
+            count += 1
+        return count

@@ -1,0 +1,197 @@
+"""DeSi's Model subsystem: SystemData, GraphViewData, AlgoResultData.
+
+Figure 4: "The Model currently captures three different system aspects in
+its three components: SystemData, GraphViewData, and AlgoResultData."  The
+Model is "reactive and accessible to the Controller via a simple API" — here
+reactivity means registered view callbacks fire whenever a Controller
+component (Generator, Modifier, AlgorithmContainer, MiddlewareAdapter)
+changes the data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.algorithms.base import AlgorithmResult
+from repro.core.model import DeploymentModel
+
+# View callbacks receive (aspect, detail) where aspect names the Model part
+# that changed ("system", "graph", "results").
+ViewCallback = Callable[[str, Dict[str, Any]], None]
+
+
+class SystemData:
+    """The software system itself: architecture constructs and parameters.
+
+    Wraps the shared :class:`DeploymentModel` and relays its change events
+    to DeSi's views, making the model reactive in the MVC sense.
+    """
+
+    def __init__(self, model: Optional[DeploymentModel] = None):
+        self.model = model if model is not None else DeploymentModel()
+        self._views: List[ViewCallback] = []
+        self.model.add_listener(self._on_model_event)
+
+    def replace_model(self, model: DeploymentModel) -> None:
+        self.model.remove_listener(self._on_model_event)
+        self.model = model
+        self.model.add_listener(self._on_model_event)
+        self._notify("system", {"event": "model_replaced"})
+
+    # -- reactivity -----------------------------------------------------------
+    def add_view(self, callback: ViewCallback) -> None:
+        self._views.append(callback)
+
+    def remove_view(self, callback: ViewCallback) -> None:
+        self._views.remove(callback)
+
+    def _on_model_event(self, event: str, payload: Dict[str, Any]) -> None:
+        self._notify("system", {"event": event, **payload})
+
+    def _notify(self, aspect: str, detail: Dict[str, Any]) -> None:
+        for view in tuple(self._views):
+            view(aspect, detail)
+
+    # -- the "simple API" used by Controller components --------------------
+    def summary(self) -> Dict[str, Any]:
+        return self.model.stats()
+
+
+@dataclass
+class GraphStyle:
+    """Graphical properties of one depicted element (Fig. 4's 'color,
+    shape, border thickness' and layout attributes)."""
+
+    color: str = "white"
+    shape: str = "box"
+    border: int = 1
+    x: float = 0.0
+    y: float = 0.0
+    movable: bool = True
+
+
+class GraphViewData:
+    """Visualization state: styles and layout for hosts/components/links.
+
+    "Hosts are depicted as white boxes while software components are
+    depicted as shaded boxes" (Section 4's description of Figure 10); those
+    are the defaults assigned by :meth:`sync_entities`.
+    """
+
+    HOST_STYLE = GraphStyle(color="white", shape="box", border=2)
+    COMPONENT_STYLE = GraphStyle(color="gray", shape="box", border=1)
+
+    def __init__(self, system: SystemData):
+        self.system = system
+        self.host_styles: Dict[str, GraphStyle] = {}
+        self.component_styles: Dict[str, GraphStyle] = {}
+        self._views: List[ViewCallback] = []
+        self.zoom: float = 1.0
+        self.sync_entities()
+
+    def add_view(self, callback: ViewCallback) -> None:
+        self._views.append(callback)
+
+    def _notify(self, detail: Dict[str, Any]) -> None:
+        for view in tuple(self._views):
+            view("graph", detail)
+
+    def sync_entities(self) -> None:
+        """Give every model entity a style; lay hosts on a circle."""
+        model = self.system.model
+        import math
+        hosts = model.host_ids
+        for index, host_id in enumerate(hosts):
+            if host_id not in self.host_styles:
+                angle = 2 * math.pi * index / max(len(hosts), 1)
+                self.host_styles[host_id] = GraphStyle(
+                    color="white", shape="box", border=2,
+                    x=round(100 * math.cos(angle), 2),
+                    y=round(100 * math.sin(angle), 2))
+        for component_id in model.component_ids:
+            if component_id not in self.component_styles:
+                self.component_styles[component_id] = GraphStyle(
+                    color="gray", shape="box", border=1)
+        self._notify({"event": "synced"})
+
+    def set_zoom(self, zoom: float) -> None:
+        if zoom <= 0:
+            raise ValueError("zoom must be positive")
+        self.zoom = zoom
+        self._notify({"event": "zoom", "zoom": zoom})
+
+    def move_host(self, host_id: str, x: float, y: float) -> None:
+        style = self.host_styles[host_id]
+        if not style.movable:
+            return
+        style.x, style.y = x, y
+        self._notify({"event": "moved", "host": host_id})
+
+
+class AlgoResultData:
+    """Captured outcomes of deployment estimation algorithms.
+
+    "AlgoResultData provides a set of facilities for capturing the outcomes
+    of the different deployment estimation algorithms: estimated deployment
+    architectures (in terms of component-host pairs), achieved availability,
+    algorithm's running time, estimated time to effect a redeployment, and
+    so on." (Section 4.1)
+    """
+
+    def __init__(self):
+        self.results: List[AlgorithmResult] = []
+        #: Per-result estimated effecting time, parallel to ``results``.
+        self.effect_estimates: List[float] = []
+        self._views: List[ViewCallback] = []
+
+    def add_view(self, callback: ViewCallback) -> None:
+        self._views.append(callback)
+
+    def record(self, result: AlgorithmResult,
+               effect_estimate: float = 0.0) -> None:
+        self.results.append(result)
+        self.effect_estimates.append(effect_estimate)
+        for view in tuple(self._views):
+            view("results", {"event": "recorded",
+                             "algorithm": result.algorithm})
+
+    def latest(self) -> Optional[AlgorithmResult]:
+        return self.results[-1] if self.results else None
+
+    def best(self, objective) -> Optional[AlgorithmResult]:
+        """Best valid result under *objective*'s direction."""
+        valid = [r for r in self.results if r.valid
+                 and r.objective == objective.name]
+        if not valid:
+            return None
+        return max(valid, key=lambda r: (r.value if objective.direction == "max"
+                                         else -r.value))
+
+    def clear(self) -> None:
+        self.results.clear()
+        self.effect_estimates.clear()
+        for view in tuple(self._views):
+            view("results", {"event": "cleared"})
+
+    def table_rows(self) -> List[Tuple[str, str, float, bool, float, int, float]]:
+        """Rows for DeSi's Results panel: (algorithm, objective, value,
+        valid, elapsed, moves, effect estimate)."""
+        return [
+            (r.algorithm, r.objective, r.value, r.valid, r.elapsed,
+             r.moves_from_initial, estimate)
+            for r, estimate in zip(self.results, self.effect_estimates)
+        ]
+
+
+class DeSiModel:
+    """The complete DeSi Model subsystem (Figure 4's left box)."""
+
+    def __init__(self, model: Optional[DeploymentModel] = None):
+        self.system = SystemData(model)
+        self.graph = GraphViewData(self.system)
+        self.results = AlgoResultData()
+
+    @property
+    def deployment_model(self) -> DeploymentModel:
+        return self.system.model

@@ -1,0 +1,220 @@
+"""DeSi's View subsystem — headless TableView and GraphView.
+
+Section 4.1: "The current architecture of the View subsystem contains two
+components — GraphView and TableView.  GraphView is used to depict the
+information provided by the Model's GraphViewData component.  TableView is
+intended to support a detailed layout of system parameters and deployment
+estimation algorithms captured in the Model's SystemData and AlgoResultData
+components."
+
+The substitution (DESIGN.md §2): the original views are Eclipse/SWT
+widgets; ours render the same content as plain text (the Figure 9 tables)
+and Graphviz DOT (the Figure 10 graph), so every datum the screenshots show
+is produced programmatically and can be asserted in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.desi.systemdata import DeSiModel
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == float("inf"):
+            return "inf"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _render_table(headers: Sequence[str],
+                  rows: Iterable[Sequence[Any]]) -> str:
+    """Fixed-width text table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(width)
+                          for cell, width in zip(cells, widths))
+    out = [line(list(headers)), "-+-".join("-" * w for w in widths)]
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+class TableView:
+    """Figure 9's tabular page: Parameters, Constraints, Results panels."""
+
+    def __init__(self, desi: DeSiModel):
+        self.desi = desi
+        self.refreshes = 0
+        desi.system.add_view(self._on_change)
+        desi.results.add_view(self._on_change)
+
+    def _on_change(self, aspect: str, detail: Dict[str, Any]) -> None:
+        # A real widget would repaint; we count the pulls (Section 4.1:
+        # "the View pulls the modified data from the Model").
+        self.refreshes += 1
+
+    # -- panels --------------------------------------------------------------
+    def hosts_panel(self) -> str:
+        model = self.desi.deployment_model
+        rows = []
+        deployment = model.deployment
+        for host in model.hosts:
+            rows.append([
+                host.id, host.params.get("memory"),
+                model.memory_used(host.id),
+                ",".join(deployment.components_on(host.id)) or "-",
+            ])
+        return _render_table(
+            ["host", "memory", "used", "components"], rows)
+
+    def components_panel(self) -> str:
+        model = self.desi.deployment_model
+        deployment = model.deployment
+        rows = [
+            [component.id, component.params.get("memory"),
+             deployment.get(component.id, "-")]
+            for component in model.components
+        ]
+        return _render_table(["component", "memory", "host"], rows)
+
+    def links_panel(self) -> str:
+        model = self.desi.deployment_model
+        rows = [
+            [f"{link.hosts[0]}<->{link.hosts[1]}",
+             link.params.get("reliability"), link.params.get("bandwidth"),
+             link.params.get("delay"), link.params.get("connected")]
+            for link in model.physical_links
+        ]
+        return _render_table(
+            ["physical link", "reliability", "bandwidth", "delay", "up"],
+            rows)
+
+    def interactions_panel(self) -> str:
+        model = self.desi.deployment_model
+        rows = [
+            [f"{link.components[0]}<->{link.components[1]}",
+             link.params.get("frequency"), link.params.get("evt_size")]
+            for link in model.logical_links
+        ]
+        return _render_table(
+            ["logical link", "frequency", "evt size"], rows)
+
+    def constraints_panel(self) -> str:
+        model = self.desi.deployment_model
+        if not model.constraints:
+            return "(no constraints)"
+        return "\n".join(f"- {constraint!r}"
+                         for constraint in model.constraints)
+
+    def results_panel(self) -> str:
+        rows = self.desi.results.table_rows()
+        if not rows:
+            return "(no results)"
+        return _render_table(
+            ["algorithm", "objective", "value", "valid", "time (s)",
+             "moves", "effect est (s)"],
+            rows)
+
+    def render(self) -> str:
+        """The full Figure-9 page."""
+        sections = [
+            ("PARAMETERS / hosts", self.hosts_panel()),
+            ("PARAMETERS / components", self.components_panel()),
+            ("PARAMETERS / physical links", self.links_panel()),
+            ("PARAMETERS / logical links", self.interactions_panel()),
+            ("CONSTRAINTS", self.constraints_panel()),
+            ("RESULTS", self.results_panel()),
+        ]
+        out = []
+        for title, body in sections:
+            out.append(f"=== {title} ===")
+            out.append(body)
+            out.append("")
+        return "\n".join(out)
+
+
+class GraphView:
+    """Figure 10's graphical page, rendered as text and DOT.
+
+    "Hosts are depicted as white boxes while software components are
+    depicted as shaded boxes.  The solid black lines between hosts
+    represent physical (network) links and the thin black lines between
+    components represent logical (software) links."
+    """
+
+    def __init__(self, desi: DeSiModel):
+        self.desi = desi
+        self.refreshes = 0
+        desi.graph.add_view(self._on_change)
+
+    def _on_change(self, aspect: str, detail: Dict[str, Any]) -> None:
+        self.refreshes += 1
+
+    def render_text(self) -> str:
+        """Containment view: each host box listing its components."""
+        model = self.desi.deployment_model
+        deployment = model.deployment
+        out: List[str] = []
+        for host in model.hosts:
+            members = deployment.components_on(host.id)
+            out.append(f"[{host.id}]")
+            for component_id in members:
+                out.append(f"  ({component_id})")
+            if not members:
+                out.append("  (empty)")
+        out.append("")
+        out.append("physical links:")
+        for link in model.physical_links:
+            state = "" if link.params.get("connected") else "  DOWN"
+            out.append(f"  {link.hosts[0]} === {link.hosts[1]} "
+                       f"(rel={_fmt(link.params.get('reliability'))}){state}")
+        out.append("logical links:")
+        for link in model.logical_links:
+            out.append(f"  {link.components[0]} --- {link.components[1]} "
+                       f"(freq={_fmt(link.params.get('frequency'))})")
+        return "\n".join(out)
+
+    def render_dot(self) -> str:
+        """Graphviz DOT with hosts as white clusters, components shaded."""
+        model = self.desi.deployment_model
+        graph = self.desi.graph
+        deployment = model.deployment
+        lines = ["graph deployment {", "  compound=true;"]
+        for index, host in enumerate(model.hosts):
+            style = graph.host_styles.get(host.id)
+            color = style.color if style else "white"
+            lines.append(f'  subgraph cluster_{index} {{')
+            lines.append(f'    label="{host.id}"; style=filled; '
+                         f'fillcolor={color};')
+            members = deployment.components_on(host.id)
+            for component_id in members:
+                comp_style = graph.component_styles.get(component_id)
+                comp_color = comp_style.color if comp_style else "gray"
+                lines.append(f'    "{component_id}" [shape=box, '
+                             f'style=filled, fillcolor={comp_color}];')
+            if not members:
+                lines.append(f'    "__{host.id}_anchor" [style=invis];')
+            lines.append("  }")
+        for link in model.logical_links:
+            a, b = link.components
+            lines.append(f'  "{a}" -- "{b}" [style=dashed, '
+                         f'label="{_fmt(link.params.get("frequency"))}"];')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def thumbnail(self) -> str:
+        """The zoomed-out overview (component counts per host)."""
+        model = self.desi.deployment_model
+        deployment = model.deployment
+        cells = [
+            f"{host.id}:{len(deployment.components_on(host.id))}"
+            for host in model.hosts
+        ]
+        return "[" + " | ".join(cells) + "]"

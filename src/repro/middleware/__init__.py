@@ -1,0 +1,71 @@
+"""Prism-MW reimplementation: the paper's implementation platform.
+
+Class model after Figure 5: :class:`Brick` and its subclasses
+(:class:`Architecture`, :class:`Component`, :class:`Connector`), events
+routed by connectors and dispatched by pluggable :class:`Scaffold`
+implementations, :class:`DistributionConnector` spanning address spaces,
+``IMonitor`` probes (:class:`EvtFrequencyMonitor`,
+:class:`NetworkReliabilityMonitor`), and the meta-level
+:class:`ExtensibleComponent` / :class:`AdminComponent` /
+:class:`DeployerComponent` supporting monitoring and live redeployment.
+
+:class:`DistributedSystem` assembles the whole Figure-8 shape from a
+deployment model.
+"""
+
+from repro.middleware.admin import (
+    AdminComponent, DeployerComponent, ExtensibleComponent, admin_id,
+)
+from repro.middleware.bricks import (
+    Architecture, Brick, CallbackComponent, Component, Connector,
+)
+from repro.middleware.caching import (
+    CachedReplyService, DataProviderComponent, install_reply_caches,
+)
+from repro.middleware.connectors import DistributionConnector
+from repro.middleware.events import ADMIN_PREFIX, REPLY, REQUEST, Event
+from repro.middleware.monitors import (
+    EvtFrequencyMonitor, IMonitor, NetworkReliabilityMonitor,
+)
+from repro.middleware.runtime import (
+    AppComponent, ComponentFactory, DistributedSystem,
+)
+from repro.middleware.scaffold import (
+    ImmediateScaffold, Scaffold, SimScaffold, ThreadPoolScaffold,
+)
+from repro.middleware.serialization import (
+    deserialize_component, register_component_class, serialize_component,
+)
+
+__all__ = [
+    "ADMIN_PREFIX",
+    "AdminComponent",
+    "AppComponent",
+    "Architecture",
+    "Brick",
+    "CachedReplyService",
+    "CallbackComponent",
+    "Component",
+    "DataProviderComponent",
+    "install_reply_caches",
+    "ComponentFactory",
+    "Connector",
+    "DeployerComponent",
+    "DistributedSystem",
+    "DistributionConnector",
+    "Event",
+    "EvtFrequencyMonitor",
+    "ExtensibleComponent",
+    "IMonitor",
+    "ImmediateScaffold",
+    "NetworkReliabilityMonitor",
+    "REPLY",
+    "REQUEST",
+    "Scaffold",
+    "SimScaffold",
+    "ThreadPoolScaffold",
+    "admin_id",
+    "deserialize_component",
+    "register_component_class",
+    "serialize_component",
+]

@@ -1,0 +1,432 @@
+"""Meta-level components — Prism-MW's ExtensibleComponent, Admin, Deployer.
+
+"ExtensibleComponent ... contains a reference to Architecture.  This allows
+an instance of ExtensibleComponent to access all architectural elements in
+its local configuration, acting as a meta-level component that can
+automatically effect run-time changes to the system's architecture."
+(Section 4.2)
+
+``AdminComponent`` (one per host) gathers local monitoring data and executes
+its host's share of a redeployment; ``DeployerComponent`` (one per system,
+on the master host) aggregates monitoring reports and coordinates the
+redeployment protocol of Section 4.3:
+
+1. the Deployer "sends events to inform AdminComponents of their new local
+   configurations, and of the remote locations of software components
+   required for performing changes to each local configuration"
+   (``admin.new_config``);
+2. each Admin diffs its configuration and "issues a series of events to
+   remote AdminComponents requesting the components that are to be deployed
+   locally" (``admin.request_component``), relayed through the Deployer when
+   the two hosts are not directly connected;
+3. the owning Admin "detaches the required component(s) from its local
+   configuration, serializes them, and sends them as a series of events"
+   (``admin.component_transfer``), buffering application traffic for the
+   in-flight component;
+4. the recipient Admin "reconstitute[s] the migrant components from the
+   received events and invoke[s] the appropriate methods on its Architecture
+   object to attach the received components" and announces the new location
+   (``admin.location_update``), which the Deployer rebroadcasts system-wide.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.core.errors import EffectorError, MigrationError
+from repro.middleware.bricks import Architecture, Component, Connector
+from repro.middleware.connectors import DistributionConnector
+from repro.middleware.events import Event
+from repro.middleware.monitors import EvtFrequencyMonitor, NetworkReliabilityMonitor
+from repro.middleware.serialization import deserialize_component, serialize_component
+from repro.sim.clock import SimClock
+
+
+def admin_id(host: str) -> str:
+    """Canonical component id of the AdminComponent on *host*."""
+    return f"admin@{host}"
+
+
+class ExtensibleComponent(Component):
+    """A component holding a reference to its Architecture (meta-level)."""
+
+    @property
+    def local_architecture(self) -> Architecture:
+        if self.architecture is None:
+            raise EffectorError(f"{self.id}: not attached to an architecture")
+        return self.architecture
+
+
+class AdminComponent(ExtensibleComponent):
+    """Per-host monitoring and redeployment agent (IAdmin's Admin impl).
+
+    Admins are *not* welded into the application topology; their events
+    route through the architecture's distribution connector.
+    """
+
+    def __init__(self, component_id: str, host: str,
+                 deployer_id: Optional[str] = None):
+        super().__init__(component_id)
+        self.host = host
+        self.deployer_id = deployer_id
+        self.frequency_monitor: Optional[EvtFrequencyMonitor] = None
+        self.reliability_monitor: Optional[NetworkReliabilityMonitor] = None
+        self._report_task = None
+        #: Components we have requested and are waiting to receive.
+        self.awaiting: Set[str] = set()
+        #: (component, destination host) transfers we have sent out.
+        self.transfers_out: List[Tuple[str, str]] = []
+        self.transfers_in: List[str] = []
+        self.reports_sent = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def connector(self) -> DistributionConnector:
+        dist = self.local_architecture.distribution_connector
+        if dist is None:
+            raise EffectorError(
+                f"{self.id}: host {self.host} has no distribution connector")
+        return dist  # type: ignore[return-value]
+
+    def _app_connectors(self) -> Tuple[Connector, ...]:
+        return tuple(
+            c for c in self.local_architecture.connectors
+            if not getattr(c, "is_distribution", False)
+        )
+
+    def _send_admin(self, target: str, name: str,
+                    payload: Dict[str, Any],
+                    size_kb: Optional[float] = None) -> None:
+        event = Event(name, payload, source=self.id, target=target,
+                      size_kb=size_kb)
+        self.send(event)
+
+    # ------------------------------------------------------------------
+    # Monitoring
+    # ------------------------------------------------------------------
+    def install_monitors(self, clock: SimClock, ping_interval: float = 1.0,
+                         pings_per_round: int = 5) -> None:
+        """Attach frequency and reliability monitors to the local subsystem."""
+        self.frequency_monitor = EvtFrequencyMonitor(clock)
+        for component in self.local_architecture.components:
+            if not isinstance(component, AdminComponent):
+                component.attach_monitor(self.frequency_monitor)
+        self.reliability_monitor = NetworkReliabilityMonitor(
+            self.connector, clock, interval=ping_interval,
+            pings_per_round=pings_per_round)
+        self.connector.attach_monitor(self.reliability_monitor)
+        self.reliability_monitor.start()
+
+    def uninstall_monitors(self) -> None:
+        if self.reliability_monitor is not None:
+            self.reliability_monitor.stop()
+            try:
+                self.connector.detach_monitor(self.reliability_monitor)
+            except ValueError:
+                pass
+            self.reliability_monitor = None
+        if self.frequency_monitor is not None:
+            for component in self.local_architecture.components:
+                if self.frequency_monitor in component.monitors:
+                    component.detach_monitor(self.frequency_monitor)
+            self.frequency_monitor = None
+
+    def collect_report(self, reset: bool = True) -> Dict[str, Any]:
+        """Local deployment description plus monitored data (§3.2: 'the
+        AdminComponent sends the description of its local deployment
+        architecture and the monitored data')."""
+        report: Dict[str, Any] = {
+            "host": self.host,
+            "configuration": self.local_architecture.describe(),
+        }
+        if self.frequency_monitor is not None:
+            data = self.frequency_monitor.collect()
+            # JSON-friendly: tuple keys -> "src|dst" strings.
+            report["evt_frequency"] = {
+                f"{src}|{dst}": rate
+                for (src, dst), rate in data["frequencies"].items()
+            }
+            report["evt_sizes"] = {
+                f"{src}|{dst}": size
+                for (src, dst), size in data["avg_sizes"].items()
+            }
+            if reset:
+                self.frequency_monitor.reset()
+        if self.reliability_monitor is not None:
+            data = self.reliability_monitor.collect()
+            report["reliability"] = dict(data["reliabilities"])
+            if reset:
+                self.reliability_monitor.reset()
+        return report
+
+    def start_reporting(self, clock: SimClock, interval: float) -> None:
+        """Periodically push monitoring reports to the Deployer."""
+        if self.deployer_id is None:
+            raise EffectorError(f"{self.id}: no deployer to report to")
+        self.stop_reporting()
+        self._report_task = clock.every(interval, self.send_report)
+
+    def stop_reporting(self) -> None:
+        if self._report_task is not None:
+            self._report_task.cancel()
+            self._report_task = None
+
+    def send_report(self) -> None:
+        if self.deployer_id is None:
+            return
+        report = self.collect_report()
+        self.reports_sent += 1
+        self._send_admin(self.deployer_id, "admin.monitoring_report",
+                         {"report": report})
+
+    # ------------------------------------------------------------------
+    # Event handling
+    # ------------------------------------------------------------------
+    def handle(self, event: Event) -> None:
+        if event.name == "admin.new_config":
+            self._on_new_config(event)
+        elif event.name == "admin.request_component":
+            self._on_request_component(event)
+        elif event.name == "admin.component_transfer":
+            self._on_component_transfer(event)
+        elif event.name == "admin.location_update":
+            self._on_location_update(event)
+        elif event.name == "admin.report_request":
+            self.send_report()
+
+    def _on_new_config(self, event: Event) -> None:
+        wanted = set(event.payload.get("local") or [])
+        sources: Dict[str, str] = dict(event.payload.get("sources") or {})
+        present = set(self.local_architecture.component_ids)
+        for component_id in sorted(wanted - present):
+            source_host = sources.get(component_id)
+            if source_host is None or source_host == self.host:
+                continue
+            self.awaiting.add(component_id)
+            self._send_admin(
+                admin_id(source_host), "admin.request_component",
+                {"component": component_id, "requester_host": self.host})
+
+    def _on_request_component(self, event: Event) -> None:
+        component_id = event.payload["component"]
+        requester_host = event.payload["requester_host"]
+        if not self.local_architecture.has_component(component_id):
+            return  # raced with another move; requester will be updated later
+        try:
+            self.migrate_out(component_id, requester_host)
+        except MigrationError:
+            # Destination became unreachable between request and transfer:
+            # decline silently.  The component stays attached and running;
+            # the requester's pending move times out at the Deployer.
+            pass
+
+    def _destination_reachable(self, destination_host: str) -> bool:
+        """Can a transfer reach *destination_host* right now (directly or
+        through a relay)?"""
+        if destination_host == self.host:
+            return True
+        neighbors = self.connector.network.neighbors(self.host)
+        if destination_host in neighbors:
+            return True
+        return self.connector._pick_relay(destination_host,
+                                          neighbors) is not None
+
+    def migrate_out(self, component_id: str, destination_host: str) -> None:
+        """Detach, serialize, and ship a local component.
+
+        Reachability is verified *before* detaching: a component is never
+        taken out of service for a transfer that cannot be delivered, so a
+        partition can fail a redeployment but can never strand a component
+        in limbo.
+        """
+        architecture = self.local_architecture
+        component = architecture.component(component_id)
+        if isinstance(component, AdminComponent):
+            raise MigrationError("admin components cannot migrate")
+        if not self._destination_reachable(destination_host):
+            raise MigrationError(
+                f"host {destination_host!r} is unreachable from "
+                f"{self.host!r}; refusing to detach {component_id!r}")
+        # Buffer application traffic addressed to the departing component.
+        self.connector.begin_buffering(component_id)
+        architecture.remove_component(component_id)
+        wire = serialize_component(component)
+        self.transfers_out.append((component_id, destination_host))
+        self._send_admin(
+            admin_id(destination_host), "admin.component_transfer",
+            {"component": wire, "source_host": self.host},
+            size_kb=wire["size_kb"])
+
+    def _on_component_transfer(self, event: Event) -> None:
+        wire = event.payload["component"]
+        component = deserialize_component(wire)
+        architecture = self.local_architecture
+        architecture.add_component(component)
+        # Weld the migrant into the local application topology.
+        for connector in self._app_connectors():
+            connector.weld(component)
+        if self.frequency_monitor is not None:
+            component.attach_monitor(self.frequency_monitor)
+        self.awaiting.discard(component.id)
+        self.transfers_in.append(component.id)
+        self.connector.set_location(component.id, self.host)
+        self._announce_location(component.id, event.payload.get("source_host"))
+
+    def _announce_location(self, component_id: str,
+                           source_host: Optional[str]) -> None:
+        """Tell the previous owner (which flushes its buffered events) and
+        the deployer (which rebroadcasts system-wide) where the migrant now
+        lives."""
+        announcement = {"component": component_id, "host": self.host}
+        if source_host and source_host != self.host:
+            self._send_admin(admin_id(source_host), "admin.location_update",
+                             announcement)
+        if self.deployer_id is not None \
+                and self.deployer_id != admin_id(self.host) \
+                and self.deployer_id != admin_id(source_host or ""):
+            self._send_admin(self.deployer_id, "admin.location_update",
+                             announcement)
+
+    def _on_location_update(self, event: Event) -> None:
+        component_id = event.payload["component"]
+        new_host = event.payload["host"]
+        if component_id in self.connector.buffering:
+            self.connector.end_buffering(component_id, new_host)
+        else:
+            self.connector.set_location(component_id, new_host)
+
+
+class DeployerComponent(AdminComponent):
+    """Master-host agent: aggregates monitoring, coordinates redeployment
+    (IAdmin's Deployer impl, "which also provides facilities for interfacing
+    with DeSi")."""
+
+    def __init__(self, component_id: str, host: str):
+        super().__init__(component_id, host, deployer_id=None)
+        #: Latest monitoring report per host.
+        self.reports: Dict[str, Dict[str, Any]] = {}
+        #: Authoritative component -> host view.
+        self.deployment_view: Dict[str, str] = {}
+        #: All hosts known to carry an AdminComponent.
+        self.known_hosts: Set[str] = set()
+        #: Moves announced but not yet confirmed by a location update.
+        self.pending_moves: Dict[str, str] = {}
+        #: Callback invoked with (host, report) on every monitoring report —
+        #: this is the hook DeSi's MiddlewareAdapter registers.
+        self.on_report: Optional[Callable[[str, Dict[str, Any]], None]] = None
+        #: Callback invoked when a redeployment fully completes.
+        self.on_redeployment_complete: Optional[Callable[[], None]] = None
+
+    # ------------------------------------------------------------------
+    def register_host(self, host: str) -> None:
+        self.known_hosts.add(host)
+
+    def register_deployment(self, view: Mapping[str, str]) -> None:
+        self.deployment_view.update(view)
+
+    # ------------------------------------------------------------------
+    def enact(self, target: Mapping[str, str]) -> int:
+        """Drive the system toward the *target* deployment.
+
+        Returns the number of component moves initiated.  Completion is
+        asynchronous; observe :attr:`pending_moves` or
+        :attr:`on_redeployment_complete`.
+        """
+        moves: Dict[str, List[str]] = {}
+        sources: Dict[str, str] = {}
+        for component_id, target_host in sorted(target.items()):
+            current = self.deployment_view.get(component_id)
+            if current is None or current == target_host:
+                continue
+            moves.setdefault(target_host, []).append(component_id)
+            sources[component_id] = current
+            self.pending_moves[component_id] = target_host
+        for target_host in sorted(set(target.values()) | self.known_hosts):
+            local = sorted(c for c, h in target.items() if h == target_host)
+            if target_host == self.host:
+                # Local share executes directly (no self-addressed events).
+                self._acquire_locally(local, sources)
+                continue
+            self._send_admin(
+                admin_id(target_host), "admin.new_config",
+                {"local": local,
+                 "sources": {c: sources[c] for c in local if c in sources}})
+        return len(sources)
+
+    def _acquire_locally(self, local: List[str],
+                         sources: Mapping[str, str]) -> None:
+        present = set(self.local_architecture.component_ids)
+        for component_id in local:
+            if component_id in present:
+                continue
+            source_host = sources.get(component_id)
+            if source_host is None or source_host == self.host:
+                continue
+            self.awaiting.add(component_id)
+            self._send_admin(
+                admin_id(source_host), "admin.request_component",
+                {"component": component_id, "requester_host": self.host})
+
+    @property
+    def redeployment_complete(self) -> bool:
+        return not self.pending_moves
+
+    # ------------------------------------------------------------------
+    def handle(self, event: Event) -> None:
+        if event.name == "admin.monitoring_report":
+            report = event.payload["report"]
+            host = report.get("host", "?")
+            self.reports[host] = report
+            for component_id in report.get("configuration", {}).get(
+                    "components", []):
+                if not component_id.startswith(("admin@", "agent@")):
+                    self.deployment_view[component_id] = host
+            if self.on_report is not None:
+                self.on_report(host, report)
+        elif event.name == "admin.location_update":
+            self._on_deployer_location_update(event)
+        else:
+            super().handle(event)
+
+    def _on_deployer_location_update(self, event: Event) -> None:
+        self._register_move(
+            event.payload["component"], event.payload["host"],
+            origin_admin=event.source, payload=dict(event.payload))
+        # Maintain our own connector's table/buffers too.
+        super()._on_location_update(event)
+
+    def _announce_location(self, component_id: str,
+                           source_host: Optional[str]) -> None:
+        """The deployer received a migrant itself: update the global view
+        directly, tell the previous owner, and rebroadcast."""
+        announcement = {"component": component_id, "host": self.host}
+        if source_host and source_host != self.host:
+            self._send_admin(admin_id(source_host), "admin.location_update",
+                             announcement)
+        self._register_move(component_id, self.host,
+                            origin_admin=admin_id(source_host or ""),
+                            payload=announcement)
+
+    def _register_move(self, component_id: str, new_host: str,
+                       origin_admin: Optional[str],
+                       payload: Dict[str, Any]) -> None:
+        previous = self.deployment_view.get(component_id)
+        self.deployment_view[component_id] = new_host
+        if self.pending_moves.get(component_id) == new_host:
+            del self.pending_moves[component_id]
+            if not self.pending_moves and self.on_redeployment_complete:
+                self.on_redeployment_complete()
+        # Rebroadcast so every host's location table converges.
+        for host in sorted(self.known_hosts):
+            if host == self.host or host == new_host:
+                continue
+            if origin_admin == admin_id(host):
+                continue
+            if previous is not None and host == previous:
+                continue  # previous owner was told directly by the receiver
+            self._send_admin(admin_id(host), "admin.location_update",
+                             dict(payload))
+
+    def snapshot_reports(self) -> Dict[str, Dict[str, Any]]:
+        """Copy of the latest per-host monitoring reports (DeSi's view)."""
+        return {host: dict(report) for host, report in self.reports.items()}

@@ -1,0 +1,157 @@
+"""Caching and hoarding of data — the other §6 redeployment-complement.
+
+"in the future we plan to extend our framework and tool suite to enhance
+redeployment with other strategies (e.g., caching and hoarding of data,
+queuing of remote calls, etc.)"
+
+Queuing lives on the :class:`~repro.middleware.connectors.DistributionConnector`
+(``queue_when_disconnected``); this module adds the caching half for
+request/reply interactions:
+
+* a :class:`DataProviderComponent` answers ``app.request`` events keyed by
+  ``payload["key"]`` with ``app.reply`` events carrying the data;
+* a :class:`CachedReplyService` on each host *hoards* every reply that
+  passes through its distribution connector, and when a request's
+  destination becomes unreachable, serves the hoarded copy locally —
+  marked ``stale`` so the application can tell live data from cached.
+
+The net effect mirrors Coda-style disconnected operation (the paper's [14]
+companion line of work): reads keep succeeding through partitions at the
+price of staleness, while writes/queued traffic wait for reconnection.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+from repro.middleware.bricks import Architecture, Component
+from repro.middleware.connectors import DistributionConnector
+from repro.middleware.events import REPLY, Event
+from repro.middleware.serialization import register_component_class
+
+REQUEST_EVENT = "app.request"
+REPLY_EVENT = "app.reply"
+
+
+@register_component_class
+class DataProviderComponent(Component):
+    """Serves keyed data items in reply to ``app.request`` events."""
+
+    def __init__(self, component_id: str):
+        super().__init__(component_id)
+        self.data: Dict[str, Any] = {}
+        self.requests_served = 0
+
+    def put(self, key: str, value: Any) -> None:
+        self.data[key] = value
+
+    def handle(self, event: Event) -> None:
+        if event.name != REQUEST_EVENT:
+            return
+        key = event.payload.get("key")
+        if key is None or event.source is None:
+            return
+        self.requests_served += 1
+        self.send(Event(
+            REPLY_EVENT,
+            {"key": key, "data": self.data.get(key),
+             "provider": self.id, "stale": False},
+            event_type=REPLY, target=event.source))
+
+    def get_state(self) -> Dict[str, Any]:
+        return {"data": self.data, "served": self.requests_served}
+
+    def set_state(self, state: Dict[str, Any]) -> None:
+        self.data = dict(state.get("data") or {})
+        self.requests_served = state.get("served", 0)
+
+
+class CachedReplyService:
+    """Per-host reply hoard + stale-serving fallback.
+
+    Attach one per host; it registers itself both as a monitor on the
+    distribution connector (to hoard replies flowing through) and as an
+    unreachable-handler (to answer requests during partitions).
+
+    Args:
+        architecture: The host's architecture (stale replies are delivered
+            through it).
+        connector: The host's distribution connector.
+        max_entries: LRU capacity of the hoard.
+    """
+
+    def __init__(self, architecture: Architecture,
+                 connector: DistributionConnector, max_entries: int = 256):
+        self.architecture = architecture
+        self.connector = connector
+        self.max_entries = max_entries
+        self._hoard: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        connector.attach_monitor(self)
+        connector.unreachable_handlers.append(self._serve_from_hoard)
+
+    # -- hoarding (IMonitor protocol) -----------------------------------------
+    def notify(self, brick: Any, event: Event, direction: str) -> None:
+        if event.name != REPLY_EVENT:
+            return
+        key = event.payload.get("key")
+        if key is None or event.payload.get("data") is None:
+            return
+        if event.payload.get("stale"):
+            return  # never hoard a cached copy of a cached copy
+        self._hoard[key] = dict(event.payload)
+        self._hoard.move_to_end(key)
+        while len(self._hoard) > self.max_entries:
+            self._hoard.popitem(last=False)
+
+    def collect(self) -> Dict[str, Any]:
+        return {"kind": "reply_cache", "entries": len(self._hoard),
+                "hits": self.hits, "misses": self.misses}
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    # -- stale serving ----------------------------------------------------------
+    def _serve_from_hoard(self, destination: str, event: Event) -> bool:
+        """Unreachable-destination hook: answer requests from the hoard."""
+        if event.name != REQUEST_EVENT:
+            return False
+        key = event.payload.get("key")
+        requester = event.source
+        if key is None or requester is None:
+            return False
+        cached = self._hoard.get(key)
+        if cached is None:
+            self.misses += 1
+            return False
+        self.hits += 1
+        reply = Event(REPLY_EVENT, {**cached, "stale": True},
+                      event_type=REPLY, target=requester)
+        if self.architecture.has_component(requester):
+            self.architecture.deliver_local(reply)
+        else:
+            self.architecture.route(reply)
+        return True
+
+    def hoarded_keys(self) -> Tuple[str, ...]:
+        return tuple(self._hoard)
+
+    def __repr__(self) -> str:
+        return (f"CachedReplyService(host={self.connector.host!r}, "
+                f"entries={len(self._hoard)})")
+
+
+def install_reply_caches(system: Any,
+                         max_entries: int = 256,
+                         ) -> Dict[str, CachedReplyService]:
+    """Attach a :class:`CachedReplyService` to every host of a
+    :class:`~repro.middleware.runtime.DistributedSystem`."""
+    services = {}
+    for host, architecture in system.architectures.items():
+        services[host] = CachedReplyService(
+            architecture, architecture.distribution_connector,
+            max_entries=max_entries)
+    return services

@@ -1,0 +1,135 @@
+"""Prism-MW style events.
+
+"Components in an architecture communicate by exchanging Events, which are
+routed by Connectors" (Section 4.2).  An :class:`Event` is a named bag of
+parameters plus routing metadata.  Events must survive crossing address
+spaces, so payloads are restricted to JSON-serializable values and the
+(de)serialization round-trip is part of the public contract — the same
+machinery migrates application components between hosts (the paper's
+``Serializable`` interface).
+"""
+
+from __future__ import annotations
+
+import json
+import itertools
+from typing import Any, Dict, Optional
+
+from repro.core.errors import SerializationError
+
+#: Event types, after Prism-MW's request/reply taxonomy.
+REQUEST = "request"
+REPLY = "reply"
+
+#: Reserved name prefix for middleware control traffic (monitoring,
+#: redeployment coordination).  Application events must not use it.
+ADMIN_PREFIX = "admin."
+
+#: Approximate fixed framing overhead of an event on the wire, in KB.
+EVENT_OVERHEAD_KB = 0.05
+
+
+class Event:
+    """One message exchanged between components.
+
+    Attributes:
+        name: Event name; ``admin.*`` names are middleware control traffic.
+        payload: JSON-serializable parameter dict.
+        event_type: :data:`REQUEST` or :data:`REPLY`.
+        source: Component id of the sender (set by the sending component).
+        target: Component id of the addressee; ``None`` broadcasts to every
+            component attached to the routing connector.
+        size_kb: Declared wire size.  Defaults to payload-derived estimate;
+            application workloads override it to model event volume.
+        headers: Middleware routing metadata (current host, hop trail,
+            relay flags).  Not part of the application contract.
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(self, name: str, payload: Optional[Dict[str, Any]] = None,
+                 event_type: str = REQUEST, source: Optional[str] = None,
+                 target: Optional[str] = None,
+                 size_kb: Optional[float] = None):
+        if event_type not in (REQUEST, REPLY):
+            raise ValueError(f"event_type must be request/reply, got {event_type!r}")
+        self.name = name
+        self.payload: Dict[str, Any] = dict(payload) if payload else {}
+        self.event_type = event_type
+        self.source = source
+        self.target = target
+        self._size_kb = size_kb
+        self.headers: Dict[str, Any] = {}
+        self.event_id = next(Event._ids)
+
+    # ------------------------------------------------------------------
+    @property
+    def is_admin(self) -> bool:
+        return self.name.startswith(ADMIN_PREFIX)
+
+    @property
+    def size_kb(self) -> float:
+        if self._size_kb is not None:
+            return self._size_kb
+        try:
+            body = len(json.dumps(self.payload))
+        except (TypeError, ValueError):
+            body = 256  # conservative estimate for exotic payloads
+        return EVENT_OVERHEAD_KB + body / 1024.0
+
+    @size_kb.setter
+    def size_kb(self, value: float) -> None:
+        self._size_kb = value
+
+    def reply(self, name: Optional[str] = None,
+              payload: Optional[Dict[str, Any]] = None) -> "Event":
+        """A reply event addressed back at this event's source."""
+        return Event(name or self.name, payload, event_type=REPLY,
+                     target=self.source)
+
+    def copy(self) -> "Event":
+        clone = Event(self.name, dict(self.payload), self.event_type,
+                      self.source, self.target, self._size_kb)
+        clone.headers = dict(self.headers)
+        return clone
+
+    # ------------------------------------------------------------------
+    # Wire format
+    # ------------------------------------------------------------------
+    def to_wire(self) -> Dict[str, Any]:
+        """Serialize for transmission between address spaces."""
+        try:
+            json.dumps(self.payload)
+        except (TypeError, ValueError) as exc:
+            raise SerializationError(
+                f"event {self.name!r} payload is not JSON-serializable: {exc}"
+            ) from exc
+        return {
+            "name": self.name,
+            "payload": self.payload,
+            "event_type": self.event_type,
+            "source": self.source,
+            "target": self.target,
+            "size_kb": self._size_kb,
+            "headers": self.headers,
+        }
+
+    @classmethod
+    def from_wire(cls, wire: Dict[str, Any]) -> "Event":
+        try:
+            event = cls(
+                name=wire["name"],
+                payload=wire.get("payload") or {},
+                event_type=wire.get("event_type", REQUEST),
+                source=wire.get("source"),
+                target=wire.get("target"),
+                size_kb=wire.get("size_kb"),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SerializationError(f"malformed wire event: {exc}") from exc
+        event.headers = dict(wire.get("headers") or {})
+        return event
+
+    def __repr__(self) -> str:
+        route = f"{self.source or '?'}->{self.target or '*'}"
+        return f"Event({self.name!r}, {route}, {self.event_type})"

@@ -1,0 +1,199 @@
+"""Platform-dependent monitors — Prism-MW's IMonitor implementations.
+
+"For example, the EvtFrequencyMonitor records the frequencies of different
+events the associated Brick sends, while NetworkReliabilityMonitor records
+the reliability of connectivity between its associated DistributionConnector
+and other, remote DistributionConnectors using a common 'pinging'
+technique." (Section 4.3)
+
+These are the *platform-dependent halves* of the framework's Monitor
+component (Section 3.1): they hook into the implementation platform (brick
+dispatch and the simulated network) and produce raw samples.  The
+platform-independent half — windowing, ε-stability detection, writing into
+the deployment model — lives in :mod:`repro.core.monitoring`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, Optional, Tuple
+
+from repro.middleware.connectors import DistributionConnector
+from repro.middleware.events import Event
+from repro.sim.clock import SimClock
+
+
+class IMonitor(ABC):
+    """Probe attached to a Brick via the scaffold's self-awareness hook."""
+
+    @abstractmethod
+    def notify(self, brick: Any, event: Event, direction: str) -> None:
+        """Called on every event the brick sends ("send") or receives
+        ("deliver")."""
+
+    @abstractmethod
+    def collect(self) -> Dict[str, Any]:
+        """Return accumulated raw monitoring data."""
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Clear accumulated data (start of a new monitoring window)."""
+
+    def attached(self, brick: Any) -> None:
+        """Hook invoked when the monitor is attached to a brick."""
+
+
+class EvtFrequencyMonitor(IMonitor):
+    """Counts application events per (source, target) component pair.
+
+    Only ``send`` notifications are counted (counting both directions of a
+    dispatch would double every interaction), and middleware control traffic
+    (``admin.*``) is excluded — the model's logical-link frequencies describe
+    the *application*.
+    """
+
+    def __init__(self, clock: Optional[SimClock] = None):
+        self.clock = clock
+        self.counts: Dict[Tuple[str, str], int] = {}
+        self.sizes: Dict[Tuple[str, str], float] = {}
+        self.window_started = clock.now if clock is not None else 0.0
+        self.total_events = 0
+
+    def notify(self, brick: Any, event: Event, direction: str) -> None:
+        if direction != "send" or event.is_admin:
+            return
+        if event.source is None or event.target is None:
+            return
+        key = (event.source, event.target)
+        self.counts[key] = self.counts.get(key, 0) + 1
+        self.sizes[key] = self.sizes.get(key, 0.0) + event.size_kb
+        self.total_events += 1
+
+    def collect(self) -> Dict[str, Any]:
+        now = self.clock.now if self.clock is not None else None
+        duration = (None if now is None
+                    else max(now - self.window_started, 0.0))
+        frequencies: Dict[Tuple[str, str], float] = {}
+        avg_sizes: Dict[Tuple[str, str], float] = {}
+        for key, count in self.counts.items():
+            if duration:
+                frequencies[key] = count / duration
+            avg_sizes[key] = self.sizes[key] / count
+        return {
+            "kind": "evt_frequency",
+            "window_start": self.window_started,
+            "window_end": now,
+            "counts": dict(self.counts),
+            "frequencies": frequencies,
+            "avg_sizes": avg_sizes,
+        }
+
+    def reset(self) -> None:
+        self.counts.clear()
+        self.sizes.clear()
+        self.total_events = 0
+        if self.clock is not None:
+            self.window_started = self.clock.now
+
+
+class NetworkReliabilityMonitor(IMonitor):
+    """Estimates link reliability by periodically pinging peer hosts.
+
+    Attached to a :class:`DistributionConnector`; every ``interval``
+    simulated seconds it sends ``pings_per_round`` probes to each host with
+    which its host shares a physical link (up or down — a down link simply
+    fails all probes, measuring reliability 0).
+    """
+
+    def __init__(self, connector: DistributionConnector, clock: SimClock,
+                 interval: float = 1.0, pings_per_round: int = 10):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if pings_per_round < 1:
+            raise ValueError("pings_per_round must be >= 1")
+        self.connector = connector
+        self.clock = clock
+        self.interval = interval
+        self.pings_per_round = pings_per_round
+        self.successes: Dict[str, int] = {}
+        self.attempts: Dict[str, int] = {}
+        #: Last piggyback sequence number seen per directly-linked peer.
+        self._last_seq: Dict[str, int] = {}
+        self.rounds = 0
+        self._task = None
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> "NetworkReliabilityMonitor":
+        if self._task is None:
+            self._task = self.clock.every(self.interval, self.probe)
+        return self
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None
+
+    def _peers(self) -> Tuple[str, ...]:
+        host = self.connector.host
+        peers = set()
+        for link in self.connector.network.links:
+            if host in link.ends:
+                other = link.ends[0] if link.ends[1] == host else link.ends[1]
+                peers.add(other)
+        return tuple(sorted(peers))
+
+    def probe(self) -> None:
+        """One round of pings to every linked peer."""
+        host = self.connector.host
+        for peer in self._peers():
+            for __ in range(self.pings_per_round):
+                ok = self.connector.network.ping(host, peer)
+                self.attempts[peer] = self.attempts.get(peer, 0) + 1
+                if ok:
+                    self.successes[peer] = self.successes.get(peer, 0) + 1
+        self.rounds += 1
+
+    # -- IMonitor -------------------------------------------------------------
+    def notify(self, brick: Any, event: Event, direction: str) -> None:
+        """Passive piggyback via sequence gaps — an *unbiased* estimator.
+
+        Counting arrivals alone would be survivorship bias (lost events
+        never show up to be counted).  Instead the sender stamps
+        loss-subject application events with a per-link sequence number;
+        the gap between consecutive arrivals reveals exactly how many were
+        lost in between.  Only first-hop samples are used (``seq_link`` ==
+        the host the event physically arrived from); relayed legs are
+        covered by active pings.  Control traffic is unstamped — it rides a
+        retransmitting transport and carries no loss information.
+        """
+        if direction != "deliver" or event.is_admin:
+            return
+        seq = event.headers.get("seq")
+        seq_link = event.headers.get("seq_link")
+        arrived_from = event.headers.get("arrived_from")
+        if seq is None or seq_link is None or seq_link != arrived_from:
+            return
+        last = self._last_seq.get(seq_link)
+        self._last_seq[seq_link] = seq
+        if last is None or seq <= last:
+            return  # first observation (or reordering): no interval info
+        gap = seq - last  # this arrival plus (gap - 1) losses before it
+        self.attempts[seq_link] = self.attempts.get(seq_link, 0) + gap
+        self.successes[seq_link] = self.successes.get(seq_link, 0) + 1
+
+    def collect(self) -> Dict[str, Any]:
+        reliabilities = {
+            peer: self.successes.get(peer, 0) / attempts
+            for peer, attempts in self.attempts.items() if attempts > 0
+        }
+        return {
+            "kind": "network_reliability",
+            "rounds": self.rounds,
+            "attempts": dict(self.attempts),
+            "reliabilities": reliabilities,
+        }
+
+    def reset(self) -> None:
+        self.successes.clear()
+        self.attempts.clear()
+        self.rounds = 0

@@ -1,0 +1,139 @@
+"""Event scheduling and dispatch — Prism-MW's Scaffold.
+
+"Prism-MW associates the IScaffold interface with every Brick.  Scaffolds
+are used to schedule and dispatch events using a pool of threads in a
+decoupled manner.  IScaffold also directly aids architectural self-awareness
+by allowing the run-time probing of a Brick's behavior, via different
+implementations of the IMonitor interface." (Section 4.2)
+
+Three implementations cover the reproduction's needs:
+
+* :class:`SimScaffold` — schedules each dispatch as a zero-delay event on
+  the simulation clock.  This is the default: it decouples send from
+  delivery exactly like a dispatch queue does, while remaining fully
+  deterministic.
+* :class:`ImmediateScaffold` — synchronous direct invocation; the simplest
+  possible scaffold, used by unit tests that do not involve time.
+* :class:`ThreadPoolScaffold` — a real worker pool matching the paper's
+  description literally; retained to demonstrate that bricks are
+  scheduling-policy agnostic (exercised by a dedicated test, not used by the
+  deterministic benches).
+
+Monitor probing happens here: every dispatch notifies the target brick's
+attached :class:`~repro.middleware.monitors.IMonitor` instances before the
+brick handles the event, so monitoring is transparent to application code.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from abc import ABC, abstractmethod
+from typing import Any, Optional
+
+from repro.middleware.events import Event
+from repro.sim.clock import SimClock
+
+
+class Scaffold(ABC):
+    """Scheduling policy for event delivery to bricks."""
+
+    @abstractmethod
+    def dispatch(self, brick: Any, event: Event) -> None:
+        """Schedule ``brick.handle(event)`` according to the policy."""
+
+    def _invoke(self, brick: Any, event: Event) -> None:
+        brick.notify_monitors(event, "deliver")
+        brick.handle(event)
+
+    def drain(self) -> None:
+        """Block/step until all queued dispatches have run (no-op when the
+        policy has no private queue)."""
+
+
+class ImmediateScaffold(Scaffold):
+    """Deliver synchronously in the caller's stack frame."""
+
+    def dispatch(self, brick: Any, event: Event) -> None:
+        self._invoke(brick, event)
+
+
+class SimScaffold(Scaffold):
+    """Deliver via the simulation clock (zero-delay scheduled event).
+
+    Decoupled like a thread pool — the sender's stack unwinds before the
+    receiver runs — but deterministic: deliveries happen in dispatch order
+    when the clock is stepped.
+    """
+
+    def __init__(self, clock: SimClock):
+        self.clock = clock
+        self.dispatched = 0
+
+    def dispatch(self, brick: Any, event: Event) -> None:
+        self.dispatched += 1
+        self.clock.schedule(0.0, self._invoke, brick, event)
+
+    def drain(self) -> None:
+        """Run the clock at the current instant until quiescent."""
+        self.clock.run(0.0)
+
+
+class ThreadPoolScaffold(Scaffold):
+    """Deliver on a pool of worker threads (the paper's literal design).
+
+    Handlers of distinct bricks may run concurrently; a per-brick lock keeps
+    each brick's handler single-threaded, mirroring Prism-MW's per-brick
+    serialization of event handling.
+    """
+
+    _SENTINEL = object()
+
+    def __init__(self, workers: int = 4):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self._queue: "queue.Queue" = queue.Queue()
+        self._threads = []
+        self._locks: dict = {}
+        self._locks_guard = threading.Lock()
+        self._shutdown = False
+        for index in range(workers):
+            thread = threading.Thread(
+                target=self._worker, name=f"scaffold-{index}", daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    def _brick_lock(self, brick: Any) -> threading.Lock:
+        with self._locks_guard:
+            lock = self._locks.get(id(brick))
+            if lock is None:
+                lock = threading.Lock()
+                self._locks[id(brick)] = lock
+            return lock
+
+    def _worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            try:
+                if item is self._SENTINEL:
+                    return
+                brick, event = item
+                with self._brick_lock(brick):
+                    self._invoke(brick, event)
+            finally:
+                self._queue.task_done()
+
+    def dispatch(self, brick: Any, event: Event) -> None:
+        if self._shutdown:
+            raise RuntimeError("scaffold has been shut down")
+        self._queue.put((brick, event))
+
+    def drain(self) -> None:
+        self._queue.join()
+
+    def shutdown(self) -> None:
+        self._shutdown = True
+        for __ in self._threads:
+            self._queue.put(self._SENTINEL)
+        for thread in self._threads:
+            thread.join(timeout=5.0)

@@ -1,0 +1,17 @@
+"""Ready-made application scenarios for examples, tests, and benches."""
+
+from repro.scenarios.clientserver import ClientServerScenario, build_client_server
+from repro.scenarios.crisis import (
+    CrisisConfig, CrisisScenario, build_crisis_scenario,
+)
+from repro.scenarios.sensorfield import SensorFieldScenario, build_sensor_field
+
+__all__ = [
+    "ClientServerScenario",
+    "CrisisConfig",
+    "CrisisScenario",
+    "SensorFieldScenario",
+    "build_client_server",
+    "build_crisis_scenario",
+    "build_sensor_field",
+]

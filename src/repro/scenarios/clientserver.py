@@ -1,0 +1,90 @@
+"""A two-machine client-server scenario — Coign's problem class.
+
+The related-work comparison (bench E8) needs the exact setting Coign [7]
+handles: "two machine, client-server applications".  This builder produces
+a client host, a server host, one link, UI components pinned to the client,
+database components pinned to the server, and a population of movable
+middle-tier components whose chattiness with either side varies.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.constraints import (
+    ConstraintSet, LocationConstraint, MemoryConstraint,
+)
+from repro.core.model import DeploymentModel
+
+
+@dataclass
+class ClientServerScenario:
+    model: DeploymentModel
+    constraints: ConstraintSet
+    client: str
+    server: str
+    pinned_client: Tuple[str, ...]
+    pinned_server: Tuple[str, ...]
+    movable: Tuple[str, ...]
+
+
+def build_client_server(middle_components: int = 8,
+                        seed: Optional[int] = None,
+                        link_reliability: float = 0.9,
+                        link_bandwidth: float = 100.0,
+                        ) -> ClientServerScenario:
+    """Client/server model with *middle_components* movable components."""
+    rng = random.Random(seed)
+    model = DeploymentModel(name="client-server")
+    model.add_host("client", memory=500.0)
+    model.add_host("server", memory=2000.0)
+    model.connect_hosts("client", "server", reliability=link_reliability,
+                        bandwidth=link_bandwidth, delay=0.02)
+
+    model.add_component("ui", memory=30.0)
+    model.add_component("renderer", memory=20.0)
+    model.add_component("db", memory=200.0)
+    model.add_component("storage", memory=150.0)
+    model.connect_components("ui", "renderer", frequency=10.0, evt_size=4.0)
+    model.connect_components("db", "storage", frequency=8.0, evt_size=16.0)
+
+    movable = []
+    for index in range(middle_components):
+        name = f"logic{index}"
+        movable.append(name)
+        model.add_component(name, memory=rng.uniform(5.0, 20.0))
+        # Some middle components are UI-leaning, some DB-leaning.
+        ui_affinity = rng.uniform(0.5, 8.0)
+        db_affinity = rng.uniform(0.5, 8.0)
+        model.connect_components(name, "ui", frequency=ui_affinity,
+                                 evt_size=rng.uniform(0.5, 4.0))
+        model.connect_components(name, "db", frequency=db_affinity,
+                                 evt_size=rng.uniform(0.5, 4.0))
+    for i in range(len(movable)):
+        for j in range(i + 1, len(movable)):
+            if rng.random() < 0.25:
+                model.connect_components(movable[i], movable[j],
+                                         frequency=rng.uniform(0.5, 4.0),
+                                         evt_size=rng.uniform(0.5, 2.0))
+
+    model.deploy("ui", "client")
+    model.deploy("renderer", "client")
+    model.deploy("db", "server")
+    model.deploy("storage", "server")
+    for name in movable:
+        model.deploy(name, rng.choice(["client", "server"]))
+
+    constraints = ConstraintSet([
+        MemoryConstraint(),
+        LocationConstraint("ui", allowed=["client"]),
+        LocationConstraint("renderer", allowed=["client"]),
+        LocationConstraint("db", allowed=["server"]),
+        LocationConstraint("storage", allowed=["server"]),
+    ])
+    model.constraints = list(constraints)
+    return ClientServerScenario(
+        model=model, constraints=constraints, client="client",
+        server="server", pinned_client=("ui", "renderer"),
+        pinned_server=("db", "storage"), movable=tuple(movable))

@@ -1,0 +1,153 @@
+"""The paper's motivating scenario (Section 1): crisis response deployment.
+
+"A computer at 'Headquarters' gathers information from the field and
+displays the current status ... The headquarters computer is networked to a
+set of PDAs used by 'Commanders' in the field.  The commander PDAs are
+connected directly to each other and to a large number of 'troop' PDAs."
+
+:func:`build_crisis_scenario` produces that topology with representative
+parameters: a well-provisioned HQ machine, mid-size commander PDAs, and
+memory-poor troop PDAs on flaky links.  The application components follow
+the scenario's data flows: per-troop trackers report to their commander's
+coordinator, coordinators exchange situation data with each other and feed
+the HQ's status display and map/weather services.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.constraints import (
+    ConstraintSet, LocationConstraint, MemoryConstraint,
+)
+from repro.core.errors import ModelError
+from repro.core.model import DeploymentModel
+from repro.core.user_input import UserInput
+
+
+@dataclass
+class CrisisConfig:
+    """Shape of the crisis-response deployment."""
+
+    commanders: int = 2
+    troops_per_commander: int = 3
+    #: Reliability range of HQ<->commander links (fairly good).
+    hq_link_reliability: Tuple[float, float] = (0.85, 0.99)
+    #: Reliability range of commander<->troop links (flaky radios).
+    field_link_reliability: Tuple[float, float] = (0.40, 0.90)
+    hq_memory: float = 1000.0
+    commander_memory: float = 80.0
+    troop_memory: float = 25.0
+    seed: Optional[int] = None
+
+
+@dataclass
+class CrisisScenario:
+    """The built scenario: model + architect input + constraint set."""
+
+    model: DeploymentModel
+    user_input: UserInput
+    constraints: ConstraintSet
+    hq: str
+    commanders: Tuple[str, ...]
+    troops: Tuple[str, ...]
+
+
+def build_crisis_scenario(config: Optional[CrisisConfig] = None,
+                          ) -> CrisisScenario:
+    """Construct the Section-1 scenario as a ready-to-run model."""
+    config = config if config is not None else CrisisConfig()
+    if config.commanders < 1:
+        raise ModelError("need at least one commander")
+    rng = random.Random(config.seed)
+    model = DeploymentModel(name="crisis-response")
+
+    hq = "hq"
+    model.add_host(hq, memory=config.hq_memory)
+    commanders: List[str] = []
+    troops: List[str] = []
+    for index in range(config.commanders):
+        commander = f"cmd{index}"
+        commanders.append(commander)
+        model.add_host(commander, memory=config.commander_memory)
+        model.connect_hosts(
+            hq, commander,
+            reliability=rng.uniform(*config.hq_link_reliability),
+            bandwidth=rng.uniform(200, 500), delay=rng.uniform(0.005, 0.02))
+    # Commanders are "connected directly to each other".
+    for i, cmd_a in enumerate(commanders):
+        for cmd_b in commanders[i + 1:]:
+            model.connect_hosts(
+                cmd_a, cmd_b,
+                reliability=rng.uniform(*config.field_link_reliability),
+                bandwidth=rng.uniform(50, 200),
+                delay=rng.uniform(0.01, 0.05))
+    for index in range(config.commanders * config.troops_per_commander):
+        commander = commanders[index // config.troops_per_commander]
+        troop = f"troop{index}"
+        troops.append(troop)
+        model.add_host(troop, memory=config.troop_memory)
+        model.connect_hosts(
+            commander, troop,
+            reliability=rng.uniform(*config.field_link_reliability),
+            bandwidth=rng.uniform(20, 100), delay=rng.uniform(0.02, 0.1))
+
+    # -- application components -------------------------------------------
+    # HQ services.
+    model.add_component("status_display", memory=60.0)
+    model.add_component("map_service", memory=120.0)
+    model.add_component("weather_feed", memory=40.0)
+    model.connect_components("status_display", "map_service",
+                             frequency=4.0, evt_size=8.0)
+    model.connect_components("status_display", "weather_feed",
+                             frequency=1.0, evt_size=2.0)
+    # Per-commander coordination.
+    for index, commander in enumerate(commanders):
+        coordinator = f"coordinator{index}"
+        model.add_component(coordinator, memory=20.0)
+        model.connect_components(coordinator, "status_display",
+                                 frequency=rng.uniform(2.0, 5.0),
+                                 evt_size=3.0)
+        model.connect_components(coordinator, "map_service",
+                                 frequency=rng.uniform(0.5, 2.0),
+                                 evt_size=6.0)
+        model.deploy(coordinator, commander)
+    for i in range(len(commanders)):
+        for j in range(i + 1, len(commanders)):
+            model.connect_components(f"coordinator{i}", f"coordinator{j}",
+                                     frequency=rng.uniform(1.0, 3.0),
+                                     evt_size=2.0)
+    # Per-troop trackers.
+    for index, troop in enumerate(troops):
+        tracker = f"tracker{index}"
+        commander_index = index // config.troops_per_commander
+        model.add_component(tracker, memory=8.0)
+        model.connect_components(tracker, f"coordinator{commander_index}",
+                                 frequency=rng.uniform(3.0, 8.0),
+                                 evt_size=1.0)
+        model.deploy(tracker, troop)
+    model.deploy("status_display", hq)
+    model.deploy("map_service", hq)
+    model.deploy("weather_feed", hq)
+
+    # -- architect input (Section 3.1, User Input) ---------------------------
+    user_input = UserInput()
+    # The display is physically attached to the HQ screen.
+    user_input.restrict_location("status_display", allowed=[hq])
+    # Coordinators must stay in the field (HQ would defeat their purpose).
+    for index in range(len(commanders)):
+        user_input.restrict_location(f"coordinator{index}", forbidden=[hq])
+    # Hard-to-monitor parameter supplied by the architect: link security.
+    for commander in commanders:
+        user_input.set_physical_link(hq, commander, security=0.9)
+    constraints = ConstraintSet([MemoryConstraint()])
+    for constraint in user_input.constraints:
+        constraints.add(constraint)
+    user_input.apply(model)
+
+    return CrisisScenario(model=model, user_input=user_input,
+                          constraints=constraints, hq=hq,
+                          commanders=tuple(commanders),
+                          troops=tuple(troops))

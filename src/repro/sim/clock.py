@@ -1,0 +1,171 @@
+"""Discrete-event simulation clock.
+
+Every time-dependent piece of the substrate — network message delivery,
+monitoring windows, parameter fluctuation, auction deadlines — runs against
+one :class:`SimClock`.  Substituting simulated time for the paper's
+wall-clock intervals is what makes the reproduction deterministic: the
+monitor's ε-stability detection and the effector's coordination depend only
+on the *ordering* of windows and messages, which the clock preserves
+exactly.
+
+Events scheduled for the same instant fire in scheduling order (a strict
+FIFO tie-break), so runs are reproducible bit-for-bit given the same seeds.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class ScheduledEvent:
+    """Handle for a scheduled callback; supports cancellation."""
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int,
+                 callback: Callable[..., Any], args: Tuple[Any, ...]):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class PeriodicTask:
+    """A self-rescheduling callback created by :meth:`SimClock.every`."""
+
+    def __init__(self, clock: "SimClock", interval: float,
+                 callback: Callable[..., Any], args: Tuple[Any, ...]):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.clock = clock
+        self.interval = interval
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.firings = 0
+        self._handle = clock.schedule(interval, self._fire)
+
+    def _fire(self) -> None:
+        if self.cancelled:
+            return
+        self.callback(*self.args)
+        self.firings += 1
+        if not self.cancelled:
+            self._handle = self.clock.schedule(self.interval, self._fire)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        self._handle.cancel()
+
+
+class SimClock:
+    """A minimal, deterministic discrete-event scheduler."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = start
+        self._queue: List[ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-fired (and not cancelled) events."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    @property
+    def processed(self) -> int:
+        """Total events fired since construction."""
+        return self._processed
+
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., Any],
+                 *args: Any) -> ScheduledEvent:
+        """Run ``callback(*args)`` *delay* time units from now.
+
+        A zero delay schedules for the current instant, after everything
+        already queued for this instant.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        event = ScheduledEvent(self._now + delay, next(self._seq),
+                               callback, tuple(args))
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[..., Any],
+                    *args: Any) -> ScheduledEvent:
+        """Run ``callback(*args)`` at absolute *time*."""
+        return self.schedule(time - self._now, callback, *args)
+
+    def every(self, interval: float, callback: Callable[..., Any],
+              *args: Any) -> "PeriodicTask":
+        """Run ``callback(*args)`` every *interval* units, starting one
+        interval from now.  Cancel the returned :class:`PeriodicTask` to
+        stop the cycle."""
+        return PeriodicTask(self, interval, callback, args)
+
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the next event; returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback(*event.args)
+            self._processed += 1
+            return True
+        return False
+
+    def run(self, duration: Optional[float] = None,
+            max_events: int = 10_000_000) -> int:
+        """Process events until the queue drains, *duration* elapses, or
+        *max_events* fire (a runaway guard).  Returns events processed."""
+        deadline = None if duration is None else self._now + duration
+        fired = 0
+        while self._queue and fired < max_events:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if deadline is not None and head.time > deadline:
+                break
+            self.step()
+            fired += 1
+        if deadline is not None and self._now < deadline:
+            self._now = deadline
+        return fired
+
+    def run_until(self, time: float, max_events: int = 10_000_000) -> int:
+        """Process events with timestamps <= *time*."""
+        if time < self._now:
+            raise ValueError("run_until target is in the past")
+        return self.run(time - self._now, max_events)
+
+    def advance(self, duration: float) -> None:
+        """Move time forward without firing anything (idle time)."""
+        if duration < 0:
+            raise ValueError("cannot advance backwards")
+        if self._queue:
+            head = min(e.time for e in self._queue if not e.cancelled) \
+                if any(not e.cancelled for e in self._queue) else None
+            if head is not None and head < self._now + duration:
+                raise ValueError(
+                    "advance() would skip scheduled events; use run()")
+        self._now += duration
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.6g}, pending={self.pending})"

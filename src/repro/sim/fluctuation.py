@@ -1,0 +1,165 @@
+"""Parameter fluctuation models.
+
+The framework exists because system parameters "are typically not known at
+system design time and/or may fluctuate at run time" (Section 1).  These
+processes drive that fluctuation in the simulated substrate: each one
+attaches to the :class:`~repro.sim.clock.SimClock` and perturbs a link of a
+:class:`~repro.sim.network.SimulatedNetwork` over time.
+
+The three models cover the behaviors the paper's scenarios need:
+
+* :class:`RandomWalkFluctuation` — bounded random walk of a numeric link
+  property (reliability, bandwidth); the "bandwidth fluctuations" of §1.
+* :class:`DisconnectionProcess` — exponential on/off bursts; the "network
+  disconnections during system execution" of §1.
+* :class:`StepChange` — a scripted one-shot degradation at a known time;
+  used by the end-to-end benches to create a mid-run event the framework
+  must react to.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Tuple
+
+from repro.core.errors import NetworkError
+from repro.sim.clock import SimClock
+from repro.sim.network import SimulatedNetwork
+
+
+class FluctuationProcess:
+    """Base class: a started/stoppable process bound to one network link."""
+
+    def __init__(self, network: SimulatedNetwork, end_a: str, end_b: str):
+        self.network = network
+        self.link = network.require_link(end_a, end_b)
+        self._task = None
+
+    @property
+    def clock(self) -> SimClock:
+        return self.network.clock
+
+    def start(self) -> "FluctuationProcess":
+        if self._task is not None:
+            raise NetworkError("process already started")
+        self._task = self._begin()
+        return self
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None
+
+    def _begin(self):
+        raise NotImplementedError
+
+
+class RandomWalkFluctuation(FluctuationProcess):
+    """Bounded random walk on a numeric link attribute.
+
+    Every *interval* simulated seconds the attribute moves by a uniform step
+    in ``[-step, +step]``, clamped to ``bounds``.
+
+    Args:
+        attribute: ``"reliability"`` or ``"bandwidth"`` (or ``"delay"``).
+        step: Maximum per-interval change.
+        interval: Time between perturbations.
+        bounds: Inclusive (low, high) clamp.
+        seed: RNG seed for this process (independent of the network's RNG).
+    """
+
+    def __init__(self, network: SimulatedNetwork, end_a: str, end_b: str,
+                 attribute: str = "reliability", step: float = 0.05,
+                 interval: float = 1.0,
+                 bounds: Optional[Tuple[float, float]] = None,
+                 seed: Optional[int] = None):
+        super().__init__(network, end_a, end_b)
+        if not hasattr(self.link, attribute):
+            raise NetworkError(f"link has no attribute {attribute!r}")
+        self.attribute = attribute
+        self.step = step
+        self.interval = interval
+        if bounds is None:
+            bounds = (0.0, 1.0) if attribute == "reliability" else (0.0, float("inf"))
+        self.bounds = bounds
+        self.rng = random.Random(seed)
+        self.perturbations = 0
+
+    def _begin(self):
+        return self.clock.every(self.interval, self._perturb)
+
+    def _perturb(self) -> None:
+        low, high = self.bounds
+        value = getattr(self.link, self.attribute)
+        value += self.rng.uniform(-self.step, self.step)
+        value = max(low, min(high, value))
+        setattr(self.link, self.attribute, value)
+        self.perturbations += 1
+
+
+class DisconnectionProcess(FluctuationProcess):
+    """Alternating up/down periods with exponentially distributed durations.
+
+    Args:
+        mean_uptime: Mean duration of connected periods.
+        mean_downtime: Mean duration of disconnected periods.
+    """
+
+    def __init__(self, network: SimulatedNetwork, end_a: str, end_b: str,
+                 mean_uptime: float = 10.0, mean_downtime: float = 2.0,
+                 seed: Optional[int] = None):
+        super().__init__(network, end_a, end_b)
+        if mean_uptime <= 0 or mean_downtime <= 0:
+            raise NetworkError("mean durations must be positive")
+        self.mean_uptime = mean_uptime
+        self.mean_downtime = mean_downtime
+        self.rng = random.Random(seed)
+        self.transitions = 0
+
+    def _begin(self):
+        return self.clock.schedule(
+            self.rng.expovariate(1.0 / self.mean_uptime), self._go_down)
+
+    def _go_down(self) -> None:
+        self.network.set_connected(*self.link.ends, connected=False)
+        self.transitions += 1
+        self._task = self.clock.schedule(
+            self.rng.expovariate(1.0 / self.mean_downtime), self._go_up)
+
+    def _go_up(self) -> None:
+        self.network.set_connected(*self.link.ends, connected=True)
+        self.transitions += 1
+        self._task = self.clock.schedule(
+            self.rng.expovariate(1.0 / self.mean_uptime), self._go_down)
+
+    def stop(self) -> None:
+        super().stop()
+        # Leave the link up when the process is torn down.
+        if not self.link.connected:
+            self.network.set_connected(*self.link.ends, connected=True)
+
+
+class StepChange(FluctuationProcess):
+    """A scripted one-shot change of a link attribute at a fixed time."""
+
+    def __init__(self, network: SimulatedNetwork, end_a: str, end_b: str,
+                 at: float, attribute: str = "reliability",
+                 value: float = 0.0):
+        super().__init__(network, end_a, end_b)
+        if not hasattr(self.link, attribute):
+            raise NetworkError(f"link has no attribute {attribute!r}")
+        self.at = at
+        self.attribute = attribute
+        self.value = value
+        self.applied = False
+
+    def _begin(self):
+        return self.clock.schedule_at(self.at, self._apply)
+
+    def _apply(self) -> None:
+        if self.attribute == "connected":
+            self.network.set_connected(*self.link.ends,
+                                       connected=bool(self.value))
+        else:
+            setattr(self.link, self.attribute, self.value)
+        self.applied = True

@@ -1,0 +1,329 @@
+"""Simulated network substrate.
+
+The paper's evaluation runs on real PDAs and laptops whose links suffer
+"network disconnections during system execution ... bandwidth fluctuations
+and the unreliability of network links" (Section 1).  We reproduce that
+environment with an explicit simulation: a :class:`SimulatedNetwork` of
+named endpoints joined by :class:`NetworkLink` objects carrying the same
+three parameters the deployment model tracks — reliability, bandwidth,
+transmission delay — plus an up/down flag.
+
+Message transmission is probabilistic (a Bernoulli trial against the link's
+reliability, drawn from an injected RNG for reproducibility) and takes
+``delay + size/bandwidth`` simulated seconds, which is exactly the cost the
+:class:`~repro.core.objectives.LatencyObjective` charges — so measured
+behavior and modeled behavior agree by construction, as they do for the
+paper's authors who *defined* their objectives this way.
+
+The network also implements ``ping``, the "common 'pinging' technique" that
+Prism-MW's ``NetworkReliabilityMonitor`` uses to estimate link reliability.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.errors import NetworkError, UnknownEntityError
+from repro.core.model import DeploymentModel
+from repro.sim.clock import SimClock
+
+
+def _pair(a: str, b: str) -> Tuple[str, str]:
+    return (a, b) if a <= b else (b, a)
+
+
+@dataclass
+class NetworkStats:
+    """Cumulative traffic counters, per network and per link."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    kb_sent: float = 0.0
+    kb_delivered: float = 0.0
+
+    def observed_reliability(self) -> float:
+        """Fraction of sends that were delivered (1.0 when nothing sent)."""
+        if self.sent == 0:
+            return 1.0
+        return self.delivered / self.sent
+
+
+class NetworkLink:
+    """A bidirectional link between two endpoints."""
+
+    def __init__(self, end_a: str, end_b: str, reliability: float = 1.0,
+                 bandwidth: float = float("inf"), delay: float = 0.0,
+                 connected: bool = True):
+        if not 0.0 <= reliability <= 1.0:
+            raise NetworkError(f"reliability must be in [0,1], got {reliability}")
+        if bandwidth < 0:
+            raise NetworkError(f"bandwidth must be >= 0, got {bandwidth}")
+        if delay < 0:
+            raise NetworkError(f"delay must be >= 0, got {delay}")
+        self.ends = _pair(end_a, end_b)
+        self.reliability = reliability
+        self.bandwidth = bandwidth
+        self.delay = delay
+        self.connected = connected
+        self.stats = NetworkStats()
+
+    def transmission_time(self, size_kb: float) -> float:
+        if self.bandwidth == float("inf"):
+            return self.delay
+        if self.bandwidth <= 0.0:
+            raise NetworkError(f"link {self.ends} has zero bandwidth")
+        return self.delay + size_kb / self.bandwidth
+
+    def __repr__(self) -> str:
+        state = "up" if self.connected else "DOWN"
+        return (f"NetworkLink({self.ends[0]}<->{self.ends[1]}, "
+                f"rel={self.reliability:.2f}, {state})")
+
+
+# A message handler receives (source endpoint, payload, size_kb).
+MessageHandler = Callable[[str, Any, float], None]
+
+
+class SimulatedNetwork:
+    """Endpoints + links + probabilistic, clock-driven message delivery.
+
+    Endpoints are registered by name (we use host ids); each may attach one
+    receive handler (the middleware's DistributionConnector).  ``send``
+    resolves the direct link between the two endpoints — like the paper's
+    deployment model, communication is single-hop: host pairs without a
+    direct link cannot exchange messages and redeployment between them must
+    be mediated (which the Deployer component does at the middleware layer).
+    """
+
+    def __init__(self, clock: SimClock, seed: Optional[int] = None):
+        self.clock = clock
+        self.rng = random.Random(seed)
+        self._endpoints: Dict[str, Optional[MessageHandler]] = {}
+        self._links: Dict[Tuple[str, str], NetworkLink] = {}
+        self.stats = NetworkStats()
+        #: Observers called as (event, payload) for partition/heal events.
+        self.observers: List[Callable[[str, Dict[str, Any]], None]] = []
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def add_endpoint(self, name: str,
+                     handler: Optional[MessageHandler] = None) -> None:
+        if name in self._endpoints:
+            raise NetworkError(f"endpoint {name!r} already exists")
+        self._endpoints[name] = handler
+
+    def attach_handler(self, name: str, handler: MessageHandler) -> None:
+        if name not in self._endpoints:
+            raise UnknownEntityError("endpoint", name)
+        self._endpoints[name] = handler
+
+    def add_link(self, end_a: str, end_b: str, reliability: float = 1.0,
+                 bandwidth: float = float("inf"), delay: float = 0.0,
+                 connected: bool = True) -> NetworkLink:
+        for end in (end_a, end_b):
+            if end not in self._endpoints:
+                raise UnknownEntityError("endpoint", end)
+        key = _pair(end_a, end_b)
+        if key in self._links:
+            raise NetworkError(f"link {key} already exists")
+        link = NetworkLink(end_a, end_b, reliability, bandwidth, delay,
+                           connected)
+        self._links[key] = link
+        return link
+
+    def link(self, end_a: str, end_b: str) -> Optional[NetworkLink]:
+        return self._links.get(_pair(end_a, end_b))
+
+    def require_link(self, end_a: str, end_b: str) -> NetworkLink:
+        link = self.link(end_a, end_b)
+        if link is None:
+            raise UnknownEntityError("link", f"{end_a}<->{end_b}")
+        return link
+
+    @property
+    def endpoints(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._endpoints))
+
+    @property
+    def links(self) -> Tuple[NetworkLink, ...]:
+        return tuple(self._links[k] for k in sorted(self._links))
+
+    def neighbors(self, name: str) -> Tuple[str, ...]:
+        """Endpoints connected to *name* by a currently-up link."""
+        out = []
+        for (a, b), link in self._links.items():
+            if not link.connected:
+                continue
+            if a == name:
+                out.append(b)
+            elif b == name:
+                out.append(a)
+        return tuple(sorted(out))
+
+    # ------------------------------------------------------------------
+    # Link dynamics
+    # ------------------------------------------------------------------
+    def set_connected(self, end_a: str, end_b: str, connected: bool) -> None:
+        link = self.require_link(end_a, end_b)
+        if link.connected != connected:
+            link.connected = connected
+            event = "link_up" if connected else "link_down"
+            for observer in tuple(self.observers):
+                observer(event, {"ends": link.ends})
+
+    def set_reliability(self, end_a: str, end_b: str, value: float) -> None:
+        if not 0.0 <= value <= 1.0:
+            raise NetworkError(f"reliability must be in [0,1], got {value}")
+        self.require_link(end_a, end_b).reliability = value
+
+    def set_bandwidth(self, end_a: str, end_b: str, value: float) -> None:
+        if value < 0:
+            raise NetworkError(f"bandwidth must be >= 0, got {value}")
+        self.require_link(end_a, end_b).bandwidth = value
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def send(self, source: str, destination: str, payload: Any,
+             size_kb: float = 1.0,
+             on_dropped: Optional[Callable[[str, Any], None]] = None,
+             reliable: bool = False) -> bool:
+        """Attempt to deliver *payload* from *source* to *destination*.
+
+        Returns True when the message was *put on the wire* (a link exists
+        and is up); actual delivery is decided by the Bernoulli reliability
+        trial and happens after the link's transmission time.  ``on_dropped``
+        fires (immediately) when the message is lost in flight.
+
+        ``reliable=True`` models a retransmitting transport (as used for the
+        middleware's redeployment control traffic): the loss trial is
+        skipped, but a missing or disconnected link still fails the send —
+        no transport can cross a partition.
+        """
+        if source not in self._endpoints:
+            raise UnknownEntityError("endpoint", source)
+        if destination not in self._endpoints:
+            raise UnknownEntityError("endpoint", destination)
+        if source == destination:
+            # Loopback: deliver at the current instant, reliably.
+            self.stats.sent += 1
+            self.stats.kb_sent += size_kb
+            self._deliver_local(source, destination, payload, size_kb)
+            return True
+        link = self.link(source, destination)
+        self.stats.sent += 1
+        self.stats.kb_sent += size_kb
+        if link is None or not link.connected:
+            self.stats.dropped += 1
+            if link is not None:
+                link.stats.sent += 1
+                link.stats.dropped += 1
+                link.stats.kb_sent += size_kb
+            if on_dropped is not None:
+                on_dropped(destination, payload)
+            return False
+        link.stats.sent += 1
+        link.stats.kb_sent += size_kb
+        if not reliable and self.rng.random() > link.reliability:
+            self.stats.dropped += 1
+            link.stats.dropped += 1
+            if on_dropped is not None:
+                on_dropped(destination, payload)
+            return True  # sent, but lost in flight
+        travel = link.transmission_time(size_kb)
+        self.clock.schedule(travel, self._deliver, source, destination,
+                            payload, size_kb, link)
+        return True
+
+    def _deliver_local(self, source: str, destination: str, payload: Any,
+                       size_kb: float) -> None:
+        self.stats.delivered += 1
+        self.stats.kb_delivered += size_kb
+        handler = self._endpoints[destination]
+        if handler is not None:
+            handler(source, payload, size_kb)
+
+    def _deliver(self, source: str, destination: str, payload: Any,
+                 size_kb: float, link: NetworkLink) -> None:
+        # A link that went down while the message was in flight drops it.
+        if not link.connected:
+            self.stats.dropped += 1
+            link.stats.dropped += 1
+            return
+        self.stats.delivered += 1
+        self.stats.kb_delivered += size_kb
+        link.stats.delivered += 1
+        link.stats.kb_delivered += size_kb
+        handler = self._endpoints[destination]
+        if handler is not None:
+            handler(source, payload, size_kb)
+
+    def ping(self, source: str, destination: str,
+             size_kb: float = 0.01) -> bool:
+        """One synchronous reachability probe (success/failure now).
+
+        This is the sampling primitive behind the paper's
+        ``NetworkReliabilityMonitor``: repeated pings estimate the link's
+        true reliability.  A ping does not consume simulated time (probes
+        are tiny) but does update traffic statistics.
+        """
+        if source == destination:
+            return True
+        link = self.link(source, destination)
+        self.stats.sent += 1
+        self.stats.kb_sent += size_kb
+        if link is None or not link.connected:
+            self.stats.dropped += 1
+            return False
+        link.stats.sent += 1
+        link.stats.kb_sent += size_kb
+        if self.rng.random() > link.reliability:
+            self.stats.dropped += 1
+            link.stats.dropped += 1
+            return False
+        self.stats.delivered += 1
+        self.stats.kb_delivered += size_kb
+        link.stats.delivered += 1
+        link.stats.kb_delivered += size_kb
+        return True
+
+    # ------------------------------------------------------------------
+    # Interop with the deployment model
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_model(cls, model: DeploymentModel, clock: SimClock,
+                   seed: Optional[int] = None) -> "SimulatedNetwork":
+        """Build a network mirroring *model*'s hosts and physical links."""
+        network = cls(clock, seed)
+        for host in model.host_ids:
+            network.add_endpoint(host)
+        for link in model.physical_links:
+            bandwidth = link.params.get("bandwidth")
+            network.add_link(
+                *link.hosts,
+                reliability=link.params.get("reliability"),
+                bandwidth=bandwidth,
+                delay=link.params.get("delay"),
+                connected=link.params.get("connected"),
+            )
+        return network
+
+    def apply_to_model(self, model: DeploymentModel) -> None:
+        """Write current link truth back into *model* (ground truth sync —
+        used by tests to compare monitored estimates against reality)."""
+        for link in self.links:
+            a, b = link.ends
+            if model.physical_link(a, b) is None:
+                continue
+            model.set_physical_link_param(a, b, "reliability", link.reliability)
+            model.set_physical_link_param(a, b, "bandwidth", link.bandwidth)
+            model.set_physical_link_param(a, b, "delay", link.delay)
+            model.set_physical_link_param(a, b, "connected", link.connected)
+
+    def __repr__(self) -> str:
+        return (f"SimulatedNetwork(endpoints={len(self._endpoints)}, "
+                f"links={len(self._links)})")

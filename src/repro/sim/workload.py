@@ -1,0 +1,144 @@
+"""Application workload generation.
+
+Monitors can only observe interactions that actually happen, so the
+reproduction needs application traffic.  :class:`InteractionWorkload` turns
+the deployment model's logical links — each with a ``frequency`` and an
+``evt_size`` — into a concrete schedule of component-to-component events,
+either strictly periodic (deterministic) or Poisson (realistic).
+
+The workload is transport-agnostic: it calls an injected ``emit`` callback
+``(source_component, target_component, size_kb)`` and is used two ways:
+
+* driving the middleware application (the emit callback hands the event to
+  the source component's architecture), which is what the monitoring and
+  end-to-end benches exercise; and
+* standalone trace generation for algorithm-only experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.model import DeploymentModel
+from repro.sim.clock import SimClock
+
+EmitCallback = Callable[[str, str, float], None]
+
+
+@dataclass(frozen=True)
+class InteractionRecord:
+    """One generated interaction: at *time*, *source* sends to *target*."""
+
+    time: float
+    source: str
+    target: str
+    size_kb: float
+
+
+class InteractionWorkload:
+    """Generates component interactions matching the model's logical links.
+
+    Each logical link with positive frequency produces events in *both*
+    directions at half the link's rate (the model's links are undirected;
+    splitting the rate keeps the per-pair total equal to the modeled
+    frequency so monitors should re-measure what the model says).
+
+    Args:
+        model: Source of the interaction topology and rates.
+        clock: Simulation clock to schedule against.
+        emit: Callback invoked per interaction.
+        poisson: Exponential inter-arrival times when True; strictly
+            periodic otherwise.
+        seed: RNG seed for Poisson arrivals and direction choice.
+        rate_scale: Multiplier applied to every link frequency (lets benches
+            raise traffic without editing the model).
+    """
+
+    def __init__(self, model: DeploymentModel, clock: SimClock,
+                 emit: EmitCallback, poisson: bool = False,
+                 seed: Optional[int] = None, rate_scale: float = 1.0):
+        self.model = model
+        self.clock = clock
+        self.emit = emit
+        self.poisson = poisson
+        self.rng = random.Random(seed)
+        self.rate_scale = rate_scale
+        self.events_emitted = 0
+        self._running = False
+        self._streams: List[Tuple[str, str, float, float]] = []
+        for comp_a, comp_b, link in model.interaction_pairs():
+            rate = link.frequency * rate_scale
+            if rate <= 0.0:
+                continue
+            half = rate / 2.0
+            self._streams.append((comp_a, comp_b, half, link.evt_size))
+            self._streams.append((comp_b, comp_a, half, link.evt_size))
+
+    # ------------------------------------------------------------------
+    def start(self) -> "InteractionWorkload":
+        """Schedule the first arrival of every stream."""
+        if self._running:
+            return self
+        self._running = True
+        for index in range(len(self._streams)):
+            self._schedule_next(index, first=True)
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _interarrival(self, rate: float, first: bool) -> float:
+        if self.poisson:
+            return self.rng.expovariate(rate)
+        period = 1.0 / rate
+        if first:
+            # Desynchronize periodic streams so they do not all fire at t=0.
+            return period * self.rng.random()
+        return period
+
+    def _schedule_next(self, index: int, first: bool = False) -> None:
+        source, target, rate, size = self._streams[index]
+        self.clock.schedule(self._interarrival(rate, first),
+                            self._fire, index)
+
+    def _fire(self, index: int) -> None:
+        if not self._running:
+            return
+        source, target, __, size = self._streams[index]
+        self.emit(source, target, size)
+        self.events_emitted += 1
+        self._schedule_next(index)
+
+
+def generate_trace(model: DeploymentModel, duration: float,
+                   poisson: bool = False,
+                   seed: Optional[int] = None) -> List[InteractionRecord]:
+    """Standalone trace of interactions over *duration* simulated seconds.
+
+    Runs a private clock; useful for algorithm-only experiments and for
+    validating that the workload's empirical rates match the model.
+    """
+    clock = SimClock()
+    records: List[InteractionRecord] = []
+
+    def record(source: str, target: str, size_kb: float) -> None:
+        records.append(InteractionRecord(clock.now, source, target, size_kb))
+
+    workload = InteractionWorkload(model, clock, record,
+                                   poisson=poisson, seed=seed)
+    workload.start()
+    clock.run(duration)
+    workload.stop()
+    return records
+
+
+def empirical_frequencies(records: List[InteractionRecord],
+                          duration: float) -> dict:
+    """Per-undirected-pair observed event rates from a trace."""
+    counts: dict = {}
+    for record in records:
+        key = tuple(sorted((record.source, record.target)))
+        counts[key] = counts.get(key, 0) + 1
+    return {key: count / duration for key, count in counts.items()}

@@ -1,0 +1,87 @@
+"""Property-based tests over the whole algorithm suite.
+
+Invariant: on any feasible generated architecture, every algorithm returns a
+complete, constraint-satisfying deployment whose reported value equals a
+fresh evaluation of that deployment.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import (
+    AvalaAlgorithm, DecApAlgorithm, GeneticAlgorithm, HillClimbingAlgorithm,
+    SimulatedAnnealingAlgorithm, StochasticAlgorithm,
+)
+from repro.core import AvailabilityObjective, ConstraintSet, MemoryConstraint
+from repro.core.objectives import LatencyObjective
+from repro.desi import Generator, GeneratorConfig
+
+FACTORIES = {
+    "stochastic": lambda o, c: StochasticAlgorithm(o, c, seed=0,
+                                                   iterations=15),
+    "avala": lambda o, c: AvalaAlgorithm(o, c, seed=0),
+    "hillclimb": lambda o, c: HillClimbingAlgorithm(o, c, seed=0,
+                                                    max_rounds=20),
+    "annealing": lambda o, c: SimulatedAnnealingAlgorithm(o, c, seed=0,
+                                                          steps=400),
+    "genetic": lambda o, c: GeneticAlgorithm(o, c, seed=0,
+                                             population_size=12,
+                                             generations=8),
+    "decap": lambda o, c: DecApAlgorithm(o, c, seed=0, max_rounds=5),
+}
+
+
+@st.composite
+def generated_models(draw):
+    hosts = draw(st.integers(2, 5))
+    components = draw(st.integers(2, 10))
+    density = draw(st.sampled_from([0.5, 1.0]))
+    seed = draw(st.integers(0, 10_000))
+    config = GeneratorConfig(hosts=hosts, components=components,
+                             physical_density=density,
+                             memory_headroom=1.5)
+    return Generator(config, seed=seed).generate()
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+@settings(max_examples=15, deadline=None)
+@given(model=generated_models())
+def test_algorithm_contract(name, model):
+    objective = AvailabilityObjective()
+    constraints = ConstraintSet([MemoryConstraint()])
+    result = FACTORIES[name](objective, constraints).run(model)
+    # Complete assignment over known entities.
+    assert set(result.deployment) == set(model.component_ids)
+    assert set(result.deployment.values()) <= set(model.host_ids)
+    # Constraint-satisfying (the generator guarantees feasibility exists).
+    assert result.valid, f"{name} produced an invalid deployment"
+    # Reported value is honest.
+    assert result.value == pytest.approx(
+        objective.evaluate(model, result.deployment))
+    # Objective stays in its natural bounds.
+    assert 0.0 <= result.value <= 1.0 + 1e-12
+
+
+@pytest.mark.parametrize("name", ["hillclimb", "annealing"])
+@settings(max_examples=10, deadline=None)
+@given(model=generated_models())
+def test_local_search_never_regresses(name, model):
+    """Hill-climb and annealing keep the best-seen deployment, so they can
+    never return something worse than the (valid) starting point."""
+    objective = AvailabilityObjective()
+    constraints = ConstraintSet([MemoryConstraint()])
+    initial = objective.evaluate(model, model.deployment)
+    result = FACTORIES[name](objective, constraints).run(model)
+    assert result.value >= initial - 1e-9
+
+
+@settings(max_examples=10, deadline=None)
+@given(model=generated_models())
+def test_minimize_objectives_also_supported(model):
+    objective = LatencyObjective()
+    constraints = ConstraintSet([MemoryConstraint()])
+    initial = objective.evaluate(model, model.deployment)
+    result = HillClimbingAlgorithm(objective, constraints, seed=0,
+                                   max_rounds=20).run(model)
+    assert result.valid
+    assert result.value <= initial + 1e-9

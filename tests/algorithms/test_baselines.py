@@ -1,0 +1,111 @@
+"""Tests for the related-work baselines: I5 BIP and Coign min-cut (§2)."""
+
+import pytest
+
+from repro.algorithms import BIPAlgorithm, ExactAlgorithm, MinCutAlgorithm
+from repro.core import ConstraintSet, DeploymentModel, MemoryConstraint
+from repro.core.constraints import LocationConstraint
+from repro.core.errors import AlgorithmError
+from repro.core.objectives import CommunicationCostObjective
+from repro.desi import Generator, GeneratorConfig
+from repro.scenarios import build_client_server
+
+
+class TestBIP:
+    def test_matches_exact_on_remote_communication(self, small_model,
+                                                   memory_constraints):
+        bip = BIPAlgorithm(memory_constraints).run(small_model)
+        exact = ExactAlgorithm(CommunicationCostObjective(),
+                               memory_constraints).run(small_model)
+        assert bip.valid
+        assert bip.value == pytest.approx(exact.value)
+
+    def test_bound_prunes_nodes(self, small_model, memory_constraints):
+        result = BIPAlgorithm(memory_constraints).run(small_model)
+        assert result.extra["nodes_bounded"] > 0
+
+    def test_optimum_is_all_on_one_host_without_constraints(self,
+                                                            small_model):
+        result = BIPAlgorithm(ConstraintSet()).run(small_model)
+        assert result.value == pytest.approx(0.0)
+        assert len(set(result.deployment.values())) == 1
+
+    def test_space_guard(self):
+        model = Generator(GeneratorConfig(hosts=6, components=30),
+                          seed=1).generate()
+        with pytest.raises(AlgorithmError, match="exponential"):
+            BIPAlgorithm(ConstraintSet(), max_space=1e4).run(model)
+
+    def test_objective_is_fixed_to_communication(self, small_model):
+        """I5's limitation: the criterion is hard-wired."""
+        result = BIPAlgorithm(ConstraintSet()).run(small_model)
+        assert result.objective == "communication_cost"
+
+
+class TestMinCut:
+    def test_requires_exactly_two_hosts(self, small_model):
+        with pytest.raises(AlgorithmError, match="two"):
+            MinCutAlgorithm(ConstraintSet()).run(small_model)
+
+    def test_optimal_on_client_server(self):
+        scenario = build_client_server(middle_components=6, seed=8)
+        pins = ConstraintSet([
+            c for c in scenario.constraints
+            if isinstance(c, LocationConstraint)
+        ])
+        mincut = MinCutAlgorithm(pins).run(scenario.model)
+        exact = ExactAlgorithm(CommunicationCostObjective(),
+                               pins).run(scenario.model)
+        assert mincut.value == pytest.approx(exact.value)
+
+    def test_respects_pins(self):
+        scenario = build_client_server(middle_components=5, seed=3)
+        pins = ConstraintSet([
+            c for c in scenario.constraints
+            if isinstance(c, LocationConstraint)
+        ])
+        result = MinCutAlgorithm(pins).run(scenario.model)
+        assert result.deployment["ui"] == "client"
+        assert result.deployment["db"] == "server"
+
+    def test_cut_value_equals_objective(self):
+        scenario = build_client_server(middle_components=5, seed=3)
+        pins = ConstraintSet([
+            c for c in scenario.constraints
+            if isinstance(c, LocationConstraint)
+        ])
+        result = MinCutAlgorithm(pins).run(scenario.model)
+        assert result.extra["cut_value"] == pytest.approx(result.value)
+
+    def test_component_pinned_to_neither_host_fails(self):
+        model = DeploymentModel()
+        model.add_host("A")
+        model.add_host("B")
+        model.connect_hosts("A", "B")
+        model.add_component("x")
+        model.deploy("x", "A")
+        impossible = ConstraintSet([LocationConstraint("x", allowed=[])])
+        from repro.core.errors import NoValidDeploymentError
+        with pytest.raises(NoValidDeploymentError):
+            MinCutAlgorithm(impossible).run(model)
+
+    def test_unpinned_components_follow_traffic(self):
+        model = DeploymentModel()
+        model.add_host("A")
+        model.add_host("B")
+        model.connect_hosts("A", "B", bandwidth=10.0)
+        model.add_component("anchor_a")
+        model.add_component("anchor_b")
+        model.add_component("floater")
+        model.connect_components("floater", "anchor_a", frequency=10.0,
+                                 evt_size=1.0)
+        model.connect_components("floater", "anchor_b", frequency=1.0,
+                                 evt_size=1.0)
+        for component in model.component_ids:
+            model.deploy(component, "A")
+        pins = ConstraintSet([
+            LocationConstraint("anchor_a", allowed=["A"]),
+            LocationConstraint("anchor_b", allowed=["B"]),
+        ])
+        result = MinCutAlgorithm(pins).run(model)
+        assert result.deployment["floater"] == "A"  # follows the 10x traffic

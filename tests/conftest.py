@@ -1,0 +1,59 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    AvailabilityObjective, ConstraintSet, DeploymentModel, MemoryConstraint,
+)
+from repro.desi import Generator, GeneratorConfig
+
+
+@pytest.fixture
+def tiny_model() -> DeploymentModel:
+    """2 hosts, 3 components — small enough to reason about by hand.
+
+    Topology::
+
+        hA (mem 100) --- hB (mem 100)     reliability 0.5
+        c1 -- c2 (freq 4), c2 -- c3 (freq 1)
+        initial: c1,c2 on hA; c3 on hB
+    """
+    model = DeploymentModel(name="tiny")
+    model.add_host("hA", memory=100.0)
+    model.add_host("hB", memory=100.0)
+    model.connect_hosts("hA", "hB", reliability=0.5, bandwidth=100.0,
+                        delay=0.01)
+    model.add_component("c1", memory=10.0)
+    model.add_component("c2", memory=10.0)
+    model.add_component("c3", memory=10.0)
+    model.connect_components("c1", "c2", frequency=4.0, evt_size=2.0)
+    model.connect_components("c2", "c3", frequency=1.0, evt_size=1.0)
+    model.deploy("c1", "hA")
+    model.deploy("c2", "hA")
+    model.deploy("c3", "hB")
+    return model
+
+
+@pytest.fixture
+def small_model() -> DeploymentModel:
+    """4 hosts x 8 components, generated deterministically."""
+    return Generator(GeneratorConfig(hosts=4, components=8), seed=11).generate()
+
+
+@pytest.fixture
+def medium_model() -> DeploymentModel:
+    """8 hosts x 24 components, generated deterministically."""
+    return Generator(GeneratorConfig(hosts=8, components=24),
+                     seed=23).generate()
+
+
+@pytest.fixture
+def availability() -> AvailabilityObjective:
+    return AvailabilityObjective()
+
+
+@pytest.fixture
+def memory_constraints() -> ConstraintSet:
+    return ConstraintSet([MemoryConstraint()])

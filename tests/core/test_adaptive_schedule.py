@@ -1,0 +1,107 @@
+"""Tests for the framework's adaptive analysis scheduling."""
+
+import pytest
+
+from repro.core import (
+    AvailabilityObjective, ConstraintSet, DeploymentModel, MemoryConstraint,
+)
+from repro.core.framework import CentralizedFramework
+from repro.middleware import DistributedSystem
+from repro.sim import InteractionWorkload, SimClock, StepChange
+
+
+def build(seed=5):
+    """c0 is pinned on h0 (a sensor wired to its hardware); its chatty
+    partner c1 must live on h1 or h2, so the h0-h1 / h0-h2 link qualities
+    decide the deployment — a degradation forces a reroute."""
+    from repro.core.constraints import fix_component
+    model = DeploymentModel(name="adaptive")
+    model.add_host("h0", memory=10.0)
+    model.add_host("h1", memory=40.0)
+    model.add_host("h2", memory=40.0)
+    model.connect_hosts("h0", "h1", reliability=0.95, bandwidth=500.0,
+                        delay=0.005)
+    model.connect_hosts("h0", "h2", reliability=0.85, bandwidth=500.0,
+                        delay=0.005)
+    model.connect_hosts("h1", "h2", reliability=0.9, bandwidth=500.0,
+                        delay=0.005)
+    for component in ("c0", "c1", "c2", "c3"):
+        model.add_component(component, memory=10.0)
+    model.connect_components("c0", "c1", frequency=3.0)
+    model.connect_components("c2", "c3", frequency=3.0)
+    placement = {"c0": "h0", "c1": "h1", "c2": "h1", "c3": "h2"}
+    for component, host in placement.items():
+        model.deploy(component, host)
+    clock = SimClock()
+    system = DistributedSystem(model, clock, seed=seed)
+    framework = CentralizedFramework(
+        system, AvailabilityObjective(),
+        ConstraintSet([MemoryConstraint(), fix_component("c0", "h0")]),
+        monitor_interval=2.0, seed=seed)
+    return model, clock, system, framework
+
+
+class TestAdaptiveSchedule:
+    def test_quiet_system_backs_off(self):
+        model, clock, system, framework = build()
+        workload = InteractionWorkload(model, clock, system.emit,
+                                       seed=6).start()
+        framework.start(cycles_per_analysis=2, adaptive_schedule=True,
+                        max_cycles_per_analysis=8)
+        clock.run(200.0)
+        framework.stop()
+        workload.stop()
+        # The system settles after the first redeployments: the cadence
+        # must have stretched well beyond the base.
+        assert framework.current_cycles_per_analysis > 2
+        # Consequently, late analysis cycles are sparser than early ones.
+        times = [cycle.time for cycle in framework.cycles]
+        assert len(times) >= 3
+        late_gap = times[-1] - times[-2]
+        early_gap = times[1] - times[0]
+        assert late_gap > early_gap
+
+    def test_disturbance_snaps_cadence_back(self):
+        model, clock, system, framework = build()
+        workload = InteractionWorkload(model, clock, system.emit,
+                                       seed=6).start()
+        StepChange(system.network, "h0", "h1", at=100.0,
+                   attribute="reliability", value=0.2).start()
+        framework.start(cycles_per_analysis=2, adaptive_schedule=True,
+                        max_cycles_per_analysis=8)
+        clock.run(90.0)
+        stretched = framework.current_cycles_per_analysis
+        assert stretched > 2  # backed off while quiet
+        clock.run(110.0)  # degradation hits; monitors notice; redeploy
+        framework.stop()
+        workload.stop()
+        # Some post-disturbance cycle ran at the snapped-back cadence.
+        assert any(cycle.effect is not None and cycle.time > 100.0
+                   for cycle in framework.cycles)
+        # After reacting, cadence restarted from base (it may have begun
+        # stretching again, but from the base, so it is below the maximum
+        # it had reached plus the quiet stretch that followed).
+        assert framework.current_cycles_per_analysis <= 8
+
+    def test_fixed_schedule_unchanged_by_default(self):
+        model, clock, system, framework = build()
+        framework.start(cycles_per_analysis=3)
+        clock.run(60.0)
+        framework.stop()
+        assert framework.current_cycles_per_analysis == 3
+
+    def test_max_cap_respected(self):
+        model, clock, system, framework = build()
+        # Put the system in its optimum so every analysis is quiet.
+        model.set_deployment({"c0": "h0", "c1": "h0",
+                              "c2": "h1", "c3": "h1"})
+        system2 = DistributedSystem(model.copy(), SimClock(), seed=5)
+        framework2 = CentralizedFramework(
+            system2, AvailabilityObjective(),
+            ConstraintSet([MemoryConstraint()]), monitor_interval=1.0,
+            seed=5)
+        framework2.start(cycles_per_analysis=1, adaptive_schedule=True,
+                         max_cycles_per_analysis=4)
+        system2.clock.run(200.0)
+        framework2.stop()
+        assert framework2.current_cycles_per_analysis <= 4

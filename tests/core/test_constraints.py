@@ -1,0 +1,218 @@
+"""Unit tests for hard constraints and the ConstraintChecker."""
+
+import pytest
+
+from repro.core.constraints import (
+    BandwidthConstraint, CollocationConstraint, ConstraintSet, CpuConstraint,
+    LocationConstraint, MemoryConstraint, fix_component, standard_constraints,
+)
+from repro.core.model import DeploymentModel
+
+
+@pytest.fixture
+def model():
+    m = DeploymentModel()
+    m.add_host("big", memory=100.0, cpu=10.0)
+    m.add_host("small", memory=15.0, cpu=2.0)
+    m.connect_hosts("big", "small", reliability=0.9, bandwidth=10.0)
+    m.add_component("heavy", memory=50.0, cpu=5.0)
+    m.add_component("light", memory=10.0, cpu=1.0)
+    m.add_component("mini", memory=5.0, cpu=0.5)
+    m.connect_components("heavy", "light", frequency=4.0, evt_size=2.0)
+    m.connect_components("light", "mini", frequency=1.0, evt_size=1.0)
+    return m
+
+
+class TestMemoryConstraint:
+    def test_satisfied(self, model):
+        constraint = MemoryConstraint()
+        assert constraint.is_satisfied(
+            model, {"heavy": "big", "light": "big", "mini": "small"})
+
+    def test_violated(self, model):
+        constraint = MemoryConstraint()
+        deployment = {"heavy": "small"}
+        assert not constraint.is_satisfied(model, deployment)
+        violations = constraint.violations(model, deployment)
+        assert len(violations) == 1
+        assert "small" in violations[0]
+
+    def test_allows_incremental(self, model):
+        constraint = MemoryConstraint()
+        partial = {"light": "small"}
+        assert constraint.allows(model, partial, "mini", "small")
+        assert not constraint.allows(model, partial, "heavy", "small")
+
+    def test_allows_ignores_current_placement_of_moved_component(self, model):
+        """Re-placing a component on its own host must not double-count."""
+        constraint = MemoryConstraint()
+        partial = {"light": "small", "mini": "small"}
+        assert constraint.allows(model, partial, "light", "small")
+
+    def test_exactly_full_is_allowed(self, model):
+        constraint = MemoryConstraint()
+        assert constraint.allows(model, {"light": "small"}, "mini", "small")
+        # 10 + 5 == 15 exactly.
+        assert constraint.is_satisfied(
+            model, {"light": "small", "mini": "small",
+                    "heavy": "big"})
+
+
+class TestCpuConstraint:
+    def test_satisfied_and_violated(self, model):
+        constraint = CpuConstraint()
+        assert constraint.is_satisfied(model, {"heavy": "big"})
+        assert not constraint.is_satisfied(model, {"heavy": "small"})
+
+    def test_allows(self, model):
+        constraint = CpuConstraint()
+        assert constraint.allows(model, {}, "light", "small")
+        assert not constraint.allows(model, {"light": "small",
+                                             "mini": "small"},
+                                     "heavy", "small")
+
+
+class TestLocationConstraint:
+    def test_requires_exactly_one_mode(self):
+        with pytest.raises(ValueError):
+            LocationConstraint("c")
+        with pytest.raises(ValueError):
+            LocationConstraint("c", allowed=["h"], forbidden=["g"])
+
+    def test_allowed_whitelist(self, model):
+        constraint = LocationConstraint("heavy", allowed=["big"])
+        assert constraint.is_satisfied(model, {"heavy": "big"})
+        assert not constraint.is_satisfied(model, {"heavy": "small"})
+
+    def test_forbidden_blacklist(self, model):
+        constraint = LocationConstraint("heavy", forbidden=["small"])
+        assert constraint.is_satisfied(model, {"heavy": "big"})
+        assert not constraint.is_satisfied(model, {"heavy": "small"})
+
+    def test_unplaced_component_is_fine(self, model):
+        constraint = LocationConstraint("heavy", allowed=["big"])
+        assert constraint.is_satisfied(model, {})
+
+    def test_allows_only_filters_its_component(self, model):
+        constraint = LocationConstraint("heavy", allowed=["big"])
+        assert constraint.allows(model, {}, "light", "small")
+        assert not constraint.allows(model, {}, "heavy", "small")
+
+    def test_fix_component_helper(self, model):
+        constraint = fix_component("heavy", "big")
+        assert constraint.permits_host("big")
+        assert not constraint.permits_host("small")
+
+    def test_violation_message(self, model):
+        constraint = LocationConstraint("heavy", allowed=["big"])
+        messages = constraint.violations(model, {"heavy": "small"})
+        assert "heavy" in messages[0]
+
+
+class TestCollocationConstraint:
+    def test_needs_two_components(self):
+        with pytest.raises(ValueError):
+            CollocationConstraint(["only"], together=True)
+
+    def test_together_satisfied(self, model):
+        constraint = CollocationConstraint(["heavy", "light"], together=True)
+        assert constraint.is_satisfied(model, {"heavy": "big", "light": "big"})
+        assert not constraint.is_satisfied(
+            model, {"heavy": "big", "light": "small"})
+
+    def test_apart_satisfied(self, model):
+        constraint = CollocationConstraint(["heavy", "light"], together=False)
+        assert constraint.is_satisfied(
+            model, {"heavy": "big", "light": "small"})
+        assert not constraint.is_satisfied(
+            model, {"heavy": "big", "light": "big"})
+
+    def test_partial_together_not_rejected_early(self, model):
+        constraint = CollocationConstraint(["heavy", "light"], together=True)
+        # Only one member placed: must not be considered violated.
+        assert constraint.is_satisfied_partial(model, {"heavy": "big"})
+
+    def test_allows_together(self, model):
+        constraint = CollocationConstraint(["heavy", "light"], together=True)
+        assert constraint.allows(model, {"heavy": "big"}, "light", "big")
+        assert not constraint.allows(model, {"heavy": "big"}, "light", "small")
+
+    def test_allows_apart(self, model):
+        constraint = CollocationConstraint(["heavy", "light"], together=False)
+        assert not constraint.allows(model, {"heavy": "big"}, "light", "big")
+        assert constraint.allows(model, {"heavy": "big"}, "light", "small")
+
+    def test_allows_ignores_other_components(self, model):
+        constraint = CollocationConstraint(["heavy", "light"], together=False)
+        assert constraint.allows(model, {"heavy": "big"}, "mini", "big")
+
+
+class TestBandwidthConstraint:
+    def test_within_capacity(self, model):
+        constraint = BandwidthConstraint()
+        # heavy-light local on big; light-mini crosses: 1*1=1 <= 10.
+        assert constraint.is_satisfied(
+            model, {"heavy": "big", "light": "big", "mini": "small"})
+
+    def test_over_capacity(self, model):
+        constraint = BandwidthConstraint()
+        # heavy-light crosses: 4*2=8; light-mini local; total 8 <= 10 OK.
+        deployment = {"heavy": "big", "light": "small", "mini": "small"}
+        assert constraint.is_satisfied(model, deployment)
+        # Raise the volume beyond the link capacity.
+        model.set_logical_link_param("heavy", "light", "frequency", 10.0)
+        assert not constraint.is_satisfied(model, deployment)
+        violations = constraint.violations(model, deployment)
+        assert "big" in violations[0] and "small" in violations[0]
+
+    def test_unlinked_hosts_with_traffic_rejected(self):
+        m = DeploymentModel()
+        m.add_host("h1")
+        m.add_host("h2")  # no physical link
+        m.add_component("a")
+        m.add_component("b")
+        m.connect_components("a", "b", frequency=1.0, evt_size=1.0)
+        constraint = BandwidthConstraint()
+        assert not constraint.is_satisfied(m, {"a": "h1", "b": "h2"})
+
+
+class TestConstraintSet:
+    def test_aggregates_all(self, model):
+        checker = ConstraintSet([
+            MemoryConstraint(),
+            LocationConstraint("heavy", allowed=["big"]),
+        ])
+        good = {"heavy": "big", "light": "small", "mini": "small"}
+        assert checker.is_satisfied(model, good)
+        bad = {"heavy": "small", "light": "big", "mini": "big"}
+        assert not checker.is_satisfied(model, bad)
+        assert len(checker.violations(model, bad)) == 2
+
+    def test_allows_intersects_members(self, model):
+        checker = ConstraintSet([
+            MemoryConstraint(),
+            LocationConstraint("heavy", allowed=["big"]),
+        ])
+        assert checker.allows(model, {}, "heavy", "big")
+        assert not checker.allows(model, {}, "heavy", "small")
+
+    def test_allowed_hosts(self, model):
+        checker = ConstraintSet([
+            MemoryConstraint(),
+            LocationConstraint("mini", forbidden=["big"]),
+        ])
+        assert checker.allowed_hosts(model, {}, "mini") == ("small",)
+        assert checker.allowed_hosts(model, {}, "light") == ("big", "small")
+
+    def test_empty_set_allows_everything(self, model):
+        checker = ConstraintSet()
+        assert checker.is_satisfied(model, {"heavy": "small"})
+
+    def test_add_chains(self, model):
+        checker = ConstraintSet().add(MemoryConstraint()).add(CpuConstraint())
+        assert len(checker) == 2
+
+    def test_standard_constraints(self):
+        checker = standard_constraints()
+        kinds = {type(c) for c in checker}
+        assert kinds == {MemoryConstraint, BandwidthConstraint}

@@ -1,0 +1,118 @@
+"""Unit tests for redeployment planning and effectors."""
+
+import pytest
+
+from repro.core.effector import (
+    ModelEffector, MiddlewareEffector, plan_redeployment,
+)
+from repro.core.errors import EffectorError
+from repro.core.model import Deployment, DeploymentModel
+from repro.middleware import DistributedSystem
+from repro.sim import SimClock
+
+
+class TestPlanRedeployment:
+    def test_noop_plan(self, tiny_model):
+        plan = plan_redeployment(tiny_model, tiny_model.deployment)
+        assert plan.is_noop
+        assert plan.estimated_kb == 0.0
+        assert plan.estimated_time == 0.0
+
+    def test_moves_and_volume(self, tiny_model):
+        target = {"c1": "hB", "c2": "hA", "c3": "hB"}
+        plan = plan_redeployment(tiny_model, target)
+        assert len(plan.moves) == 1
+        assert plan.moves[0].component == "c1"
+        assert plan.estimated_kb == pytest.approx(10.0)  # c1's memory
+
+    def test_time_uses_link_parameters(self, tiny_model):
+        target = {"c1": "hB", "c2": "hA", "c3": "hB"}
+        plan = plan_redeployment(tiny_model, target)
+        # delay 0.01 + 10 KB / 100 KB/s = 0.11
+        assert plan.estimated_time == pytest.approx(0.11)
+
+    def test_parallel_pairs_take_max(self, tiny_model):
+        # c1: hA->hB (10KB) and c3: hB->hA (10KB) proceed in parallel.
+        target = {"c1": "hB", "c2": "hA", "c3": "hA"}
+        plan = plan_redeployment(tiny_model, target)
+        assert plan.estimated_time == pytest.approx(0.11)
+        assert plan.estimated_kb == pytest.approx(20.0)
+
+    def test_relay_path_when_no_direct_link(self):
+        model = DeploymentModel()
+        model.add_host("hq")
+        model.add_host("a")
+        model.add_host("b")
+        model.connect_hosts("hq", "a", bandwidth=100.0, delay=0.01)
+        model.connect_hosts("hq", "b", bandwidth=100.0, delay=0.01)
+        model.add_component("x", memory=10.0)
+        model.deploy("x", "a")
+        plan = plan_redeployment(model, {"x": "b"})
+        # Two legs of 0.01 + 10/100 each.
+        assert plan.estimated_time == pytest.approx(0.22)
+
+    def test_unreachable_pair_is_infinite(self):
+        model = DeploymentModel()
+        model.add_host("a")
+        model.add_host("b")  # totally disconnected
+        model.add_component("x", memory=10.0)
+        model.deploy("x", "a")
+        plan = plan_redeployment(model, {"x": "b"})
+        assert plan.estimated_time == float("inf")
+
+    def test_explicit_current_overrides_model(self, tiny_model):
+        plan = plan_redeployment(
+            tiny_model, {"c1": "hA", "c2": "hA", "c3": "hA"},
+            current={"c1": "hB", "c2": "hA", "c3": "hA"})
+        assert len(plan.moves) == 1
+        assert plan.moves[0] == plan.moves[0].__class__("c1", "hB", "hA")
+
+
+class TestModelEffector:
+    def test_applies_target_to_model(self, tiny_model):
+        effector = ModelEffector(tiny_model)
+        target = {"c1": "hB", "c2": "hB", "c3": "hB"}
+        plan = plan_redeployment(tiny_model, target)
+        report = effector.effect(plan)
+        assert report.succeeded
+        assert dict(tiny_model.deployment) == target
+        assert effector.history == [report]
+
+
+class TestMiddlewareEffector:
+    def test_effects_live_system(self, tiny_model):
+        clock = SimClock()
+        system = DistributedSystem(tiny_model, clock, seed=4)
+        effector = MiddlewareEffector(system)
+        target = {"c1": "hB", "c2": "hB", "c3": "hB"}
+        plan = plan_redeployment(tiny_model, target)
+        report = effector.effect(plan)
+        assert report.succeeded
+        assert report.moves_executed == 2
+        assert system.actual_deployment() == target
+        assert report.kb_transferred > 0.0
+
+    def test_noop_plan_short_circuits(self, tiny_model):
+        clock = SimClock()
+        system = DistributedSystem(tiny_model, clock, seed=4)
+        effector = MiddlewareEffector(system)
+        plan = plan_redeployment(tiny_model, tiny_model.deployment)
+        report = effector.effect(plan)
+        assert report.succeeded
+        assert report.moves_executed == 0
+        assert clock.now == 0.0
+
+    def test_partition_failure_raises_and_records(self):
+        model = DeploymentModel()
+        model.add_host("a", memory=100.0)
+        model.add_host("b", memory=100.0)
+        model.connect_hosts("a", "b", connected=False)
+        model.add_component("x", memory=5.0)
+        model.deploy("x", "a")
+        clock = SimClock()
+        system = DistributedSystem(model, clock, master_host="a", seed=1)
+        effector = MiddlewareEffector(system, max_wait=5.0)
+        plan = plan_redeployment(model, {"x": "b"})
+        with pytest.raises(EffectorError):
+            effector.effect(plan)
+        assert effector.history[-1].succeeded is False

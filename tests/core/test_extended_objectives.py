@@ -1,0 +1,209 @@
+"""Tests for the §6 extension objectives (throughput, durability) and the
+utility/preferences module."""
+
+import pytest
+
+from repro.algorithms import HillClimbingAlgorithm
+from repro.core import (
+    AvailabilityObjective, ConstraintSet, DeploymentModel,
+    DurabilityObjective, LatencyObjective, MemoryConstraint,
+    SatisfactionObjective, ThroughputObjective, UserPreferences,
+    UtilityFunction, overall_satisfaction,
+)
+from repro.core.errors import ModelError
+
+
+@pytest.fixture
+def battery_model():
+    """Mains-powered hub plus two battery nodes."""
+    model = DeploymentModel()
+    model.add_host("hub", memory=1000.0)  # infinite battery (default)
+    model.add_host("node1", memory=100.0, battery=100.0)
+    model.add_host("node2", memory=100.0, battery=400.0)
+    model.connect_hosts("hub", "node1", reliability=0.9, bandwidth=50.0)
+    model.connect_hosts("hub", "node2", reliability=0.9, bandwidth=50.0)
+    model.connect_hosts("node1", "node2", reliability=0.8, bandwidth=20.0)
+    model.add_component("worker", memory=10.0, cpu=50.0)
+    model.add_component("peer", memory=10.0, cpu=10.0)
+    model.connect_components("worker", "peer", frequency=4.0, evt_size=2.0)
+    model.deploy("worker", "node1")
+    model.deploy("peer", "node2")
+    return model
+
+
+class TestThroughputObjective:
+    def test_local_traffic_is_free(self, battery_model):
+        objective = ThroughputObjective()
+        together = {"worker": "hub", "peer": "hub"}
+        assert objective.evaluate(battery_model, together) == 0.0
+
+    def test_utilization_is_volume_over_bandwidth(self, battery_model):
+        objective = ThroughputObjective()
+        split = {"worker": "node1", "peer": "node2"}
+        # 4 evt/s * 2 KB over a 20 KB/s link = 0.4.
+        assert objective.evaluate(battery_model, split) == pytest.approx(0.4)
+
+    def test_bottleneck_is_the_max(self):
+        model = DeploymentModel()
+        for host in ("a", "b", "c"):
+            model.add_host(host)
+        model.connect_hosts("a", "b", bandwidth=100.0)
+        model.connect_hosts("b", "c", bandwidth=1.0)  # the bottleneck
+        for component in ("x", "y", "z"):
+            model.add_component(component)
+        model.connect_components("x", "y", frequency=1.0, evt_size=1.0)
+        model.connect_components("y", "z", frequency=1.0, evt_size=1.0)
+        deployment = {"x": "a", "y": "b", "z": "c"}
+        assert ThroughputObjective().evaluate(model, deployment) == \
+            pytest.approx(1.0)  # 1 KB/s over the 1 KB/s link dominates
+
+    def test_unlinked_pair_saturates(self):
+        model = DeploymentModel()
+        model.add_host("a")
+        model.add_host("b")
+        model.add_component("x")
+        model.add_component("y")
+        model.connect_components("x", "y", frequency=1.0)
+        value = ThroughputObjective().evaluate(model, {"x": "a", "y": "b"})
+        assert value == ThroughputObjective.UNREACHABLE_UTILIZATION
+
+    def test_optimizable_by_stock_algorithms(self, battery_model):
+        objective = ThroughputObjective()
+        result = HillClimbingAlgorithm(
+            objective, ConstraintSet([MemoryConstraint()]),
+            seed=1).run(battery_model)
+        assert result.valid
+        assert result.value <= objective.evaluate(
+            battery_model, battery_model.deployment)
+
+
+class TestDurabilityObjective:
+    def test_moving_load_off_weak_battery_helps(self, battery_model):
+        objective = DurabilityObjective()
+        weak_loaded = {"worker": "node1", "peer": "node2"}
+        hub_loaded = {"worker": "hub", "peer": "hub"}
+        assert objective.evaluate(battery_model, hub_loaded) > \
+            objective.evaluate(battery_model, weak_loaded)
+
+    def test_lifetime_formula(self, battery_model):
+        objective = DurabilityObjective(idle_draw=1.0, cpu_coefficient=0.1,
+                                        radio_coefficient=0.05)
+        deployment = {"worker": "node1", "peer": "node2"}
+        # node1: draw = 1 + 0.1*50 + 0.05*(4*2) = 6.4 ; life = 100/6.4
+        assert objective.host_lifetime(
+            battery_model, deployment, "node1") == pytest.approx(100 / 6.4)
+
+    def test_system_lifetime_is_minimum(self, battery_model):
+        objective = DurabilityObjective()
+        deployment = {"worker": "node1", "peer": "node2"}
+        lifetimes = [
+            objective.host_lifetime(battery_model, deployment, host)
+            for host in ("node1", "node2")
+        ]
+        assert objective.evaluate(battery_model, deployment) == \
+            pytest.approx(min(lifetimes))
+
+    def test_mains_only_system_is_maximal(self):
+        model = DeploymentModel()
+        model.add_host("mains")
+        model.add_component("c")
+        model.deploy("c", "mains")
+        objective = DurabilityObjective(max_lifetime=123.0)
+        assert objective.evaluate(model, model.deployment) == 123.0
+
+    def test_optimization_drains_toward_mains(self, battery_model):
+        objective = DurabilityObjective()
+        result = HillClimbingAlgorithm(
+            objective, ConstraintSet([MemoryConstraint()]),
+            seed=1).run(battery_model)
+        assert result.valid
+        # The CPU-hungry worker ends up on the mains-powered hub.
+        assert result.deployment["worker"] == "hub"
+
+
+class TestUtilityFunctions:
+    def test_curve_validation(self):
+        objective = AvailabilityObjective()
+        with pytest.raises(ModelError):
+            UtilityFunction(objective, [(0.5, 0.5)])  # one point
+        with pytest.raises(ModelError):
+            UtilityFunction(objective, [(0.5, 0.0), (0.4, 1.0)])  # not increasing
+        with pytest.raises(ModelError):
+            UtilityFunction(objective, [(0.0, 0.0), (1.0, 1.5)])  # utility > 1
+
+    def test_interpolation_and_clamping(self):
+        curve = UtilityFunction(AvailabilityObjective(),
+                                [(0.5, 0.0), (0.9, 1.0)])
+        assert curve.utility_of_value(0.3) == 0.0
+        assert curve.utility_of_value(0.95) == 1.0
+        assert curve.utility_of_value(0.7) == pytest.approx(0.5)
+
+    def test_utility_of_deployment(self, tiny_model):
+        curve = UtilityFunction(AvailabilityObjective(),
+                                [(0.0, 0.0), (1.0, 1.0)])
+        # tiny_model's availability is 0.9; identity curve passes through.
+        assert curve.utility(tiny_model, tiny_model.deployment) == \
+            pytest.approx(0.9)
+
+
+class TestUserPreferences:
+    def make_user(self, name="ops"):
+        availability_curve = UtilityFunction(
+            AvailabilityObjective(), [(0.5, 0.0), (1.0, 1.0)])
+        latency_curve = UtilityFunction(
+            LatencyObjective(), [(0.0, 1.0), (10.0, 0.0)])
+        return (UserPreferences(name)
+                .add(availability_curve, weight=2.0)
+                .add(latency_curve, weight=1.0))
+
+    def test_satisfaction_weighted(self, tiny_model):
+        user = self.make_user()
+        score = user.satisfaction(tiny_model, tiny_model.deployment)
+        assert 0.0 <= score <= 1.0
+        breakdown = user.breakdown(tiny_model, tiny_model.deployment)
+        expected = (2.0 * breakdown["availability"]
+                    + 1.0 * breakdown["latency"]) / 3.0
+        assert score == pytest.approx(expected)
+
+    def test_invalid_weight_rejected(self):
+        user = UserPreferences("x")
+        with pytest.raises(ModelError):
+            user.add(UtilityFunction(AvailabilityObjective(),
+                                     [(0.0, 0.0), (1.0, 1.0)]), weight=0.0)
+
+    def test_no_preferences_trivially_satisfied(self, tiny_model):
+        assert UserPreferences("zen").satisfaction(
+            tiny_model, tiny_model.deployment) == 1.0
+
+    def test_overall_satisfaction_is_mean(self, tiny_model):
+        users = [self.make_user("a"), UserPreferences("zen")]
+        overall = overall_satisfaction(users, tiny_model,
+                                       tiny_model.deployment)
+        individual = users[0].satisfaction(tiny_model, tiny_model.deployment)
+        assert overall == pytest.approx((individual + 1.0) / 2.0)
+
+
+class TestSatisfactionObjective:
+    def test_requires_users(self):
+        with pytest.raises(ModelError):
+            SatisfactionObjective([])
+
+    def test_optimizing_satisfaction(self, tiny_model):
+        availability_curve = UtilityFunction(
+            AvailabilityObjective(), [(0.5, 0.0), (1.0, 1.0)])
+        user = UserPreferences("ops").add(availability_curve)
+        objective = SatisfactionObjective([user])
+        result = HillClimbingAlgorithm(objective, ConstraintSet(),
+                                       seed=1).run(tiny_model)
+        assert result.valid
+        assert result.value == pytest.approx(1.0)  # full collocation
+
+    def test_least_satisfied_diagnostic(self, tiny_model):
+        happy = UserPreferences("happy")  # no prefs -> satisfaction 1.0
+        picky = UserPreferences("picky").add(UtilityFunction(
+            AvailabilityObjective(), [(0.99, 0.0), (1.0, 1.0)]))
+        objective = SatisfactionObjective([happy, picky])
+        name, score = objective.least_satisfied(tiny_model,
+                                                tiny_model.deployment)
+        assert name == "picky"
+        assert score < 0.5

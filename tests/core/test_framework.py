@@ -1,0 +1,143 @@
+"""Tests for the centralized framework loop (Figure 2)."""
+
+import pytest
+
+from repro.core import (
+    AvailabilityObjective, ConstraintSet, DeploymentModel, LatencyObjective,
+    MemoryConstraint,
+)
+from repro.core.framework import CentralizedFramework
+from repro.core.user_input import UserInput
+from repro.middleware import DistributedSystem
+from repro.sim import InteractionWorkload, SimClock, StepChange
+
+
+def build_loop_scenario(seed=5):
+    """Three hosts, two chatty clusters initially scattered."""
+    model = DeploymentModel(name="loop")
+    for host in ("h0", "h1", "h2"):
+        model.add_host(host, memory=40.0)
+    model.connect_hosts("h0", "h1", reliability=0.95, bandwidth=500.0,
+                        delay=0.005)
+    model.connect_hosts("h0", "h2", reliability=0.95, bandwidth=500.0,
+                        delay=0.005)
+    model.connect_hosts("h1", "h2", reliability=0.95, bandwidth=500.0,
+                        delay=0.005)
+    for component in ("c0", "c1", "c2", "c3", "c4", "c5"):
+        model.add_component(component, memory=10.0)
+    for pair in (("c0", "c1"), ("c0", "c2"), ("c1", "c2"),
+                 ("c3", "c4"), ("c4", "c5"), ("c2", "c3")):
+        model.connect_components(*pair, frequency=3.0, evt_size=1.0)
+    placement = {"c0": "h0", "c1": "h1", "c2": "h2",
+                 "c3": "h0", "c4": "h1", "c5": "h2"}
+    for component, host in placement.items():
+        model.deploy(component, host)
+    clock = SimClock()
+    system = DistributedSystem(model, clock, seed=seed)
+    return model, clock, system
+
+
+class TestCentralizedFramework:
+    def test_closed_loop_improves_availability(self):
+        model, clock, system = build_loop_scenario()
+        framework = CentralizedFramework(
+            system, AvailabilityObjective(),
+            ConstraintSet([MemoryConstraint()]),
+            monitor_interval=2.0, seed=3)
+        workload = InteractionWorkload(model, clock, system.emit,
+                                       seed=8).start()
+        initial = framework.modeled_availability()
+        framework.start(cycles_per_analysis=3)
+        clock.run(30.0)
+        framework.stop()
+        workload.stop()
+        final = framework.modeled_availability()
+        assert final > initial
+        assert any(cycle.effect is not None for cycle in framework.cycles)
+
+    def test_reacts_to_midrun_degradation(self):
+        model, clock, system = build_loop_scenario()
+        framework = CentralizedFramework(
+            system, AvailabilityObjective(),
+            ConstraintSet([MemoryConstraint()]),
+            monitor_interval=2.0, seed=3)
+        workload = InteractionWorkload(model, clock, system.emit,
+                                       seed=8).start()
+        StepChange(system.network, "h0", "h1", at=30.0,
+                   attribute="reliability", value=0.2).start()
+        framework.start(cycles_per_analysis=3)
+        clock.run(60.0)
+        framework.stop()
+        workload.stop()
+        # The monitors must have noticed the degradation...
+        assert model.physical_link("h0", "h1").params.get(
+            "reliability") < 0.6
+        # ...and the final deployment must avoid the now-bad link: no
+        # interacting pair straddles h0-h1.
+        deployment = model.deployment
+        straddlers = [
+            (a, b) for a, b, link in model.interaction_pairs()
+            if {deployment[a], deployment[b]} == {"h0", "h1"}
+        ]
+        assert straddlers == []
+
+    def test_user_input_applied_at_construction(self):
+        model, clock, system = build_loop_scenario()
+        user_input = (UserInput()
+                      .set_host("h0", memory=99.0)
+                      .restrict_location("c0", allowed=["h0"]))
+        framework = CentralizedFramework(
+            system, AvailabilityObjective(),
+            ConstraintSet([MemoryConstraint()]),
+            user_input=user_input, seed=1)
+        assert model.host("h0").memory == 99.0
+        assert len(framework.constraints) == 2  # memory + location
+
+    def test_location_constraint_respected_by_loop(self):
+        model, clock, system = build_loop_scenario()
+        user_input = UserInput().restrict_location("c5", allowed=["h2"])
+        framework = CentralizedFramework(
+            system, AvailabilityObjective(),
+            ConstraintSet([MemoryConstraint()]),
+            user_input=user_input, monitor_interval=2.0, seed=3)
+        workload = InteractionWorkload(model, clock, system.emit,
+                                       seed=8).start()
+        framework.start(cycles_per_analysis=3)
+        clock.run(30.0)
+        framework.stop()
+        workload.stop()
+        assert model.deployment["c5"] == "h2"
+
+    def test_app_delivery_ratio_reflects_reality(self):
+        model, clock, system = build_loop_scenario()
+        framework = CentralizedFramework(
+            system, AvailabilityObjective(),
+            ConstraintSet([MemoryConstraint()]), seed=1)
+        workload = InteractionWorkload(model, clock, system.emit,
+                                       seed=8).start()
+        clock.run(20.0)
+        workload.stop()
+        clock.run(2.0)
+        ratio = framework.app_delivery_ratio()
+        assert 0.5 < ratio <= 1.0
+
+    def test_status_shape(self):
+        model, clock, system = build_loop_scenario()
+        framework = CentralizedFramework(
+            system, AvailabilityObjective(), seed=1)
+        status = framework.status()
+        assert set(status) >= {"time", "modeled_availability", "monitoring",
+                               "analyzer", "cycles", "redeployments"}
+
+    def test_stop_cancels_cycles(self):
+        model, clock, system = build_loop_scenario()
+        framework = CentralizedFramework(
+            system, AvailabilityObjective(),
+            ConstraintSet([MemoryConstraint()]),
+            monitor_interval=2.0, seed=3)
+        framework.start()
+        clock.run(10.0)
+        cycles_at_stop = len(framework.cycles)
+        framework.stop()
+        clock.run(20.0)
+        assert len(framework.cycles) == cycles_at_stop

@@ -1,0 +1,121 @@
+"""Tests for the analyzer's solution-modification path (§5.1: "...or
+modifies the solution such that it does not significantly increase the
+system's overall latency")."""
+
+import pytest
+
+from repro.core import (
+    AvailabilityObjective, ConstraintSet, DeploymentModel, LatencyObjective,
+    MemoryConstraint,
+)
+from repro.core.analyzer import Analyzer
+from repro.core.constraints import fix_component
+
+
+def two_front_model():
+    """Two independent improvement opportunities:
+
+    * benign front: pair (a1, a2) split over a *fast* flaky link — moving
+      a2 next to the pinned a1 improves availability AND latency;
+    * hostile front: b1 is pinned on its own host and b2's only
+      availability improvement is moving to a reliable-but-awful link —
+      great for availability, terrible for latency.
+
+    A good algorithm proposes both moves; the guard repair must keep the
+    benign one and revert the hostile one.  The anchors are pinned with
+    architect location constraints (returned on ``model.constraints``) so
+    the optimum cannot dodge the dilemma by relocating them.
+    """
+    model = DeploymentModel(name="two-front")
+    model.add_host("hub", memory=20.0)
+    model.add_host("flaky", memory=20.0)
+    model.add_host("slow", memory=10.0)
+    model.add_host("bparent", memory=10.0)
+    # Fast but unreliable links everywhere except the slow-reliable one.
+    model.connect_hosts("hub", "flaky", reliability=0.6, bandwidth=1000.0,
+                        delay=0.001)
+    model.connect_hosts("bparent", "flaky", reliability=0.6,
+                        bandwidth=1000.0, delay=0.001)
+    model.connect_hosts("hub", "bparent", reliability=0.55,
+                        bandwidth=1000.0, delay=0.001)
+    # bparent <-> slow: reliable but dreadful.
+    model.connect_hosts("bparent", "slow", reliability=0.99, bandwidth=0.5,
+                        delay=0.5)
+    model.connect_hosts("hub", "slow", reliability=0.5, bandwidth=1.0,
+                        delay=0.5)
+    model.connect_hosts("flaky", "slow", reliability=0.5, bandwidth=1.0,
+                        delay=0.5)
+    # Benign pair: a1 pinned on hub, a2 on flaky; hub has room for both.
+    model.add_component("a1", memory=10.0)
+    model.add_component("a2", memory=10.0)
+    model.connect_components("a1", "a2", frequency=5.0, evt_size=1.0)
+    model.deploy("a1", "hub")
+    model.deploy("a2", "flaky")
+    # Hostile pair: b1 pinned on bparent (which it fills), b2 on flaky.
+    model.add_component("b1", memory=10.0)
+    model.add_component("b2", memory=10.0)
+    model.connect_components("b1", "b2", frequency=5.0, evt_size=10.0)
+    model.deploy("b1", "bparent")
+    model.deploy("b2", "flaky")
+    model.constraints = [fix_component("a1", "hub"),
+                         fix_component("b1", "bparent")]
+    return model
+
+
+class TestGuardRepair:
+    def test_repair_keeps_benign_move_reverts_hostile(self):
+        model = two_front_model()
+        analyzer = Analyzer(AvailabilityObjective(),
+                            ConstraintSet([MemoryConstraint(), *model.constraints]),
+                            latency_guard=LatencyObjective(),
+                            guard_tolerance=1.10,
+                            min_improvement=0.001, seed=1)
+        decision = analyzer.analyze(model)
+        assert decision.will_redeploy
+        deployment = decision.selected.deployment
+        # The benign collocation happened...
+        assert deployment["a2"] == deployment["a1"] == "hub"
+        # ...and the latency-hostile move was NOT taken: b2 did not go to
+        # the reliable-but-awful host.
+        assert deployment["b2"] != "slow"
+        # The outcome honors the guard.
+        latency = LatencyObjective()
+        before = latency.evaluate(model, model.deployment)
+        after = latency.evaluate(model, deployment)
+        assert after <= before * 1.10 + 1e-9
+
+    def test_repair_is_marked(self):
+        model = two_front_model()
+        analyzer = Analyzer(AvailabilityObjective(),
+                            ConstraintSet([MemoryConstraint(), *model.constraints]),
+                            latency_guard=LatencyObjective(),
+                            guard_tolerance=1.10,
+                            min_improvement=0.001, seed=1)
+        decision = analyzer.analyze(model)
+        if decision.selected.extra.get("repaired"):
+            assert decision.selected.algorithm.endswith("+guard-repair")
+
+    def test_unrepairable_single_move_still_vetoed(self):
+        """When the only move IS the hostile one, repair cannot help and
+        the analyzer falls back to a veto."""
+        model = two_front_model()
+        # Remove the benign opportunity: collocate the a-pair up front.
+        model.deploy("a2", "hub")
+        analyzer = Analyzer(AvailabilityObjective(),
+                            ConstraintSet([MemoryConstraint(), *model.constraints]),
+                            latency_guard=LatencyObjective(),
+                            guard_tolerance=1.05,
+                            min_improvement=0.001, seed=1)
+        decision = analyzer.analyze(model)
+        assert not decision.will_redeploy
+        assert "veto" in decision.reason
+
+    def test_no_guard_means_no_repair_path(self):
+        model = two_front_model()
+        analyzer = Analyzer(AvailabilityObjective(),
+                            ConstraintSet([MemoryConstraint(), *model.constraints]),
+                            min_improvement=0.001, seed=1)
+        decision = analyzer.analyze(model)
+        # Unguarded analyzer happily takes the hostile move.
+        assert decision.will_redeploy
+        assert decision.selected.deployment["b2"] == "slow"

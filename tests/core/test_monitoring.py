@@ -1,0 +1,151 @@
+"""Unit tests for ε-stability detection and the monitoring hub."""
+
+import pytest
+
+from repro.core.monitoring import MonitoringHub, StabilityDetector
+
+
+class TestStabilityDetector:
+    def test_needs_full_window(self):
+        detector = StabilityDetector(epsilon=0.1, window=3)
+        assert not detector.update(0.5)
+        assert not detector.update(0.5)
+        assert detector.update(0.5)
+
+    def test_stable_when_spread_below_epsilon(self):
+        detector = StabilityDetector(epsilon=0.1, window=3)
+        for value in (0.50, 0.55, 0.52):
+            detector.update(value)
+        assert detector.is_stable
+
+    def test_unstable_when_spread_at_or_above_epsilon(self):
+        # Exactly-representable floats so the boundary test is exact:
+        # spread == epsilon must count as unstable (strict less-than rule).
+        detector = StabilityDetector(epsilon=0.125, window=3)
+        for value in (0.5, 0.625, 0.5):
+            detector.update(value)
+        assert not detector.is_stable
+
+    def test_sliding_window_recovers(self):
+        detector = StabilityDetector(epsilon=0.05, window=3)
+        for value in (0.1, 0.9, 0.5):  # wildly unstable
+            detector.update(value)
+        assert not detector.is_stable
+        for value in (0.51, 0.52, 0.51):  # settles
+            detector.update(value)
+        assert detector.is_stable
+
+    def test_stable_value_is_window_mean(self):
+        detector = StabilityDetector(epsilon=0.1, window=2)
+        detector.update(0.50)
+        detector.update(0.54)
+        assert detector.stable_value() == pytest.approx(0.52)
+
+    def test_stable_value_none_when_unstable(self):
+        detector = StabilityDetector(epsilon=0.01, window=2)
+        detector.update(0.1)
+        detector.update(0.9)
+        assert detector.stable_value() is None
+
+    def test_reset(self):
+        detector = StabilityDetector(epsilon=0.1, window=2)
+        detector.update(0.5)
+        detector.update(0.5)
+        detector.reset()
+        assert not detector.is_stable
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            StabilityDetector(epsilon=-1.0)
+        with pytest.raises(ValueError):
+            StabilityDetector(window=1)
+
+
+class TestMonitoringHub:
+    def _report(self, host, reliability=None, frequency=None, sizes=None):
+        report = {"host": host}
+        if reliability:
+            report["reliability"] = reliability
+        if frequency:
+            report["evt_frequency"] = frequency
+        if sizes:
+            report["evt_sizes"] = sizes
+        return report
+
+    def test_reliability_averaged_across_both_ends(self, tiny_model):
+        hub = MonitoringHub(tiny_model, epsilon=0.05, window=2)
+        for __ in range(2):
+            hub.ingest("hA", self._report("hA", reliability={"hB": 0.8}))
+            hub.ingest("hB", self._report("hB", reliability={"hA": 0.6}))
+            hub.process_interval()
+        link = tiny_model.physical_link("hA", "hB")
+        assert link.params.get("reliability") == pytest.approx(0.7)
+
+    def test_unstable_values_not_applied(self, tiny_model):
+        hub = MonitoringHub(tiny_model, epsilon=0.05, window=2)
+        original = tiny_model.physical_link("hA", "hB").params.get(
+            "reliability")
+        hub.ingest("hA", self._report("hA", reliability={"hB": 0.2}))
+        hub.process_interval()
+        hub.ingest("hA", self._report("hA", reliability={"hB": 0.9}))
+        hub.process_interval()
+        # Two wildly different windows: nothing written.
+        assert tiny_model.physical_link("hA", "hB").params.get(
+            "reliability") == original
+
+    def test_becomes_stable_and_applies(self, tiny_model):
+        hub = MonitoringHub(tiny_model, epsilon=0.05, window=3)
+        for __ in range(3):
+            hub.ingest("hA", self._report("hA", reliability={"hB": 0.42}))
+            applied = hub.process_interval()
+        assert len(applied) == 1
+        assert tiny_model.reliability("hA", "hB") == pytest.approx(0.42)
+
+    def test_directed_rates_summed_into_undirected_frequency(self, tiny_model):
+        hub = MonitoringHub(tiny_model, epsilon=0.05, window=2,
+                            frequency_epsilon=0.5)
+        for __ in range(2):
+            hub.ingest("hA", self._report(
+                "hA", frequency={"c1|c2": 2.0}))
+            hub.ingest("hB", self._report(
+                "hB", frequency={"c2|c1": 1.5}))
+            hub.process_interval()
+        assert tiny_model.frequency("c1", "c2") == pytest.approx(3.5)
+
+    def test_event_sizes_averaged(self, tiny_model):
+        hub = MonitoringHub(tiny_model, epsilon=0.05, window=2,
+                            frequency_epsilon=10.0)
+        for __ in range(2):
+            hub.ingest("hA", self._report(
+                "hA", frequency={"c1|c2": 2.0}, sizes={"c1|c2": 3.0}))
+            hub.ingest("hB", self._report(
+                "hB", frequency={"c2|c1": 2.0}, sizes={"c2|c1": 1.0}))
+            hub.process_interval()
+        assert tiny_model.evt_size("c1", "c2") == pytest.approx(2.0)
+
+    def test_unknown_links_ignored(self, tiny_model):
+        hub = MonitoringHub(tiny_model, epsilon=0.05, window=2)
+        for __ in range(2):
+            hub.ingest("hA", self._report(
+                "hA", reliability={"ghost": 0.1},
+                frequency={"cX|cY": 5.0}))
+            applied = hub.process_interval()
+        assert applied == []
+
+    def test_reports_cleared_between_intervals(self, tiny_model):
+        hub = MonitoringHub(tiny_model, epsilon=0.05, window=2)
+        hub.ingest("hA", self._report("hA", reliability={"hB": 0.8}))
+        hub.process_interval()
+        # Second interval with no reports: the detector series should not
+        # advance (no value for this interval), hence never stabilizes.
+        hub.process_interval()
+        assert tiny_model.reliability("hA", "hB") == 0.5  # untouched
+
+    def test_stability_report(self, tiny_model):
+        hub = MonitoringHub(tiny_model, epsilon=0.05, window=2)
+        hub.ingest("hA", self._report("hA", reliability={"hB": 0.8}))
+        hub.process_interval()
+        report = hub.stability_report()
+        assert report["parameters_tracked"] == 1
+        assert report["parameters_stable"] == 0
+        assert report["intervals_processed"] == 1

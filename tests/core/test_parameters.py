@@ -1,0 +1,189 @@
+"""Unit tests for the extensible parameter registry."""
+
+import math
+
+import pytest
+
+from repro.core import parameters as P
+from repro.core.errors import ParameterError
+from repro.core.parameters import (
+    ParameterBag, ParameterDefinition, ParameterRegistry, standard_registry,
+)
+
+
+class TestParameterDefinition:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ParameterError, match="kind"):
+            ParameterDefinition("x", "gadget")
+
+    def test_validate_within_bounds(self):
+        definition = ParameterDefinition("rel", P.PHYSICAL_LINK,
+                                         minimum=0.0, maximum=1.0)
+        assert definition.validate(0.5) == 0.5
+        assert definition.validate(0.0) == 0.0
+        assert definition.validate(1.0) == 1.0
+
+    def test_validate_below_minimum(self):
+        definition = ParameterDefinition("rel", P.PHYSICAL_LINK, minimum=0.0)
+        with pytest.raises(ParameterError, match="minimum"):
+            definition.validate(-0.1)
+
+    def test_validate_above_maximum(self):
+        definition = ParameterDefinition("rel", P.PHYSICAL_LINK, maximum=1.0)
+        with pytest.raises(ParameterError, match="maximum"):
+            definition.validate(1.1)
+
+    def test_validate_rejects_nan(self):
+        definition = ParameterDefinition("bw", P.PHYSICAL_LINK)
+        with pytest.raises(ParameterError, match="NaN"):
+            definition.validate(float("nan"))
+
+    def test_custom_validator(self):
+        definition = ParameterDefinition(
+            "level", P.HOST, validator=lambda v: v in ("low", "high"))
+        assert definition.validate("low") == "low"
+        with pytest.raises(ParameterError, match="validator"):
+            definition.validate("medium")
+
+    def test_bool_values_skip_numeric_bounds(self):
+        definition = ParameterDefinition("on", P.HOST, minimum=5.0)
+        # True would fail a numeric minimum of 5; bools are flags.
+        assert definition.validate(True) is True
+
+
+class TestParameterRegistry:
+    def test_register_and_get(self):
+        registry = ParameterRegistry()
+        definition = ParameterDefinition("power", P.HOST, default=3.0)
+        registry.register(definition)
+        assert registry.get(P.HOST, "power") is definition
+        assert registry.has(P.HOST, "power")
+
+    def test_duplicate_registration_rejected(self):
+        registry = ParameterRegistry()
+        registry.register(ParameterDefinition("power", P.HOST))
+        with pytest.raises(ParameterError, match="already registered"):
+            registry.register(ParameterDefinition("power", P.HOST))
+
+    def test_same_name_different_kind_allowed(self):
+        registry = ParameterRegistry()
+        registry.register(ParameterDefinition("memory", P.HOST))
+        registry.register(ParameterDefinition("memory", P.COMPONENT))
+        assert len(registry) == 2
+
+    def test_unregister(self):
+        registry = ParameterRegistry()
+        registry.register(ParameterDefinition("power", P.HOST))
+        registry.unregister(P.HOST, "power")
+        assert not registry.has(P.HOST, "power")
+
+    def test_unregister_missing_raises(self):
+        registry = ParameterRegistry()
+        with pytest.raises(ParameterError, match="not registered"):
+            registry.unregister(P.HOST, "power")
+
+    def test_get_missing_raises(self):
+        registry = ParameterRegistry()
+        with pytest.raises(ParameterError, match="not registered"):
+            registry.get(P.HOST, "power")
+
+    def test_defined_for_sorted_by_name(self):
+        registry = ParameterRegistry()
+        registry.register(ParameterDefinition("zeta", P.HOST))
+        registry.register(ParameterDefinition("alpha", P.HOST))
+        registry.register(ParameterDefinition("other", P.COMPONENT))
+        names = [d.name for d in registry.defined_for(P.HOST)]
+        assert names == ["alpha", "zeta"]
+
+    def test_default_values(self):
+        registry = ParameterRegistry()
+        registry.register(ParameterDefinition("a", P.HOST, default=1.0))
+        registry.register(ParameterDefinition("b", P.HOST, default=2.0))
+        assert registry.default_values(P.HOST) == {"a": 1.0, "b": 2.0}
+
+    def test_monitorable_filter(self):
+        registry = standard_registry()
+        monitorable = {d.name for d in registry.monitorable(P.PHYSICAL_LINK)}
+        assert "reliability" in monitorable
+        assert "security" not in monitorable  # user-input parameter
+
+    def test_copy_is_independent(self):
+        registry = ParameterRegistry()
+        registry.register(ParameterDefinition("a", P.HOST))
+        clone = registry.copy()
+        clone.register(ParameterDefinition("b", P.HOST))
+        assert not registry.has(P.HOST, "b")
+        assert clone.has(P.HOST, "a")
+
+    def test_iteration_order_is_deterministic(self):
+        registry = standard_registry()
+        first = [d.name for d in registry]
+        second = [d.name for d in registry]
+        assert first == second
+
+
+class TestStandardRegistry:
+    def test_section_5_1_parameters_present(self):
+        """The model of Section 5.1 needs exactly these parameter kinds."""
+        registry = standard_registry()
+        assert registry.has(P.COMPONENT, "memory")
+        assert registry.has(P.HOST, "memory")
+        assert registry.has(P.LOGICAL_LINK, "frequency")
+        assert registry.has(P.LOGICAL_LINK, "evt_size")
+        assert registry.has(P.PHYSICAL_LINK, "reliability")
+        assert registry.has(P.PHYSICAL_LINK, "bandwidth")
+        assert registry.has(P.PHYSICAL_LINK, "delay")
+
+    def test_reliability_bounds(self):
+        registry = standard_registry()
+        with pytest.raises(ParameterError):
+            registry.validate(P.PHYSICAL_LINK, "reliability", 1.5)
+        with pytest.raises(ParameterError):
+            registry.validate(P.PHYSICAL_LINK, "reliability", -0.5)
+
+    def test_host_memory_defaults_unbounded(self):
+        registry = standard_registry()
+        assert registry.get(P.HOST, "memory").default == float("inf")
+
+
+class TestParameterBag:
+    def test_get_falls_back_to_default(self):
+        bag = ParameterBag(P.HOST, standard_registry())
+        assert bag.get("memory") == float("inf")
+
+    def test_set_then_get(self):
+        bag = ParameterBag(P.HOST, standard_registry())
+        bag.set("memory", 64.0)
+        assert bag.get("memory") == 64.0
+
+    def test_set_validates(self):
+        bag = ParameterBag(P.PHYSICAL_LINK, standard_registry())
+        with pytest.raises(ParameterError):
+            bag.set("reliability", 2.0)
+
+    def test_set_unregistered_rejected(self):
+        bag = ParameterBag(P.HOST, standard_registry())
+        with pytest.raises(ParameterError, match="not registered"):
+            bag.set("colour", "red")
+
+    def test_explicit_excludes_defaults(self):
+        bag = ParameterBag(P.HOST, standard_registry())
+        bag.set("memory", 10.0)
+        assert bag.explicit() == {"memory": 10.0}
+
+    def test_as_dict_merges_defaults_and_explicit(self):
+        bag = ParameterBag(P.HOST, standard_registry())
+        bag.set("memory", 10.0)
+        resolved = bag.as_dict()
+        assert resolved["memory"] == 10.0
+        assert resolved["cpu"] == float("inf")
+
+    def test_runtime_parameter_extension(self):
+        """New parameters can be added at run time (framework requirement)."""
+        registry = standard_registry()
+        bag = ParameterBag(P.HOST, registry)
+        registry.register(ParameterDefinition(
+            "trust", P.HOST, default=0.5, minimum=0.0, maximum=1.0))
+        assert bag.get("trust") == 0.5
+        bag.set("trust", 0.9)
+        assert bag.get("trust") == 0.9

@@ -1,0 +1,78 @@
+"""Unit tests for design-time user input."""
+
+import pytest
+
+from repro.core.constraints import CollocationConstraint, LocationConstraint
+from repro.core.model import DeploymentModel
+from repro.core.user_input import UserInput
+
+
+class TestBuilder:
+    def test_chainable(self):
+        user_input = (UserInput()
+                      .set_host("h1", memory=64.0)
+                      .set_component("c1", memory=8.0)
+                      .restrict_location("c1", allowed=["h1"]))
+        assert user_input.host_params["h1"]["memory"] == 64.0
+        assert len(user_input.constraints) == 1
+
+    def test_link_keys_canonicalized(self):
+        user_input = UserInput()
+        user_input.set_physical_link("z", "a", security=0.5)
+        user_input.set_physical_link("a", "z", delay=0.1)
+        assert user_input.physical_link_params[("a", "z")] == {
+            "security": 0.5, "delay": 0.1}
+
+    def test_collocate_and_separate(self):
+        user_input = UserInput().collocate("a", "b").separate("c", "d")
+        together, apart = user_input.constraints
+        assert isinstance(together, CollocationConstraint) and together.together
+        assert isinstance(apart, CollocationConstraint) and not apart.together
+
+
+class TestApply:
+    def test_writes_params_into_model(self, tiny_model):
+        user_input = (UserInput()
+                      .set_host("hA", memory=42.0)
+                      .set_component("c1", memory=3.0)
+                      .set_physical_link("hA", "hB", security=0.25)
+                      .set_logical_link("c1", "c2", frequency=9.0))
+        user_input.apply(tiny_model)
+        assert tiny_model.host("hA").memory == 42.0
+        assert tiny_model.component("c1").memory == 3.0
+        assert tiny_model.physical_link("hA", "hB").params.get(
+            "security") == 0.25
+        assert tiny_model.frequency("c1", "c2") == 9.0
+
+    def test_constraints_added_to_model(self, tiny_model):
+        user_input = UserInput().restrict_location("c1", allowed=["hA"])
+        user_input.apply(tiny_model)
+        assert any(isinstance(c, LocationConstraint)
+                   for c in tiny_model.constraints)
+
+    def test_apply_twice_does_not_duplicate_constraints(self, tiny_model):
+        user_input = UserInput().restrict_location("c1", allowed=["hA"])
+        user_input.apply(tiny_model)
+        user_input.apply(tiny_model)
+        assert len(tiny_model.constraints) == 1
+
+    def test_unknown_entities_skipped(self, tiny_model):
+        """A decentralized host's partial model only takes what it knows."""
+        user_input = (UserInput()
+                      .set_host("ghost", memory=1.0)
+                      .set_component("phantom", memory=1.0)
+                      .set_physical_link("hA", "ghost", security=0.1)
+                      .set_logical_link("c1", "phantom", frequency=1.0)
+                      .set_host("hA", memory=77.0))
+        user_input.apply(tiny_model)  # must not raise
+        assert tiny_model.host("hA").memory == 77.0
+        assert not tiny_model.has_host("ghost")
+
+    def test_replay_onto_restricted_view(self, tiny_model):
+        user_input = (UserInput()
+                      .set_host("hA", memory=55.0)
+                      .set_host("hB", memory=66.0))
+        view = tiny_model.restricted_to(["hA"])
+        user_input.apply(view)
+        assert view.host("hA").memory == 55.0
+        assert not view.has_host("hB")

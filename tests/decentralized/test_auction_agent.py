@@ -1,0 +1,188 @@
+"""Tests for the message-level auction protocol and the decentralized
+framework (Figure 3 / Section 5.2)."""
+
+import pytest
+
+from repro.core import AvailabilityObjective, DeploymentModel
+from repro.decentralized import (
+    DecentralizedFramework, agent_id, from_connectivity, full_awareness,
+)
+from repro.middleware import DistributedSystem
+from repro.sim import InteractionWorkload, SimClock
+
+
+def chatty_pair_model():
+    """Two hosts over a mediocre link; a chatty pair is split across it."""
+    model = DeploymentModel()
+    model.add_host("h0", memory=100.0)
+    model.add_host("h1", memory=100.0)
+    model.connect_hosts("h0", "h1", reliability=0.6, bandwidth=200.0,
+                        delay=0.005)
+    model.add_component("a", memory=10.0)
+    model.add_component("b", memory=10.0)
+    model.add_component("loner", memory=10.0)
+    model.connect_components("a", "b", frequency=8.0, evt_size=2.0)
+    model.deploy("a", "h0")
+    model.deploy("b", "h1")
+    model.deploy("loner", "h1")
+    return model
+
+
+def build_decentralized(model, seed=3, **kwargs):
+    clock = SimClock()
+    system = DistributedSystem(model, clock, decentralized=True, seed=seed)
+    framework = DecentralizedFramework(system, AvailabilityObjective(),
+                                       **kwargs)
+    return clock, system, framework
+
+
+class TestAuctionProtocol:
+    def test_winning_auction_migrates_component(self):
+        model = chatty_pair_model()
+        clock, system, framework = build_decentralized(model)
+        framework._ingest_monitoring()
+        framework.synchronizer.sync_until_quiet()
+        agent = framework.agents["h0"]
+        assert agent.initiate_auction("a")
+        clock.run(5.0)
+        # b's host bid highest (it holds the chatty partner): a moved to h1.
+        assert system.actual_deployment()["a"] == "h1"
+        record = agent.completed[0]
+        assert record.winner == "h1"
+        assert record.moved
+
+    def test_auction_with_no_interest_keeps_component(self):
+        model = chatty_pair_model()
+        clock, system, framework = build_decentralized(model)
+        framework._ingest_monitoring()
+        framework.synchronizer.sync_until_quiet()
+        agent = framework.agents["h1"]
+        # "loner" interacts with nothing: no bid can beat keeping it.
+        assert agent.initiate_auction("loner")
+        clock.run(5.0)
+        assert system.actual_deployment()["loner"] == "h1"
+        assert not agent.completed[0].moved
+
+    def test_busy_neighbor_rule_blocks_concurrent_auctions(self):
+        model = chatty_pair_model()
+        clock, system, framework = build_decentralized(model,
+                                                       bid_timeout=1.0)
+        framework._ingest_monitoring()
+        framework.synchronizer.sync_until_quiet()
+        initiator = framework.agents["h0"]
+        neighbor = framework.agents["h1"]
+        assert initiator.initiate_auction("a")
+        clock.run(0.1)  # announcement arrives at h1
+        assert not neighbor.may_initiate()
+        assert not neighbor.try_initiate()
+        clock.run(5.0)  # auction closes, result broadcast
+        assert neighbor.may_initiate()
+
+    def test_bidder_without_memory_does_not_bid(self):
+        model = chatty_pair_model()
+        model.set_host_param("h1", "memory", 20.0)  # b + loner fill it
+        clock, system, framework = build_decentralized(model)
+        framework._ingest_monitoring()
+        framework.synchronizer.sync_until_quiet()
+        agent = framework.agents["h0"]
+        agent.initiate_auction("a")
+        clock.run(5.0)
+        assert system.actual_deployment()["a"] == "h0"  # nobody could take it
+        assert framework.agents["h1"].bids_submitted == 0
+
+    def test_cannot_auction_foreign_component(self):
+        model = chatty_pair_model()
+        clock, system, framework = build_decentralized(model)
+        from repro.core.errors import AuctionError
+        with pytest.raises(AuctionError):
+            framework.agents["h0"].initiate_auction("b")  # b lives on h1
+
+
+class TestDecentralizedFramework:
+    def test_requires_decentralized_system(self, tiny_model):
+        clock = SimClock()
+        system = DistributedSystem(tiny_model, clock, seed=1)  # centralized
+        from repro.core.errors import MiddlewareError
+        with pytest.raises(MiddlewareError):
+            DecentralizedFramework(system)
+
+    def test_rounds_improve_availability(self):
+        model = chatty_pair_model()
+        clock, system, framework = build_decentralized(model)
+        before = framework.ground_truth_availability()
+        framework.run(3)
+        after = framework.ground_truth_availability()
+        assert after > before
+        assert after == pytest.approx(1.0)  # a joins b locally
+
+    def test_satisfied_analyzers_defer(self):
+        model = chatty_pair_model()
+        model.deploy("a", "h1")  # already collocated: availability 1.0
+        clock, system, framework = build_decentralized(
+            model, availability_goal=0.95)
+        report = framework.improvement_round()
+        assert report.decision == "defer"
+        assert report.auctions == 0
+
+    def test_voting_mode_works_too(self):
+        model = chatty_pair_model()
+        clock, system, framework = build_decentralized(
+            model, use_polling=False)
+        framework.run(2)
+        assert framework.ground_truth_availability() == pytest.approx(1.0)
+        assert len(framework.voting.history) == 2
+
+    def test_status_shape(self):
+        model = chatty_pair_model()
+        __, __, framework = build_decentralized(model)
+        framework.run(1)
+        status = framework.status()
+        assert set(status) >= {"rounds", "availability",
+                               "awareness_fraction", "auctions", "moves"}
+
+    def test_agents_installed_on_every_host(self):
+        model = chatty_pair_model()
+        clock, system, framework = build_decentralized(model)
+        for host in model.host_ids:
+            assert system.architecture(host).has_component(agent_id(host))
+
+    def test_monitoring_feeds_local_kbs(self):
+        model = chatty_pair_model()
+        clock, system, framework = build_decentralized(model)
+        system.install_monitoring(ping_interval=0.5, pings_per_round=10)
+        workload = InteractionWorkload(model, clock, system.emit,
+                                       seed=4).start()
+        clock.run(10.0)
+        workload.stop()
+        framework._ingest_monitoring()
+        kb = framework.synchronizer.base("h0")
+        measured = kb.get("physical_link", ("h0", "h1"), "reliability")
+        assert measured == pytest.approx(0.6, abs=0.12)
+
+
+class TestAwarenessEffect:
+    def grid_model(self):
+        """3-host line where the best move needs 2-hop knowledge."""
+        model = DeploymentModel()
+        for index in range(3):
+            model.add_host(f"h{index}", memory=100.0)
+        model.connect_hosts("h0", "h1", reliability=0.9, bandwidth=100.0)
+        model.connect_hosts("h1", "h2", reliability=0.9, bandwidth=100.0)
+        model.add_component("x", memory=10.0)
+        model.add_component("y", memory=10.0)
+        model.connect_components("x", "y", frequency=5.0, evt_size=1.0)
+        model.deploy("x", "h0")
+        model.deploy("y", "h2")
+        return model
+
+    def test_full_awareness_at_least_as_good(self):
+        limited_model = self.grid_model()
+        __, __, limited = build_decentralized(
+            limited_model, awareness=from_connectivity(limited_model))
+        limited.run(4)
+        full_model = self.grid_model()
+        __, __, fuller = build_decentralized(
+            full_model, awareness=full_awareness(full_model))
+        fuller.run(4)
+        assert fuller.ground_truth_availability() >= \
+            limited.ground_truth_availability() - 1e-9

@@ -1,0 +1,111 @@
+"""Unit tests for awareness graphs."""
+
+import pytest
+
+from repro.core.errors import ModelError, UnknownEntityError
+from repro.decentralized import (
+    AwarenessGraph, from_connectivity, full_awareness, k_hop_awareness,
+    random_awareness,
+)
+from repro.desi import Generator, GeneratorConfig
+
+
+@pytest.fixture
+def line_model():
+    """h0 - h1 - h2 - h3 in a line."""
+    from repro.core import DeploymentModel
+    model = DeploymentModel()
+    for index in range(4):
+        model.add_host(f"h{index}")
+    for index in range(3):
+        model.connect_hosts(f"h{index}", f"h{index + 1}")
+    model.add_component("c")
+    model.deploy("c", "h0")
+    return model
+
+
+class TestAwarenessGraph:
+    def test_symmetric(self):
+        graph = AwarenessGraph(["a", "b", "c"], [("a", "b")])
+        assert graph.are_aware("a", "b")
+        assert graph.are_aware("b", "a")
+        assert not graph.are_aware("a", "c")
+
+    def test_needs_hosts(self):
+        with pytest.raises(ModelError):
+            AwarenessGraph([])
+
+    def test_unknown_hosts_rejected(self):
+        with pytest.raises(UnknownEntityError):
+            AwarenessGraph(["a"], [("a", "ghost")])
+        graph = AwarenessGraph(["a", "b"])
+        with pytest.raises(UnknownEntityError):
+            graph.add("a", "ghost")
+        with pytest.raises(UnknownEntityError):
+            graph.aware_of("ghost")
+
+    def test_self_edges_ignored(self):
+        graph = AwarenessGraph(["a", "b"], [("a", "a")])
+        assert graph.aware_of("a") == ()
+
+    def test_awareness_fraction(self):
+        graph = AwarenessGraph(["a", "b", "c"],
+                               [("a", "b"), ("b", "c"), ("a", "c")])
+        assert graph.awareness_fraction() == pytest.approx(1.0)
+        sparse = AwarenessGraph(["a", "b", "c"], [("a", "b")])
+        assert sparse.awareness_fraction() == pytest.approx((1 + 1 + 0) / 6)
+
+    def test_single_host_fraction_is_one(self):
+        assert AwarenessGraph(["solo"]).awareness_fraction() == 1.0
+
+    def test_edges_deduplicated(self):
+        graph = AwarenessGraph(["a", "b"], [("a", "b"), ("b", "a")])
+        assert graph.edges() == (("a", "b"),)
+
+    def test_as_map_is_mutable_copy(self):
+        graph = AwarenessGraph(["a", "b"], [("a", "b")])
+        mapping = graph.as_map()
+        mapping["a"].clear()
+        assert graph.are_aware("a", "b")
+
+
+class TestBuilders:
+    def test_from_connectivity(self, line_model):
+        graph = from_connectivity(line_model)
+        assert graph.aware_of("h1") == ("h0", "h2")
+        assert not graph.are_aware("h0", "h3")
+
+    def test_full_awareness(self, line_model):
+        graph = full_awareness(line_model)
+        assert graph.awareness_fraction() == 1.0
+
+    def test_k_hop(self, line_model):
+        one_hop = k_hop_awareness(line_model, 1)
+        two_hop = k_hop_awareness(line_model, 2)
+        three_hop = k_hop_awareness(line_model, 3)
+        assert one_hop.aware_of("h0") == ("h1",)
+        assert two_hop.aware_of("h0") == ("h1", "h2")
+        assert three_hop.awareness_fraction() == 1.0
+        with pytest.raises(ModelError):
+            k_hop_awareness(line_model, 0)
+
+    def test_random_awareness_reaches_fraction(self):
+        model = Generator(GeneratorConfig(hosts=8, components=4,
+                                          physical_density=0.0),
+                          seed=3).generate()
+        graph = random_awareness(model, fraction=0.8, seed=1)
+        assert graph.awareness_fraction() >= 0.8 - 1e-9
+
+    def test_random_awareness_includes_connectivity(self, line_model):
+        graph = random_awareness(line_model, fraction=0.0, seed=1)
+        for link in line_model.physical_links:
+            assert graph.are_aware(*link.hosts)
+
+    def test_random_awareness_validates_fraction(self, line_model):
+        with pytest.raises(ModelError):
+            random_awareness(line_model, fraction=1.5)
+
+    def test_random_awareness_monotone_in_fraction(self, line_model):
+        low = random_awareness(line_model, 0.3, seed=2)
+        high = random_awareness(line_model, 0.9, seed=2)
+        assert high.awareness_fraction() >= low.awareness_fraction()

@@ -1,0 +1,90 @@
+"""Tests wiring per-host utility preferences into decentralized analyzers."""
+
+import pytest
+
+from repro.core import (
+    AvailabilityObjective, DeploymentModel, UserPreferences, UtilityFunction,
+)
+from repro.decentralized import DecentralizedFramework
+from repro.middleware import DistributedSystem
+from repro.sim import SimClock
+
+
+def split_pair_model():
+    model = DeploymentModel()
+    model.add_host("h0", memory=100.0)
+    model.add_host("h1", memory=100.0)
+    model.connect_hosts("h0", "h1", reliability=0.6, bandwidth=200.0)
+    model.add_component("a", memory=10.0)
+    model.add_component("b", memory=10.0)
+    model.connect_components("a", "b", frequency=5.0)
+    model.deploy("a", "h0")
+    model.deploy("b", "h1")
+    return model
+
+
+def indifferent_user():
+    """Satisfied by anything above 10% availability."""
+    return UserPreferences("easygoing").add(UtilityFunction(
+        AvailabilityObjective(), [(0.0, 0.0), (0.1, 1.0)]))
+
+
+def demanding_user():
+    """Unsatisfied below 99% availability."""
+    return UserPreferences("demanding").add(UtilityFunction(
+        AvailabilityObjective(), [(0.98, 0.0), (0.99, 1.0)]))
+
+
+class TestPreferenceDrivenRounds:
+    def test_satisfied_users_defer_despite_low_availability(self):
+        model = split_pair_model()  # availability 0.6
+        clock = SimClock()
+        system = DistributedSystem(model, clock, decentralized=True, seed=1)
+        framework = DecentralizedFramework(
+            system, AvailabilityObjective(),
+            preferences={host: indifferent_user()
+                         for host in model.host_ids})
+        report = framework.improvement_round()
+        assert report.decision == "defer"
+        assert report.moves == 0
+
+    def test_demanding_users_force_action(self):
+        model = split_pair_model()
+        clock = SimClock()
+        system = DistributedSystem(model, clock, decentralized=True, seed=1)
+        framework = DecentralizedFramework(
+            system, AvailabilityObjective(),
+            preferences={host: demanding_user()
+                         for host in model.host_ids})
+        framework._ingest_monitoring()
+        framework.synchronizer.sync_until_quiet()
+        report = framework.improvement_round()
+        assert report.decision == "redeploy_now"
+
+    def test_mixed_population_plurality_decides(self):
+        model = split_pair_model()
+        model.add_host("h2", memory=100.0)
+        model.connect_hosts("h0", "h2", reliability=0.9)
+        model.connect_hosts("h1", "h2", reliability=0.9)
+        clock = SimClock()
+        system = DistributedSystem(model, clock, decentralized=True, seed=1)
+        framework = DecentralizedFramework(
+            system, AvailabilityObjective(),
+            preferences={
+                "h0": demanding_user(),
+                "h1": indifferent_user(),
+                "h2": indifferent_user(),
+            })
+        report = framework.improvement_round()
+        # 2 of 3 users are satisfied: the poll defers.
+        assert report.decision == "defer"
+
+    def test_hosts_without_preferences_use_availability_goal(self):
+        model = split_pair_model()
+        clock = SimClock()
+        system = DistributedSystem(model, clock, decentralized=True, seed=1)
+        framework = DecentralizedFramework(
+            system, AvailabilityObjective(), availability_goal=0.95,
+            preferences={"h0": indifferent_user()})  # h1 has none
+        assert framework.analyzers["h0"].preferences is not None
+        assert framework.analyzers["h1"].preferences is None

@@ -1,0 +1,107 @@
+"""Property-based tests for knowledge-gossip invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import networkx as nx
+
+from repro.decentralized import AwarenessGraph, KnowledgeBase, ModelSynchronizer
+from repro.desi import Generator, GeneratorConfig
+
+
+@st.composite
+def awareness_graphs(draw):
+    n = draw(st.integers(2, 7))
+    hosts = [f"h{i}" for i in range(n)]
+    pairs = [(a, b) for i, a in enumerate(hosts) for b in hosts[i + 1:]]
+    edges = [pair for pair in pairs if draw(st.booleans())]
+    return AwarenessGraph(hosts, edges)
+
+
+def _components(graph: AwarenessGraph):
+    g = nx.Graph()
+    g.add_nodes_from(graph.hosts)
+    g.add_edges_from(graph.edges())
+    return list(nx.connected_components(g)), g
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph=awareness_graphs(), payload=st.integers())
+def test_knowledge_spreads_exactly_within_awareness_components(graph,
+                                                               payload):
+    """After full convergence, a fact is known exactly by the hosts in the
+    originator's awareness-connected component — never beyond."""
+    synchronizer = ModelSynchronizer(graph)
+    origin = graph.hosts[0]
+    synchronizer.base(origin).observe("host", origin, "payload", payload)
+    synchronizer.sync_until_quiet(max_rounds=len(graph.hosts) + 2)
+    components, __ = _components(graph)
+    origin_component = next(c for c in components if origin in c)
+    for host in graph.hosts:
+        knows = synchronizer.base(host).knows("host", origin, "payload")
+        assert knows == (host in origin_component)
+
+
+@settings(max_examples=20, deadline=None)
+@given(graph=awareness_graphs())
+def test_convergence_within_diameter_rounds(graph):
+    """A single fact needs at most ecc(origin) rounds to reach everyone in
+    its component."""
+    components, g = _components(graph)
+    origin = graph.hosts[0]
+    synchronizer = ModelSynchronizer(graph)
+    synchronizer.base(origin).observe("host", origin, "x", 1)
+    origin_component = next(c for c in components if origin in c)
+    if len(origin_component) == 1:
+        assert synchronizer.sync_round() == 0 or True
+        return
+    eccentricity = max(
+        nx.shortest_path_length(g, origin, other)
+        for other in origin_component)
+    for __ in range(eccentricity):
+        synchronizer.sync_round()
+    for host in origin_component:
+        assert synchronizer.base(host).knows("host", origin, "x")
+
+
+@settings(max_examples=20, deadline=None)
+@given(graph=awareness_graphs(),
+       values=st.lists(st.integers(), min_size=2, max_size=5))
+def test_last_writer_wins_everywhere(graph, values):
+    """Successive observations of the same fact by one host converge to the
+    final value on every host that can hear it."""
+    synchronizer = ModelSynchronizer(graph)
+    origin = graph.hosts[-1]
+    for value in values:
+        synchronizer.base(origin).observe("deployment", "c", "host", value)
+    synchronizer.sync_until_quiet(max_rounds=len(graph.hosts) + 2)
+    components, __ = _components(graph)
+    origin_component = next(c for c in components if origin in c)
+    for host in origin_component:
+        assert synchronizer.base(host).get(
+            "deployment", "c", "host") == values[-1]
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 3000))
+def test_seeded_sync_converges_to_equal_knowledge(seed):
+    """Seeding from a generated model and syncing to quiescence leaves all
+    hosts in one awareness component with identical knowledge."""
+    model = Generator(GeneratorConfig(hosts=5, components=8,
+                                      physical_density=0.5),
+                      seed=seed).generate()
+    from repro.decentralized import from_connectivity
+    graph = from_connectivity(model)
+    synchronizer = ModelSynchronizer(graph)
+    synchronizer.seed_from_model(model)
+    synchronizer.sync_until_quiet(max_rounds=10)
+    components, __ = _components(graph)
+    for component in components:
+        fact_sets = {
+            frozenset(
+                (fact.key[0], repr(fact.key[1]), fact.key[2],
+                 repr(fact.value))
+                for fact in synchronizer.base(host).facts())
+            for host in component
+        }
+        assert len(fact_sets) == 1

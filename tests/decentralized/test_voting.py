@@ -1,0 +1,132 @@
+"""Unit tests for the voting and polling coordination protocols."""
+
+import pytest
+
+from repro.core.errors import SynchronizationError
+from repro.decentralized import (
+    AwarenessGraph, PollingProtocol, Voter, VotingProtocol,
+)
+
+
+class ScriptedVoter(Voter):
+    """Votes and prefers according to fixed scripts."""
+
+    def __init__(self, host, yes=True, prefers=None):
+        self._host = host
+        self.yes = yes
+        self.prefers = prefers
+        self.votes_cast = 0
+
+    @property
+    def host(self):
+        return self._host
+
+    def vote(self, proposal):
+        self.votes_cast += 1
+        return self.yes
+
+    def preference(self, options, context):
+        self.votes_cast += 1
+        if self.prefers in options:
+            return self.prefers
+        return options[0]
+
+
+def make_world(yes_hosts, no_hosts, awareness_edges=None):
+    hosts = list(yes_hosts) + list(no_hosts)
+    edges = awareness_edges
+    if edges is None:  # fully aware by default
+        edges = [(a, b) for i, a in enumerate(hosts) for b in hosts[i + 1:]]
+    graph = AwarenessGraph(hosts, edges)
+    participants = {h: ScriptedVoter(h, yes=h in yes_hosts) for h in hosts}
+    return graph, participants
+
+
+class TestVotingProtocol:
+    def test_majority_passes(self):
+        graph, participants = make_world(["a", "b"], ["c"])
+        protocol = VotingProtocol(graph)
+        outcome = protocol.conduct(participants["a"], participants,
+                                   {"type": "auction_round"})
+        assert outcome.passed
+        assert set(outcome.yes) == {"a", "b"}
+        assert outcome.no == ("c",)
+
+    def test_tie_fails(self):
+        graph, participants = make_world(["a"], ["b"])
+        protocol = VotingProtocol(graph)
+        outcome = protocol.conduct(participants["a"], participants, {})
+        assert not outcome.passed
+
+    def test_awareness_limits_electorate(self):
+        # a only aware of b; c's (no) vote is never solicited.
+        graph, participants = make_world(
+            ["a", "b"], ["c"], awareness_edges=[("a", "b"), ("b", "c")])
+        protocol = VotingProtocol(graph)
+        outcome = protocol.conduct(participants["a"], participants, {})
+        assert outcome.participation == 2
+        assert participants["c"].votes_cast == 0
+
+    def test_quorum_fraction(self):
+        graph, participants = make_world(["a", "b"], ["c", "d"])
+        strict = VotingProtocol(graph, quorum_fraction=0.75)
+        outcome = strict.conduct(participants["a"], participants, {})
+        assert not outcome.passed  # 2/4 < 75%
+
+    def test_invalid_quorum_rejected(self):
+        graph, __ = make_world(["a"], [])
+        with pytest.raises(SynchronizationError):
+            VotingProtocol(graph, quorum_fraction=2.0)
+
+    def test_history_recorded(self):
+        graph, participants = make_world(["a"], ["b"])
+        protocol = VotingProtocol(graph)
+        protocol.conduct(participants["a"], participants, {})
+        protocol.conduct(participants["b"], participants, {})
+        assert len(protocol.history) == 2
+
+
+class TestPollingProtocol:
+    def test_plurality_wins(self):
+        hosts = ["a", "b", "c"]
+        graph = AwarenessGraph(hosts, [("a", "b"), ("a", "c"), ("b", "c")])
+        participants = {
+            "a": ScriptedVoter("a", prefers="go"),
+            "b": ScriptedVoter("b", prefers="go"),
+            "c": ScriptedVoter("c", prefers="defer"),
+        }
+        protocol = PollingProtocol(graph)
+        outcome = protocol.conduct(participants["a"], participants,
+                                   ["go", "defer"])
+        assert outcome.winner == "go"
+        assert outcome.tally() == {"go": 2, "defer": 1}
+
+    def test_tie_breaks_toward_first_option(self):
+        graph = AwarenessGraph(["a", "b"], [("a", "b")])
+        participants = {
+            "a": ScriptedVoter("a", prefers="x"),
+            "b": ScriptedVoter("b", prefers="y"),
+        }
+        outcome = PollingProtocol(graph).conduct(
+            participants["a"], participants, ["y", "x"])
+        assert outcome.winner == "y"
+
+    def test_empty_options_rejected(self):
+        graph = AwarenessGraph(["a"])
+        voter = ScriptedVoter("a")
+        with pytest.raises(SynchronizationError):
+            PollingProtocol(graph).conduct(voter, {"a": voter}, [])
+
+    def test_rogue_choice_rejected(self):
+        graph = AwarenessGraph(["a"])
+        voter = ScriptedVoter("a", prefers="not-an-option")
+        voter.preference = lambda options, context: "not-an-option"
+        with pytest.raises(SynchronizationError, match="unknown option"):
+            PollingProtocol(graph).conduct(voter, {"a": voter}, ["x"])
+
+    def test_awareness_limits_poll(self):
+        graph = AwarenessGraph(["a", "b", "c"], [("a", "b")])
+        participants = {h: ScriptedVoter(h, prefers="x") for h in "abc"}
+        outcome = PollingProtocol(graph).conduct(
+            participants["a"], participants, ["x", "y"])
+        assert set(outcome.choices) == {"a", "b"}

@@ -1,0 +1,107 @@
+"""Tests for the batch experiment runner."""
+
+import pytest
+
+from repro.algorithms import AvalaAlgorithm, ExactAlgorithm, StochasticAlgorithm
+from repro.core import (
+    AvailabilityObjective, ConstraintSet, MemoryConstraint,
+)
+from repro.core.errors import ReproError
+from repro.desi import ExperimentRunner, GeneratorConfig
+
+
+@pytest.fixture
+def runner(availability, memory_constraints):
+    return ExperimentRunner(
+        availability,
+        {
+            "avala": lambda: AvalaAlgorithm(availability,
+                                            memory_constraints, seed=1),
+            "stochastic": lambda: StochasticAlgorithm(
+                availability, memory_constraints, seed=1, iterations=10),
+        },
+        replicates=3, seed=7)
+
+
+class TestExperimentRunner:
+    def test_validation(self, availability):
+        with pytest.raises(ReproError):
+            ExperimentRunner(availability, {})
+        with pytest.raises(ReproError):
+            ExperimentRunner(availability, {"a": lambda: None},
+                             replicates=0)
+
+    def test_sweep_produces_all_cells(self, runner):
+        report = runner.run({
+            "tiny": GeneratorConfig(hosts=3, components=5),
+            "small": GeneratorConfig(hosts=4, components=8),
+        })
+        assert len(report.cells) == 4  # 2 families x 2 algorithms
+        cell = report.cell("tiny", "avala")
+        assert cell.runs == 3
+        assert cell.failures == 0
+        assert cell.mean_value is not None
+        assert cell.mean_value >= cell.mean_initial - 1e-9
+
+    def test_best_algorithm(self, runner):
+        report = runner.run({"tiny": GeneratorConfig(hosts=3, components=5)})
+        best = report.best_algorithm("tiny")
+        assert best in ("avala", "stochastic")
+        best_cell = report.cell("tiny", best)
+        for other in ("avala", "stochastic"):
+            assert best_cell.mean_value >= \
+                report.cell("tiny", other).mean_value - 1e-12
+
+    def test_render_contains_everything(self, runner):
+        report = runner.run({"tiny": GeneratorConfig(hosts=3, components=5)})
+        table = report.render()
+        assert "tiny" in table
+        assert "avala" in table
+        assert "availability" in table
+
+    def test_unknown_cell_raises(self, runner):
+        report = runner.run({"tiny": GeneratorConfig(hosts=3, components=5)})
+        with pytest.raises(KeyError):
+            report.cell("tiny", "ghost")
+
+    def test_failures_counted_not_fatal(self, availability,
+                                        memory_constraints):
+        """An algorithm whose guard trips (Exact on a too-large family) is
+        recorded as failures, not a crash."""
+        runner = ExperimentRunner(
+            availability,
+            {
+                "exact": lambda: ExactAlgorithm(
+                    availability, memory_constraints, max_space=10),
+                "avala": lambda: AvalaAlgorithm(
+                    availability, memory_constraints, seed=1),
+            },
+            replicates=2, seed=3)
+        report = runner.run({
+            "big": GeneratorConfig(hosts=4, components=10),
+        })
+        exact_cell = report.cell("big", "exact")
+        assert exact_cell.failures == 2
+        assert exact_cell.mean_value is None
+        assert report.best_algorithm("big") == "avala"
+
+    def test_deterministic_given_seed(self, availability,
+                                      memory_constraints):
+        def build():
+            return ExperimentRunner(
+                availability,
+                {"avala": lambda: AvalaAlgorithm(
+                    availability, memory_constraints, seed=1)},
+                replicates=2, seed=11)
+        families = {"f": GeneratorConfig(hosts=3, components=6)}
+        first = build().run(families).cell("f", "avala")
+        second = build().run(families).cell("f", "avala")
+        assert first.mean_value == second.mean_value
+
+    def test_runs_do_not_mutate_models(self, runner):
+        """The runner copies each model per run: the recorded initial value
+        stays the pre-improvement one for every algorithm."""
+        report = runner.run({"tiny": GeneratorConfig(hosts=3, components=5)})
+        avala = report.cell("tiny", "avala")
+        stochastic = report.cell("tiny", "stochastic")
+        assert avala.mean_initial == stochastic.mean_initial

@@ -1,0 +1,115 @@
+"""Unit tests for DeSi's architecture Generator."""
+
+import pytest
+
+import networkx as nx
+
+from repro.core import MemoryConstraint
+from repro.core.errors import ModelError
+from repro.desi import Generator, GeneratorConfig
+
+
+class TestConfigValidation:
+    def test_counts_must_be_positive(self):
+        with pytest.raises(ModelError):
+            GeneratorConfig(hosts=0).validate()
+        with pytest.raises(ModelError):
+            GeneratorConfig(components=0).validate()
+
+    def test_inverted_ranges_rejected(self):
+        with pytest.raises(ModelError, match="inverted"):
+            GeneratorConfig(reliability=(0.9, 0.1)).validate()
+
+    def test_densities_bounded(self):
+        with pytest.raises(ModelError):
+            GeneratorConfig(physical_density=1.5).validate()
+        with pytest.raises(ModelError):
+            GeneratorConfig(logical_density=-0.1).validate()
+
+    def test_headroom_at_least_one(self):
+        with pytest.raises(ModelError):
+            GeneratorConfig(memory_headroom=0.9).validate()
+
+
+class TestGeneratedArchitectures:
+    def test_requested_counts(self):
+        model = Generator(GeneratorConfig(hosts=6, components=17),
+                          seed=1).generate()
+        assert len(model.host_ids) == 6
+        assert len(model.component_ids) == 17
+
+    def test_parameters_within_ranges(self):
+        config = GeneratorConfig(hosts=5, components=12,
+                                 reliability=(0.4, 0.6),
+                                 component_memory=(3.0, 4.0))
+        model = Generator(config, seed=2).generate()
+        for link in model.physical_links:
+            assert 0.4 <= link.params.get("reliability") <= 0.6
+        for component in model.components:
+            assert 3.0 <= component.memory <= 4.0
+
+    def test_initial_deployment_memory_feasible(self):
+        for seed in range(5):
+            model = Generator(GeneratorConfig(hosts=4, components=20,
+                                              memory_headroom=1.2),
+                              seed=seed).generate()
+            assert MemoryConstraint().is_satisfied(model, model.deployment)
+
+    def test_network_is_connected(self):
+        """The spanning-tree pass guarantees connectivity at any density."""
+        model = Generator(GeneratorConfig(hosts=10, components=5,
+                                          physical_density=0.0),
+                          seed=3).generate()
+        graph = nx.Graph()
+        graph.add_nodes_from(model.host_ids)
+        graph.add_edges_from(link.hosts for link in model.physical_links)
+        assert nx.is_connected(graph)
+        # Density 0 means exactly the tree.
+        assert len(model.physical_links) == len(model.host_ids) - 1
+
+    def test_full_density_is_complete_graph(self):
+        model = Generator(GeneratorConfig(hosts=6, components=5,
+                                          physical_density=1.0),
+                          seed=3).generate()
+        assert len(model.physical_links) == 6 * 5 // 2
+
+    def test_deterministic_with_seed(self):
+        config = GeneratorConfig(hosts=4, components=9)
+        first = Generator(config, seed=9).generate()
+        second = Generator(config, seed=9).generate()
+        assert dict(first.deployment) == dict(second.deployment)
+        for link in first.physical_links:
+            twin = second.physical_link(*link.hosts)
+            assert twin.params.get("reliability") == \
+                link.params.get("reliability")
+
+    def test_different_seeds_differ(self):
+        config = GeneratorConfig(hosts=4, components=9)
+        first = Generator(config, seed=1).generate()
+        second = Generator(config, seed=2).generate()
+        assert dict(first.deployment) != dict(second.deployment)
+
+    def test_memory_headroom_enforced_by_scaling(self):
+        config = GeneratorConfig(hosts=2, components=30,
+                                 host_memory=(1.0, 2.0),
+                                 component_memory=(5.0, 10.0),
+                                 memory_headroom=2.0)
+        model = Generator(config, seed=4).generate()
+        total_host = sum(h.memory for h in model.hosts)
+        total_component = sum(c.memory for c in model.components)
+        assert total_host >= total_component * 2.0 * 0.999
+
+    def test_generate_many_unique_names(self):
+        models = Generator(GeneratorConfig(hosts=2, components=3),
+                           seed=5).generate_many(4)
+        assert len({model.name for model in models}) == 4
+
+    def test_logical_density_extremes(self):
+        none = Generator(GeneratorConfig(hosts=3, components=6,
+                                         logical_density=0.0),
+                         seed=1).generate()
+        assert len(none.logical_links) == 0
+        full = Generator(GeneratorConfig(hosts=3, components=6,
+                                         logical_density=1.0),
+                         seed=1).generate()
+        assert len(full.logical_links) == 6 * 5 // 2

@@ -1,0 +1,113 @@
+"""Tests for xADL serialization and the MiddlewareAdapter."""
+
+import pytest
+
+from repro.algorithms import AvalaAlgorithm
+from repro.core import (
+    AvailabilityObjective, ConstraintSet, DeploymentModel, MemoryConstraint,
+)
+from repro.core.constraints import CollocationConstraint, LocationConstraint
+from repro.core.errors import SerializationError
+from repro.desi import DeSiModel, MiddlewareAdapter, xadl
+from repro.middleware import DistributedSystem
+from repro.sim import InteractionWorkload, SimClock
+
+
+class TestXadlRoundTrip:
+    def test_structure_preserved(self, small_model):
+        clone = xadl.from_xml(xadl.to_xml(small_model))
+        assert clone.host_ids == small_model.host_ids
+        assert clone.component_ids == small_model.component_ids
+        assert len(clone.physical_links) == len(small_model.physical_links)
+        assert len(clone.logical_links) == len(small_model.logical_links)
+
+    def test_parameters_preserved(self, small_model):
+        clone = xadl.from_xml(xadl.to_xml(small_model))
+        for link in small_model.physical_links:
+            twin = clone.physical_link(*link.hosts)
+            assert twin.params.get("reliability") == pytest.approx(
+                link.params.get("reliability"))
+        for component in small_model.components:
+            assert clone.component(component.id).memory == pytest.approx(
+                component.memory)
+
+    def test_deployment_preserved(self, small_model):
+        clone = xadl.from_xml(xadl.to_xml(small_model))
+        assert dict(clone.deployment) == dict(small_model.deployment)
+
+    def test_constraints_roundtrip(self, tiny_model):
+        tiny_model.constraints.append(
+            LocationConstraint("c1", allowed=["hA"]))
+        tiny_model.constraints.append(
+            LocationConstraint("c2", forbidden=["hB"]))
+        tiny_model.constraints.append(
+            CollocationConstraint(["c1", "c3"], together=False))
+        clone = xadl.from_xml(xadl.to_xml(tiny_model))
+        location_a, location_b, collocation = clone.constraints
+        assert location_a.allowed == {"hA"}
+        assert location_b.forbidden == {"hB"}
+        assert collocation.components == ("c1", "c3")
+        assert collocation.together is False
+
+    def test_bool_and_string_params(self, tiny_model):
+        tiny_model.set_physical_link_param("hA", "hB", "connected", False)
+        clone = xadl.from_xml(xadl.to_xml(tiny_model))
+        assert clone.physical_link("hA", "hB").params.get("connected") is False
+
+    def test_file_roundtrip(self, tiny_model, tmp_path):
+        path = str(tmp_path / "arch.xml")
+        xadl.save(tiny_model, path)
+        clone = xadl.load(path)
+        assert dict(clone.deployment) == dict(tiny_model.deployment)
+
+    def test_malformed_document_rejected(self):
+        with pytest.raises(SerializationError):
+            xadl.from_xml("<not-even-close")
+        with pytest.raises(SerializationError, match="root"):
+            xadl.from_xml("<wrongRoot/>")
+
+
+class TestMiddlewareAdapter:
+    def build(self):
+        model = DeploymentModel()
+        for host in ("h0", "h1"):
+            model.add_host(host, memory=100.0)
+        model.connect_hosts("h0", "h1", reliability=0.7, bandwidth=200.0)
+        for component in ("a", "b"):
+            model.add_component(component, memory=10.0)
+        model.connect_components("a", "b", frequency=4.0, evt_size=1.0)
+        model.deploy("a", "h0")
+        model.deploy("b", "h1")
+        clock = SimClock()
+        system = DistributedSystem(model, clock, seed=6)
+        # DeSi starts from a *blank-parameter* copy of the topology: the
+        # monitored values must come in from the platform.
+        desi_model = model.copy(name="desi-view")
+        desi_model.set_physical_link_param("h0", "h1", "reliability", 1.0)
+        desi = DeSiModel(desi_model)
+        adapter = MiddlewareAdapter(desi, system, epsilon=0.1, window=2)
+        return model, clock, system, desi, adapter
+
+    def test_monitoring_flows_into_desi_model(self):
+        model, clock, system, desi, adapter = self.build()
+        system.install_monitoring(ping_interval=0.25, pings_per_round=20,
+                                  report_interval=1.0)
+        workload = InteractionWorkload(model, clock, system.emit,
+                                       seed=2).start()
+        for __ in range(4):
+            clock.run(1.0)
+            adapter.sync_from_platform()
+        workload.stop()
+        measured = desi.deployment_model.physical_link(
+            "h0", "h1").params.get("reliability")
+        assert measured == pytest.approx(0.7, abs=0.1)
+        assert adapter.monitor.reports_received >= 3
+
+    def test_effector_deploys_algorithm_result(self):
+        model, clock, system, desi, adapter = self.build()
+        result = AvalaAlgorithm(
+            AvailabilityObjective(), ConstraintSet([MemoryConstraint()]),
+            seed=1).run(desi.deployment_model)
+        report = adapter.deploy_to_platform(result)
+        assert report.succeeded
+        assert system.actual_deployment() == dict(result.deployment)

@@ -1,0 +1,136 @@
+"""Tests for caching/hoarding of data (§6) — stale reads during partitions."""
+
+import pytest
+
+from repro.core import DeploymentModel
+from repro.middleware import CallbackComponent, DistributedSystem, Event
+from repro.middleware.caching import (
+    REPLY_EVENT, REQUEST_EVENT, CachedReplyService, DataProviderComponent,
+    install_reply_caches,
+)
+from repro.sim import SimClock
+
+
+def build_world():
+    """client host <-> data host; a querying client and a data provider."""
+    model = DeploymentModel()
+    model.add_host("clienthost", memory=100.0)
+    model.add_host("datahost", memory=100.0)
+    model.connect_hosts("clienthost", "datahost", reliability=1.0,
+                        bandwidth=100.0, delay=0.01)
+    model.add_component("client", memory=5.0)
+    model.add_component("provider", memory=5.0)
+    model.connect_components("client", "provider", frequency=1.0)
+    model.deploy("client", "clienthost")
+    model.deploy("provider", "datahost")
+    clock = SimClock()
+
+    def factory(component_id):
+        if component_id == "provider":
+            provider = DataProviderComponent(component_id)
+            provider.put("map", {"tiles": 42})
+            return provider
+        return CallbackComponent(component_id)
+
+    system = DistributedSystem(model, clock, component_factory=factory,
+                               seed=1)
+    caches = install_reply_caches(system)
+    client = system.component("client")
+    return model, clock, system, caches, client
+
+
+def ask(system, clock, client, key="map"):
+    client.send(Event(REQUEST_EVENT, {"key": key}, source="client",
+                      target="provider"))
+    clock.run(1.0)
+
+
+class TestLiveOperation:
+    def test_request_reply_roundtrip(self):
+        model, clock, system, caches, client = build_world()
+        ask(system, clock, client)
+        replies = [e for e in client.received if e.name == REPLY_EVENT]
+        assert len(replies) == 1
+        assert replies[0].payload["data"] == {"tiles": 42}
+        assert replies[0].payload["stale"] is False
+
+    def test_replies_are_hoarded_on_the_client_side(self):
+        model, clock, system, caches, client = build_world()
+        ask(system, clock, client)
+        assert "map" in caches["clienthost"].hoarded_keys()
+
+    def test_stale_copies_never_hoarded(self):
+        model, clock, system, caches, client = build_world()
+        ask(system, clock, client)
+        system.network.set_connected("clienthost", "datahost", False)
+        ask(system, clock, client)  # served stale from hoard
+        # The hoard still contains exactly the one fresh entry.
+        entry = caches["clienthost"]._hoard["map"]
+        assert entry["stale"] is False
+
+
+class TestDisconnectedOperation:
+    def test_cached_reply_served_during_partition(self):
+        model, clock, system, caches, client = build_world()
+        ask(system, clock, client)  # warm the hoard
+        system.network.set_connected("clienthost", "datahost", False)
+        ask(system, clock, client)
+        replies = [e for e in client.received if e.name == REPLY_EVENT]
+        assert len(replies) == 2
+        assert replies[1].payload["data"] == {"tiles": 42}
+        assert replies[1].payload["stale"] is True
+        assert caches["clienthost"].hits == 1
+
+    def test_cold_cache_miss_fails_normally(self):
+        model, clock, system, caches, client = build_world()
+        system.network.set_connected("clienthost", "datahost", False)
+        ask(system, clock, client)  # nothing hoarded yet
+        replies = [e for e in client.received if e.name == REPLY_EVENT]
+        assert replies == []
+        assert caches["clienthost"].misses == 1
+        dist = system.architecture("clienthost").distribution_connector
+        assert len(dist.undeliverable) == 1
+
+    def test_non_request_traffic_unaffected_by_cache(self):
+        model, clock, system, caches, client = build_world()
+        system.network.set_connected("clienthost", "datahost", False)
+        client.send(Event("app.msg", {"x": 1}, source="client",
+                          target="provider"))
+        clock.run(1.0)
+        dist = system.architecture("clienthost").distribution_connector
+        assert len(dist.undeliverable) == 1  # dropped, not cache-served
+
+    def test_fresh_data_resumes_after_heal(self):
+        model, clock, system, caches, client = build_world()
+        ask(system, clock, client)
+        system.network.set_connected("clienthost", "datahost", False)
+        ask(system, clock, client)
+        system.network.set_connected("clienthost", "datahost", True)
+        # Provider updates its data; the next read is fresh.
+        system.component("provider").put("map", {"tiles": 99})
+        ask(system, clock, client)
+        replies = [e for e in client.received if e.name == REPLY_EVENT]
+        assert replies[-1].payload["data"] == {"tiles": 99}
+        assert replies[-1].payload["stale"] is False
+
+    def test_lru_eviction(self):
+        model, clock, system, caches, client = build_world()
+        provider = system.component("provider")
+        cache = caches["clienthost"]
+        cache.max_entries = 3
+        for index in range(5):
+            provider.put(f"k{index}", index)
+            ask(system, clock, client, key=f"k{index}")
+        assert len(cache.hoarded_keys()) == 3
+        assert cache.hoarded_keys() == ("k2", "k3", "k4")
+
+
+class TestProviderMigration:
+    def test_provider_data_survives_migration(self):
+        model, clock, system, caches, client = build_world()
+        ask(system, clock, client)
+        system.redeploy({"client": "clienthost", "provider": "clienthost"})
+        ask(system, clock, client)
+        replies = [e for e in client.received if e.name == REPLY_EVENT]
+        assert replies[-1].payload["data"] == {"tiles": 42}
+        assert replies[-1].payload["stale"] is False

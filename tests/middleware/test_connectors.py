@@ -1,0 +1,198 @@
+"""Unit tests for the DistributionConnector: remote routing, relaying,
+location tables, and migration buffering."""
+
+import pytest
+
+from repro.middleware.bricks import Architecture, CallbackComponent, Connector
+from repro.middleware.connectors import DistributionConnector
+from repro.middleware.events import Event
+from repro.middleware.scaffold import SimScaffold
+from repro.sim import SimClock, SimulatedNetwork
+
+
+def build_world(hosts=("h1", "h2"), links=(("h1", "h2"),),
+                deployer_host=None, seed=1):
+    """One architecture per host, one CallbackComponent per host named
+    comp@<host>, fully wired location tables."""
+    clock = SimClock()
+    network = SimulatedNetwork(clock, seed=seed)
+    for host in hosts:
+        network.add_endpoint(host)
+    for a, b in links:
+        network.add_link(a, b, reliability=1.0, bandwidth=1000.0, delay=0.01)
+    world = {}
+    locations = {}
+    for host in hosts:
+        architecture = Architecture(f"arch@{host}", SimScaffold(clock))
+        bus = Connector(f"bus@{host}")
+        architecture.add_connector(bus)
+        dist = DistributionConnector(f"dist@{host}", network, host,
+                                     deployer_host=deployer_host)
+        architecture.add_connector(dist)
+        component = CallbackComponent(f"comp@{host}")
+        architecture.add_component(component)
+        architecture.weld(component.id, bus.id)
+        world[host] = (architecture, dist, component)
+        locations[component.id] = host
+    for host in hosts:
+        world[host][1].update_locations(locations)
+    return clock, network, world
+
+
+class TestRemoteDelivery:
+    def test_cross_host_event_arrives(self):
+        clock, network, world = build_world()
+        __, __, sender = world["h1"]
+        __, __, receiver = world["h2"]
+        sender.send(Event("app.msg", {"x": 1}, target="comp@h2"))
+        clock.run(1.0)
+        assert len(receiver.received) == 1
+        assert receiver.received[0].payload == {"x": 1}
+
+    def test_delivery_takes_transmission_time(self):
+        clock, network, world = build_world()
+        __, __, sender = world["h1"]
+        __, __, receiver = world["h2"]
+        sender.send(Event("app.msg", target="comp@h2", size_kb=10.0))
+        clock.run(0.005)
+        assert receiver.received == []  # still in flight (delay 0.01)
+        clock.run(1.0)
+        assert len(receiver.received) == 1
+
+    def test_local_target_short_circuits(self):
+        clock, network, world = build_world()
+        architecture, dist, component = world["h1"]
+        dist.handle(Event("app.msg", target="comp@h1"))
+        clock.run(0.0)
+        assert len(component.received) == 1
+        assert dist.sent_remote == 0
+
+    def test_unknown_location_without_deployer_undeliverable(self):
+        clock, network, world = build_world()
+        __, dist, sender = world["h1"]
+        sender.send(Event("app.msg", target="mystery"))
+        clock.run(1.0)
+        assert len(dist.undeliverable) == 1
+
+    def test_broadcast_through_distribution_rejected(self):
+        clock, network, world = build_world()
+        __, dist, __c = world["h1"]
+        from repro.core.errors import MiddlewareError
+        with pytest.raises(MiddlewareError):
+            dist.handle(Event("app.msg"))  # no target
+
+
+class TestRelaying:
+    def test_relay_via_deployer_host(self):
+        """h1 and h2 are not directly linked; hq relays."""
+        clock, network, world = build_world(
+            hosts=("hq", "h1", "h2"),
+            links=(("hq", "h1"), ("hq", "h2")),
+            deployer_host="hq")
+        __, dist1, sender = world["h1"]
+        __, dist_hq, __ = world["hq"]
+        __, __, receiver = world["h2"]
+        sender.send(Event("app.msg", target="comp@h2"))
+        clock.run(1.0)
+        assert len(receiver.received) == 1
+        assert dist_hq.relayed == 1
+
+    def test_no_relay_path_is_undeliverable(self):
+        clock, network, world = build_world(
+            hosts=("h1", "h2"), links=(), deployer_host=None)
+        __, dist, sender = world["h1"]
+        sender.send(Event("app.msg", target="comp@h2"))
+        clock.run(1.0)
+        assert len(dist.undeliverable) == 1
+
+    def test_stale_location_forwarded_once(self):
+        """Events sent to the old host are forwarded when it knows better."""
+        clock, network, world = build_world(
+            hosts=("h1", "h2", "h3"),
+            links=(("h1", "h2"), ("h2", "h3"), ("h1", "h3")))
+        __, dist1, sender = world["h1"]
+        arch2, dist2, comp2 = world["h2"]
+        arch3, dist3, __ = world["h3"]
+        # comp@h2 "moved" to h3: h2 knows, h1 has a stale table.
+        moved = arch2.remove_component("comp@h2")
+        arch3.add_component(moved)
+        dist2.set_location("comp@h2", "h3")
+        dist3.set_location("comp@h2", "h3")
+        sender.send(Event("app.msg", target="comp@h2"))
+        clock.run(1.0)
+        assert len(moved.received) == 1
+
+
+class TestBuffering:
+    def test_buffered_events_flushed_to_new_host(self):
+        clock, network, world = build_world(
+            hosts=("h1", "h2", "h3"),
+            links=(("h1", "h2"), ("h2", "h3"), ("h1", "h3")))
+        arch2, dist2, comp2 = world["h2"]
+        arch3, dist3, __ = world["h3"]
+        __, __, sender = world["h1"]
+        # Begin migration: detach from h2, buffer there.
+        migrant = arch2.remove_component("comp@h2")
+        dist2.begin_buffering("comp@h2")
+        sender.send(Event("app.msg", {"n": 1}, target="comp@h2"))
+        clock.run(1.0)
+        assert len(dist2.buffering["comp@h2"]) == 1
+        # Reconstitute on h3 and flush.
+        arch3.add_component(migrant)
+        dist3.set_location("comp@h2", "h3")
+        dist2.end_buffering("comp@h2", "h3")
+        clock.run(1.0)
+        assert len(migrant.received) == 1
+        assert migrant.received[0].payload == {"n": 1}
+
+    def test_locally_emitted_events_also_buffered(self):
+        clock, network, world = build_world()
+        arch1, dist1, comp1 = world["h1"]
+        dist1.begin_buffering("comp@h2")
+        comp1.send(Event("app.msg", target="comp@h2"))
+        clock.run(1.0)
+        assert len(dist1.buffering["comp@h2"]) == 1
+
+    def test_end_buffering_updates_location(self):
+        clock, network, world = build_world()
+        __, dist1, __c = world["h1"]
+        dist1.begin_buffering("x")
+        dist1.end_buffering("x", "h2")
+        assert dist1.locations["x"] == "h2"
+        assert "x" not in dist1.buffering
+
+
+class TestReliability:
+    def test_app_events_subject_to_loss(self):
+        clock, network, world = build_world(seed=3)
+        network.link("h1", "h2").reliability = 0.5
+        __, __, sender = world["h1"]
+        __, __, receiver = world["h2"]
+        for __i in range(200):
+            sender.send(Event("app.msg", target="comp@h2"))
+        clock.run(10.0)
+        assert 60 < len(receiver.received) < 140  # ~50% of 200
+
+    def test_admin_events_ride_reliable_transport(self):
+        clock, network, world = build_world(seed=3)
+        network.link("h1", "h2").reliability = 0.1
+        arch2, dist2, __ = world["h2"]
+        received = []
+        admin_like = CallbackComponent(
+            "adminish@h2", lambda comp, event: received.append(event))
+        arch2.add_component(admin_like)
+        for host in world:
+            world[host][1].set_location("adminish@h2", "h2")
+        __, __, sender = world["h1"]
+        for __i in range(50):
+            sender.send(Event("admin.probe", target="adminish@h2"))
+        clock.run(10.0)
+        assert len(received) == 50  # zero loss despite 0.1 reliability
+
+    def test_down_link_blocks_even_admin_traffic(self):
+        clock, network, world = build_world()
+        network.set_connected("h1", "h2", False)
+        __, dist1, sender = world["h1"]
+        sender.send(Event("admin.probe", target="comp@h2"))
+        clock.run(1.0)
+        assert len(dist1.undeliverable) == 1

@@ -1,0 +1,89 @@
+"""Unit tests for middleware events and wire format."""
+
+import pytest
+
+from repro.core.errors import SerializationError
+from repro.middleware.events import (
+    ADMIN_PREFIX, EVENT_OVERHEAD_KB, REPLY, REQUEST, Event,
+)
+
+
+class TestEventBasics:
+    def test_defaults(self):
+        event = Event("app.msg")
+        assert event.event_type == REQUEST
+        assert event.payload == {}
+        assert event.target is None
+        assert not event.is_admin
+
+    def test_admin_prefix_detection(self):
+        assert Event("admin.location_update").is_admin
+        assert not Event("application.admin").is_admin
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(ValueError):
+            Event("x", event_type="notify")
+
+    def test_unique_ids(self):
+        assert Event("a").event_id != Event("a").event_id
+
+    def test_reply_targets_source(self):
+        request = Event("app.query", source="client", target="server")
+        reply = request.reply(payload={"answer": 42})
+        assert reply.event_type == REPLY
+        assert reply.target == "client"
+        assert reply.payload == {"answer": 42}
+
+    def test_copy_is_deep_for_payload_and_headers(self):
+        event = Event("app.msg", {"k": 1})
+        event.headers["hop"] = "h1"
+        clone = event.copy()
+        clone.payload["k"] = 2
+        clone.headers["hop"] = "h2"
+        assert event.payload["k"] == 1
+        assert event.headers["hop"] == "h1"
+
+
+class TestSize:
+    def test_explicit_size_wins(self):
+        event = Event("app.msg", {"data": "x" * 10_000}, size_kb=2.5)
+        assert event.size_kb == 2.5
+
+    def test_estimated_size_grows_with_payload(self):
+        small = Event("app.msg", {"data": "x"})
+        large = Event("app.msg", {"data": "x" * 4096})
+        assert large.size_kb > small.size_kb > EVENT_OVERHEAD_KB
+
+    def test_size_setter(self):
+        event = Event("app.msg")
+        event.size_kb = 7.0
+        assert event.size_kb == 7.0
+
+
+class TestWireFormat:
+    def test_roundtrip_preserves_everything(self):
+        event = Event("app.msg", {"a": [1, 2], "b": "text"},
+                      event_type=REPLY, source="s", target="t", size_kb=3.0)
+        event.headers["origin_host"] = "h1"
+        clone = Event.from_wire(event.to_wire())
+        assert clone.name == "app.msg"
+        assert clone.payload == {"a": [1, 2], "b": "text"}
+        assert clone.event_type == REPLY
+        assert clone.source == "s"
+        assert clone.target == "t"
+        assert clone.size_kb == 3.0
+        assert clone.headers["origin_host"] == "h1"
+
+    def test_non_json_payload_rejected(self):
+        event = Event("app.msg", {"bad": object()})
+        with pytest.raises(SerializationError, match="JSON"):
+            event.to_wire()
+
+    def test_malformed_wire_rejected(self):
+        with pytest.raises(SerializationError):
+            Event.from_wire({"payload": {}})  # missing name
+
+    def test_wire_is_plain_data(self):
+        import json
+        wire = Event("app.msg", {"n": 1}, target="t").to_wire()
+        json.dumps(wire)  # must not raise

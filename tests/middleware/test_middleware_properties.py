@@ -1,0 +1,85 @@
+"""Property-based tests for middleware routing and migration invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import DeploymentModel
+from repro.desi import Generator, GeneratorConfig
+from repro.middleware import DistributedSystem
+from repro.sim import SimClock
+
+
+@st.composite
+def deployed_systems(draw):
+    """A DistributedSystem over a generated, fully-connected model."""
+    hosts = draw(st.integers(2, 4))
+    components = draw(st.integers(2, 6))
+    seed = draw(st.integers(0, 5000))
+    model = Generator(GeneratorConfig(
+        hosts=hosts, components=components, physical_density=1.0,
+        reliability=(1.0, 1.0)), seed=seed).generate()
+    clock = SimClock()
+    system = DistributedSystem(model, clock, seed=seed)
+    return model, clock, system
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=deployed_systems(), emissions=st.integers(1, 20))
+def test_every_emission_delivered_exactly_once(data, emissions):
+    """Over perfectly reliable links, N sends produce exactly N receipts —
+    no duplication through connectors, relays, or forwarding."""
+    model, clock, system, = data
+    pairs = [(a, b) for a, b, __ in model.interaction_pairs()]
+    if not pairs:
+        return
+    for index in range(emissions):
+        source, target = pairs[index % len(pairs)]
+        system.emit(source, target, 1.0)
+    clock.run(10.0)
+    sent = sum(system.component(c).sent_count
+               for c in model.component_ids)
+    received = sum(system.component(c).received_count
+                   for c in model.component_ids)
+    assert sent == emissions
+    assert received == emissions
+    dead = sum(len(a.dead_letters) for a in system.architectures.values())
+    undeliverable = sum(
+        len(a.distribution_connector.undeliverable)
+        for a in system.architectures.values())
+    assert dead == 0 and undeliverable == 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(data=deployed_systems(), moves=st.integers(1, 6),
+       target_picks=st.lists(st.integers(0, 100), min_size=6, max_size=6))
+def test_migration_conserves_components(data, moves, target_picks):
+    """Any sequence of redeployments preserves the component population —
+    nothing duplicated, nothing lost — and ends exactly at the target."""
+    model, clock, system = data
+    component_ids = set(model.component_ids)
+    hosts = model.host_ids
+    target = dict(model.deployment)
+    for index in range(min(moves, len(model.component_ids))):
+        component = model.component_ids[index]
+        target[component] = hosts[target_picks[index % 6] % len(hosts)]
+    system.redeploy(target)
+    placement = system.actual_deployment()
+    assert set(placement) == component_ids
+    assert placement == target
+
+
+@settings(max_examples=15, deadline=None)
+@given(data=deployed_systems())
+def test_reports_reflect_actual_configuration(data):
+    """Every admin's configuration report lists exactly the components on
+    its host (meta components excluded)."""
+    model, clock, system = data
+    for host in model.host_ids:
+        report = system.admin(host).collect_report()
+        reported = {
+            c for c in report["configuration"]["components"]
+            if not c.startswith(("admin@", "agent@"))
+        }
+        actual = {c for c, h in system.actual_deployment().items()
+                  if h == host}
+        assert reported == actual

@@ -1,0 +1,189 @@
+"""Unit tests for EvtFrequencyMonitor and NetworkReliabilityMonitor."""
+
+import pytest
+
+from repro.middleware.bricks import Architecture, CallbackComponent, Connector
+from repro.middleware.connectors import DistributionConnector
+from repro.middleware.events import Event
+from repro.middleware.monitors import (
+    EvtFrequencyMonitor, NetworkReliabilityMonitor,
+)
+from repro.middleware.scaffold import SimScaffold
+from repro.sim import SimClock, SimulatedNetwork
+
+
+class TestEvtFrequencyMonitor:
+    def _setup(self):
+        clock = SimClock()
+        architecture = Architecture("arch", SimScaffold(clock))
+        bus = Connector("bus")
+        architecture.add_connector(bus)
+        a = CallbackComponent("a")
+        b = CallbackComponent("b")
+        architecture.add_component(a)
+        architecture.add_component(b)
+        architecture.weld("a", "bus")
+        architecture.weld("b", "bus")
+        monitor = EvtFrequencyMonitor(clock)
+        a.attach_monitor(monitor)
+        b.attach_monitor(monitor)
+        return clock, a, b, monitor
+
+    def test_counts_sends_per_pair(self):
+        clock, a, b, monitor = self._setup()
+        for __ in range(3):
+            a.send(Event("app.msg", target="b"))
+        clock.run(0.0)
+        assert monitor.counts[("a", "b")] == 3
+
+    def test_does_not_double_count_delivery(self):
+        clock, a, b, monitor = self._setup()
+        a.send(Event("app.msg", target="b"))
+        clock.run(0.0)
+        assert monitor.total_events == 1
+
+    def test_ignores_admin_traffic(self):
+        clock, a, b, monitor = self._setup()
+        a.send(Event("admin.report", target="b"))
+        clock.run(0.0)
+        assert monitor.total_events == 0
+
+    def test_ignores_untargeted_events(self):
+        clock, a, b, monitor = self._setup()
+        a.send(Event("app.msg"))  # broadcast
+        clock.run(0.0)
+        assert monitor.total_events == 0
+
+    def test_frequencies_per_simulated_second(self):
+        clock, a, b, monitor = self._setup()
+        for __ in range(8):
+            a.send(Event("app.msg", target="b"))
+        clock.run(0.0)
+        clock.advance(4.0)
+        data = monitor.collect()
+        assert data["frequencies"][("a", "b")] == pytest.approx(2.0)
+
+    def test_average_sizes(self):
+        clock, a, b, monitor = self._setup()
+        a.send(Event("app.msg", target="b", size_kb=2.0))
+        a.send(Event("app.msg", target="b", size_kb=4.0))
+        clock.run(0.0)
+        data = monitor.collect()
+        assert data["avg_sizes"][("a", "b")] == pytest.approx(3.0)
+
+    def test_reset_starts_new_window(self):
+        clock, a, b, monitor = self._setup()
+        a.send(Event("app.msg", target="b"))
+        clock.run(0.0)
+        clock.advance(1.0)
+        monitor.reset()
+        assert monitor.counts == {}
+        assert monitor.window_started == clock.now
+
+
+class TestNetworkReliabilityMonitor:
+    def _setup(self, reliability=0.7, seed=2):
+        clock = SimClock()
+        network = SimulatedNetwork(clock, seed=seed)
+        network.add_endpoint("h1")
+        network.add_endpoint("h2")
+        network.add_link("h1", "h2", reliability=reliability)
+        architecture = Architecture("arch@h1", SimScaffold(clock))
+        dist = DistributionConnector("dist@h1", network, "h1")
+        architecture.add_connector(dist)
+        monitor = NetworkReliabilityMonitor(dist, clock, interval=1.0,
+                                            pings_per_round=20)
+        return clock, network, dist, monitor
+
+    def test_estimate_converges_to_truth(self):
+        clock, network, dist, monitor = self._setup(reliability=0.7)
+        monitor.start()
+        clock.run(50.0)  # 50 rounds x 20 pings
+        estimate = monitor.collect()["reliabilities"]["h2"]
+        assert estimate == pytest.approx(0.7, abs=0.05)
+
+    def test_down_link_measures_zero(self):
+        clock, network, dist, monitor = self._setup()
+        network.set_connected("h1", "h2", False)
+        monitor.start()
+        clock.run(5.0)
+        assert monitor.collect()["reliabilities"]["h2"] == 0.0
+
+    def test_stop_halts_probing(self):
+        clock, network, dist, monitor = self._setup()
+        monitor.start()
+        clock.run(3.0)
+        rounds = monitor.rounds
+        monitor.stop()
+        clock.run(5.0)
+        assert monitor.rounds == rounds
+
+    def test_passive_piggyback_infers_losses_from_sequence_gaps(self):
+        clock, network, dist, monitor = self._setup()
+
+        def arrival(seq):
+            event = Event("app.msg", target="x")
+            event.headers.update({"seq": seq, "seq_link": "h2",
+                                  "arrived_from": "h2"})
+            monitor.notify(dist, event, "deliver")
+
+        arrival(1)   # first observation: no interval information yet
+        arrival(2)   # gap 1: one attempt, one success
+        arrival(5)   # gap 3: two losses inferred + this success
+        data = monitor.collect()
+        assert monitor.attempts["h2"] == 4
+        assert monitor.successes["h2"] == 2
+        assert data["reliabilities"]["h2"] == pytest.approx(0.5)
+
+    def test_piggyback_ignores_relayed_and_admin_traffic(self):
+        clock, network, dist, monitor = self._setup()
+        relayed = Event("app.msg", target="x")
+        relayed.headers.update({"seq": 1, "seq_link": "h9",
+                                "arrived_from": "h2"})
+        monitor.notify(dist, relayed, "deliver")
+        admin = Event("admin.probe", target="x")
+        admin.headers.update({"seq": 1, "seq_link": "h2",
+                              "arrived_from": "h2"})
+        monitor.notify(dist, admin, "deliver")
+        assert monitor.attempts == {}
+
+    def test_piggyback_end_to_end_matches_link_truth(self):
+        """Live system: passive estimates converge near the real loss rate
+        without a single active ping."""
+        from repro.core import DeploymentModel
+        from repro.middleware import DistributedSystem
+        from repro.sim import InteractionWorkload
+        model = DeploymentModel()
+        model.add_host("h0", memory=100.0)
+        model.add_host("h1", memory=100.0)
+        model.connect_hosts("h0", "h1", reliability=0.6, bandwidth=500.0)
+        model.add_component("a", memory=1.0)
+        model.add_component("b", memory=1.0)
+        model.connect_components("a", "b", frequency=20.0)
+        model.deploy("a", "h0")
+        model.deploy("b", "h1")
+        clock = SimClock()
+        system = DistributedSystem(model, clock, seed=9)
+        dist = system.architecture("h1").distribution_connector
+        passive = NetworkReliabilityMonitor(dist, clock, interval=1000.0,
+                                            pings_per_round=1)
+        dist.attach_monitor(passive)  # never started: zero pings
+        workload = InteractionWorkload(model, clock, system.emit,
+                                       seed=10).start()
+        clock.run(60.0)
+        workload.stop()
+        estimate = passive.collect()["reliabilities"]["h0"]
+        assert estimate == pytest.approx(0.6, abs=0.1)
+
+    def test_reset_clears_window(self):
+        clock, network, dist, monitor = self._setup()
+        monitor.probe()
+        monitor.reset()
+        assert monitor.collect()["reliabilities"] == {}
+
+    def test_parameter_validation(self):
+        clock, network, dist, __ = self._setup()
+        with pytest.raises(ValueError):
+            NetworkReliabilityMonitor(dist, clock, interval=0.0)
+        with pytest.raises(ValueError):
+            NetworkReliabilityMonitor(dist, clock, pings_per_round=0)

@@ -1,0 +1,133 @@
+"""Tests for DistributedSystem assembly (the Figure-8 shape)."""
+
+import pytest
+
+from repro.core import DeploymentModel
+from repro.core.errors import EffectorError, MiddlewareError, UnknownEntityError
+from repro.middleware import AppComponent, DistributedSystem
+from repro.middleware.admin import AdminComponent, DeployerComponent, admin_id
+from repro.sim import InteractionWorkload, SimClock
+
+
+def simple_model():
+    model = DeploymentModel()
+    for host in ("h0", "h1"):
+        model.add_host(host, memory=100.0)
+    model.connect_hosts("h0", "h1", reliability=0.9, bandwidth=100.0)
+    for component in ("a", "b"):
+        model.add_component(component, memory=10.0)
+    model.connect_components("a", "b", frequency=2.0)
+    model.deploy("a", "h0")
+    model.deploy("b", "h1")
+    return model
+
+
+class TestAssembly:
+    def test_one_architecture_per_host(self):
+        system = DistributedSystem(simple_model(), SimClock(), seed=1)
+        assert set(system.architectures) == {"h0", "h1"}
+
+    def test_master_gets_deployer_slaves_get_admin(self):
+        system = DistributedSystem(simple_model(), SimClock(),
+                                   master_host="h0", seed=1)
+        assert isinstance(system.admins["h0"], DeployerComponent)
+        assert isinstance(system.admins["h1"], AdminComponent)
+        assert not isinstance(system.admins["h1"], DeployerComponent)
+
+    def test_components_placed_per_model_deployment(self):
+        system = DistributedSystem(simple_model(), SimClock(), seed=1)
+        assert system.locate("a") == "h0"
+        assert system.locate("b") == "h1"
+        assert system.actual_deployment() == {"a": "h0", "b": "h1"}
+
+    def test_location_tables_prepopulated(self):
+        system = DistributedSystem(simple_model(), SimClock(), seed=1)
+        dist = system.architecture("h0").distribution_connector
+        assert dist.lookup("b") == "h1"
+        assert dist.lookup(admin_id("h1")) == "h1"
+
+    def test_migration_size_from_component_memory(self):
+        system = DistributedSystem(simple_model(), SimClock(), seed=1)
+        assert system.component("a").migration_size_kb == 10.0
+
+    def test_incomplete_deployment_rejected(self):
+        model = simple_model()
+        model.undeploy("a")
+        with pytest.raises(Exception, match="not deployed"):
+            DistributedSystem(model, SimClock(), seed=1)
+
+    def test_unknown_master_rejected(self):
+        with pytest.raises(UnknownEntityError):
+            DistributedSystem(simple_model(), SimClock(),
+                              master_host="nope", seed=1)
+
+    def test_custom_component_factory(self):
+        class Special(AppComponent):
+            pass
+        system = DistributedSystem(simple_model(), SimClock(),
+                                   component_factory=Special, seed=1)
+        assert isinstance(system.component("a"), Special)
+
+
+class TestDecentralizedMode:
+    def test_no_deployer_in_decentralized_mode(self):
+        system = DistributedSystem(simple_model(), SimClock(),
+                                   decentralized=True, seed=1)
+        assert system.deployer is None
+        assert all(not isinstance(a, DeployerComponent)
+                   for a in system.admins.values())
+        assert all(a.deployer_id is None for a in system.admins.values())
+
+    def test_master_host_conflicts_with_decentralized(self):
+        with pytest.raises(MiddlewareError):
+            DistributedSystem(simple_model(), SimClock(),
+                              master_host="h0", decentralized=True, seed=1)
+
+    def test_redeploy_rejected_in_decentralized_mode(self):
+        system = DistributedSystem(simple_model(), SimClock(),
+                                   decentralized=True, seed=1)
+        with pytest.raises(EffectorError, match="decentralized"):
+            system.redeploy({"a": "h1"})
+
+    def test_admin_to_admin_migration_still_works(self):
+        """Decentralized hosts migrate directly via migrate_out."""
+        clock = SimClock()
+        system = DistributedSystem(simple_model(), clock,
+                                   decentralized=True, seed=1)
+        system.admin("h0").migrate_out("a", "h1")
+        clock.run(5.0)
+        assert system.actual_deployment() == {"a": "h1", "b": "h1"}
+
+
+class TestTraffic:
+    def test_emit_drives_application_events(self):
+        clock = SimClock()
+        system = DistributedSystem(simple_model(), clock, seed=1)
+        system.emit("a", "b", 1.0)
+        clock.run(1.0)
+        assert system.component("b").received_count == 1
+        assert system.component("a").sent_count == 1
+
+    def test_workload_delivery_tracks_reliability(self):
+        model = simple_model()
+        model.set_physical_link_param("h0", "h1", "reliability", 0.6)
+        clock = SimClock()
+        system = DistributedSystem(model, clock, seed=5)
+        workload = InteractionWorkload(model, clock, system.emit,
+                                       seed=3).start()
+        clock.run(200.0)
+        workload.stop()
+        sent = (system.component("a").sent_count
+                + system.component("b").sent_count)
+        received = (system.component("a").received_count
+                    + system.component("b").received_count)
+        assert sent > 100
+        assert received / sent == pytest.approx(0.6, abs=0.08)
+
+    def test_emissions_skipped_for_inflight_components(self):
+        clock = SimClock()
+        system = DistributedSystem(simple_model(), clock, seed=1)
+        arch = system.architecture("h0")
+        arch.remove_component("a")  # simulate in-flight
+        system.emit("a", "b", 1.0)
+        assert system.emissions_skipped == 1

@@ -1,0 +1,118 @@
+"""Unit tests for the three scaffold (dispatch) policies."""
+
+import threading
+import time
+
+import pytest
+
+from repro.middleware.bricks import Architecture, CallbackComponent, Connector
+from repro.middleware.events import Event
+from repro.middleware.scaffold import (
+    ImmediateScaffold, SimScaffold, ThreadPoolScaffold,
+)
+from repro.sim import SimClock
+
+
+def build(scaffold):
+    architecture = Architecture("arch", scaffold)
+    bus = Connector("bus")
+    architecture.add_connector(bus)
+    a = CallbackComponent("a")
+    b = CallbackComponent("b")
+    architecture.add_component(a)
+    architecture.add_component(b)
+    architecture.weld("a", "bus")
+    architecture.weld("b", "bus")
+    return architecture, a, b
+
+
+class TestImmediateScaffold:
+    def test_synchronous_delivery(self):
+        __, a, b = build(ImmediateScaffold())
+        a.send(Event("app.msg", target="b"))
+        assert len(b.received) == 1  # delivered before send returned
+
+
+class TestSimScaffold:
+    def test_decoupled_until_clock_steps(self):
+        clock = SimClock()
+        __, a, b = build(SimScaffold(clock))
+        a.send(Event("app.msg", target="b"))
+        assert b.received == []  # queued, not yet delivered
+        clock.run(0.0)
+        assert len(b.received) == 1
+
+    def test_dispatch_order_preserved(self):
+        clock = SimClock()
+        __, a, b = build(SimScaffold(clock))
+        for index in range(5):
+            a.send(Event("app.msg", {"n": index}, target="b"))
+        clock.run(0.0)
+        assert [event.payload["n"] for event in b.received] == list(range(5))
+
+    def test_drain(self):
+        clock = SimClock()
+        architecture, a, b = build(SimScaffold(clock))
+        a.send(Event("app.msg", target="b"))
+        architecture.scaffold.drain()
+        assert len(b.received) == 1
+
+    def test_counts_dispatches(self):
+        clock = SimClock()
+        scaffold = SimScaffold(clock)
+        __, a, b = build(scaffold)
+        a.send(Event("app.msg", target="b"))
+        assert scaffold.dispatched >= 1
+
+
+class TestThreadPoolScaffold:
+    def test_delivers_on_worker_threads(self):
+        scaffold = ThreadPoolScaffold(workers=2)
+        try:
+            __, a, b = build(scaffold)
+            main_thread = threading.current_thread().name
+            delivery_threads = []
+            b.on_event = lambda comp, event: delivery_threads.append(
+                threading.current_thread().name)
+            for __i in range(10):
+                a.send(Event("app.msg", target="b"))
+            scaffold.drain()
+            assert len(b.received) == 10
+            assert all(name != main_thread for name in delivery_threads)
+        finally:
+            scaffold.shutdown()
+
+    def test_per_brick_serialization(self):
+        """Concurrent dispatches to one brick never overlap (per-brick lock)."""
+        scaffold = ThreadPoolScaffold(workers=4)
+        try:
+            __, a, b = build(scaffold)
+            inside = []
+            overlaps = []
+
+            def slow_handler(comp, event):
+                if inside:
+                    overlaps.append(True)
+                inside.append(1)
+                time.sleep(0.002)
+                inside.pop()
+
+            b.on_event = slow_handler
+            for __i in range(20):
+                a.send(Event("app.msg", target="b"))
+            scaffold.drain()
+            assert overlaps == []
+            assert len(b.received) == 20
+        finally:
+            scaffold.shutdown()
+
+    def test_shutdown_rejects_new_work(self):
+        scaffold = ThreadPoolScaffold(workers=1)
+        __, a, b = build(scaffold)
+        scaffold.shutdown()
+        with pytest.raises(RuntimeError):
+            scaffold.dispatch(b, Event("app.msg"))
+
+    def test_worker_count_validated(self):
+        with pytest.raises(ValueError):
+            ThreadPoolScaffold(workers=0)

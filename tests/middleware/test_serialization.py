@@ -1,0 +1,105 @@
+"""Unit tests for component serialization (migration wire format)."""
+
+import pytest
+
+from repro.core.errors import SerializationError
+from repro.middleware.bricks import Component
+from repro.middleware.serialization import (
+    deserialize_component, is_registered, register_component_class,
+    serialize_component,
+)
+
+
+@register_component_class
+class StatefulThing(Component):
+    def __init__(self, component_id):
+        super().__init__(component_id)
+        self.counter = 0
+        self.notes = []
+
+    def get_state(self):
+        return {"counter": self.counter, "notes": self.notes}
+
+    def set_state(self, state):
+        self.counter = state.get("counter", 0)
+        self.notes = state.get("notes", [])
+
+
+class Unregistered(Component):
+    pass
+
+
+class TestRegistry:
+    def test_registered_class_flagged(self):
+        assert is_registered(StatefulThing)
+        assert not is_registered(Unregistered)
+
+    def test_conflicting_name_rejected(self):
+        class Impostor(Component):
+            pass
+        with pytest.raises(SerializationError, match="already registered"):
+            register_component_class(Impostor, name="StatefulThing")
+
+    def test_custom_name(self):
+        class Custom(Component):
+            pass
+        register_component_class(Custom, name="custom-v1-test")
+        wire = serialize_component(Custom("x"))
+        assert wire["class"] == "custom-v1-test"
+
+
+class TestRoundTrip:
+    def test_state_survives(self):
+        original = StatefulThing("c1")
+        original.counter = 42
+        original.notes = ["a", "b"]
+        original.migration_size_kb = 12.5
+        clone = deserialize_component(serialize_component(original))
+        assert isinstance(clone, StatefulThing)
+        assert clone.id == "c1"
+        assert clone.counter == 42
+        assert clone.notes == ["a", "b"]
+        assert clone.migration_size_kb == 12.5
+
+    def test_clone_is_independent(self):
+        original = StatefulThing("c1")
+        original.notes = ["shared?"]
+        wire = serialize_component(original)
+        clone = deserialize_component(wire)
+        clone.notes.append("no")
+        assert original.notes == ["shared?"]
+
+    def test_stateless_component_roundtrips(self):
+        @register_component_class
+        class Plain(Component):
+            pass
+        clone = deserialize_component(serialize_component(Plain("p")))
+        assert clone.id == "p"
+
+
+class TestErrors:
+    def test_unregistered_class_rejected(self):
+        with pytest.raises(SerializationError, match="not registered"):
+            serialize_component(Unregistered("u"))
+
+    def test_non_json_state_rejected(self):
+        @register_component_class
+        class BadState(Component):
+            def get_state(self):
+                return {"obj": object()}
+        with pytest.raises(SerializationError, match="JSON"):
+            serialize_component(BadState("b"))
+
+    def test_unknown_class_on_deserialize(self):
+        with pytest.raises(SerializationError, match="no component class"):
+            deserialize_component({"class": "NeverHeardOfIt", "id": "x",
+                                   "state": {}})
+
+    def test_broken_set_state_wrapped(self):
+        @register_component_class
+        class Fragile(Component):
+            def set_state(self, state):
+                raise RuntimeError("boom")
+        wire = serialize_component(Fragile("f"))
+        with pytest.raises(SerializationError, match="reconstitute"):
+            deserialize_component(wire)

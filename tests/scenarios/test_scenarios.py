@@ -1,0 +1,120 @@
+"""Structural tests for the scenario builders."""
+
+import pytest
+
+from repro.core import AvailabilityObjective, MemoryConstraint
+from repro.core.constraints import LocationConstraint
+from repro.core.errors import ModelError
+from repro.scenarios import (
+    CrisisConfig, build_client_server, build_crisis_scenario,
+    build_sensor_field,
+)
+
+
+class TestCrisisScenario:
+    def test_topology_matches_paper_description(self):
+        scenario = build_crisis_scenario(CrisisConfig(
+            commanders=3, troops_per_commander=2, seed=1))
+        model = scenario.model
+        # HQ networked to every commander.
+        for commander in scenario.commanders:
+            assert model.physical_link(scenario.hq, commander) is not None
+        # Commanders connected directly to each other.
+        for i, cmd_a in enumerate(scenario.commanders):
+            for cmd_b in scenario.commanders[i + 1:]:
+                assert model.physical_link(cmd_a, cmd_b) is not None
+        # Troops attach to their commander, not to HQ.
+        for troop in scenario.troops:
+            assert model.physical_link(scenario.hq, troop) is None
+
+    def test_initial_deployment_valid(self):
+        scenario = build_crisis_scenario(CrisisConfig(seed=2))
+        scenario.model.validate_deployment()
+        assert MemoryConstraint().is_satisfied(scenario.model,
+                                               scenario.model.deployment)
+        assert scenario.constraints.is_satisfied(scenario.model,
+                                                 scenario.model.deployment)
+
+    def test_architect_constraints_present(self):
+        scenario = build_crisis_scenario(CrisisConfig(seed=3))
+        locations = [c for c in scenario.constraints
+                     if isinstance(c, LocationConstraint)]
+        display_pin = [c for c in locations
+                       if c.component == "status_display"]
+        assert display_pin and display_pin[0].permits_host(scenario.hq)
+        coordinator_bans = [c for c in locations
+                            if c.component.startswith("coordinator")]
+        assert all(not c.permits_host(scenario.hq) for c in coordinator_bans)
+
+    def test_security_user_input(self):
+        scenario = build_crisis_scenario(CrisisConfig(seed=4))
+        for commander in scenario.commanders:
+            link = scenario.model.physical_link(scenario.hq, commander)
+            assert link.params.get("security") == 0.9
+
+    def test_deterministic_with_seed(self):
+        first = build_crisis_scenario(CrisisConfig(seed=7))
+        second = build_crisis_scenario(CrisisConfig(seed=7))
+        availability = AvailabilityObjective()
+        assert availability.evaluate(first.model, first.model.deployment) == \
+            availability.evaluate(second.model, second.model.deployment)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ModelError):
+            build_crisis_scenario(CrisisConfig(commanders=0))
+
+    def test_scales_with_config(self):
+        small = build_crisis_scenario(CrisisConfig(
+            commanders=2, troops_per_commander=2, seed=1))
+        large = build_crisis_scenario(CrisisConfig(
+            commanders=4, troops_per_commander=5, seed=1))
+        assert len(large.model.host_ids) > len(small.model.host_ids)
+        assert len(large.troops) == 20
+
+
+class TestClientServerScenario:
+    def test_two_hosts_one_link(self):
+        scenario = build_client_server(seed=1)
+        assert len(scenario.model.host_ids) == 2
+        assert len(scenario.model.physical_links) == 1
+
+    def test_pins(self):
+        scenario = build_client_server(seed=1)
+        assert dict(scenario.model.deployment)["ui"] == "client"
+        assert dict(scenario.model.deployment)["db"] == "server"
+
+    def test_movable_population(self):
+        scenario = build_client_server(middle_components=11, seed=1)
+        assert len(scenario.movable) == 11
+        for component in scenario.movable:
+            assert scenario.model.logical_link(component, "ui") is not None
+            assert scenario.model.logical_link(component, "db") is not None
+
+
+class TestSensorFieldScenario:
+    def test_grid_links_are_neighbor_only(self):
+        scenario = build_sensor_field(rows=3, cols=3, seed=1)
+        model = scenario.model
+        assert len(model.host_ids) == 9
+        # Corner node has exactly two links.
+        corner = scenario.node(0, 0)
+        assert len(model.host_neighbors(corner)) == 2
+        # No diagonal shortcut.
+        assert model.physical_link(scenario.node(0, 0),
+                                   scenario.node(1, 1)) is None
+
+    def test_components_deployed_and_valid(self):
+        scenario = build_sensor_field(seed=2)
+        scenario.model.validate_deployment()
+        assert MemoryConstraint().is_satisfied(scenario.model,
+                                               scenario.model.deployment)
+
+    def test_one_sampler_per_node(self):
+        scenario = build_sensor_field(rows=2, cols=2, seed=3)
+        samplers = [c for c in scenario.model.component_ids
+                    if c.startswith("sampler")]
+        assert len(samplers) == 4
+
+    def test_invalid_grid_rejected(self):
+        with pytest.raises(ModelError):
+            build_sensor_field(rows=0)

@@ -1,0 +1,159 @@
+"""Unit tests for the discrete-event clock."""
+
+import pytest
+
+from repro.sim import SimClock
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        clock = SimClock()
+        fired = []
+        clock.schedule(3.0, lambda: fired.append("late"))
+        clock.schedule(1.0, lambda: fired.append("early"))
+        clock.schedule(2.0, lambda: fired.append("middle"))
+        clock.run()
+        assert fired == ["early", "middle", "late"]
+
+    def test_same_time_fifo(self):
+        clock = SimClock()
+        fired = []
+        for index in range(5):
+            clock.schedule(1.0, fired.append, index)
+        clock.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_now_advances_to_event_time(self):
+        clock = SimClock()
+        times = []
+        clock.schedule(2.5, lambda: times.append(clock.now))
+        clock.run()
+        assert times == [2.5]
+
+    def test_negative_delay_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            clock.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        clock = SimClock(start=10.0)
+        fired = []
+        clock.schedule_at(12.0, lambda: fired.append(clock.now))
+        clock.run()
+        assert fired == [12.0]
+
+    def test_zero_delay_runs_after_current_queue(self):
+        clock = SimClock()
+        fired = []
+
+        def outer():
+            clock.schedule(0.0, lambda: fired.append("inner"))
+            fired.append("outer")
+
+        clock.schedule(0.0, outer)
+        clock.run()
+        assert fired == ["outer", "inner"]
+
+    def test_cancel(self):
+        clock = SimClock()
+        fired = []
+        handle = clock.schedule(1.0, lambda: fired.append("x"))
+        handle.cancel()
+        clock.run()
+        assert fired == []
+        assert clock.pending == 0
+
+
+class TestRun:
+    def test_run_with_duration_stops_at_deadline(self):
+        clock = SimClock()
+        fired = []
+        clock.schedule(1.0, lambda: fired.append(1))
+        clock.schedule(5.0, lambda: fired.append(5))
+        clock.run(2.0)
+        assert fired == [1]
+        assert clock.now == 2.0  # time advances to the deadline
+        clock.run(10.0)
+        assert fired == [1, 5]
+
+    def test_run_until(self):
+        clock = SimClock()
+        fired = []
+        clock.schedule(3.0, lambda: fired.append(3))
+        clock.run_until(3.0)
+        assert fired == [3]
+        with pytest.raises(ValueError):
+            clock.run_until(1.0)
+
+    def test_events_scheduled_during_run_fire_within_window(self):
+        clock = SimClock()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                clock.schedule(1.0, chain, n + 1)
+
+        clock.schedule(1.0, chain, 0)
+        clock.run(10.0)
+        assert fired == [0, 1, 2, 3]
+
+    def test_step_returns_false_when_empty(self):
+        assert SimClock().step() is False
+
+    def test_processed_counter(self):
+        clock = SimClock()
+        for __ in range(4):
+            clock.schedule(1.0, lambda: None)
+        clock.run()
+        assert clock.processed == 4
+
+    def test_max_events_guard(self):
+        clock = SimClock()
+
+        def forever():
+            clock.schedule(0.1, forever)
+
+        clock.schedule(0.1, forever)
+        fired = clock.run(1e9, max_events=100)
+        assert fired == 100
+
+
+class TestAdvance:
+    def test_advance_moves_time(self):
+        clock = SimClock()
+        clock.advance(5.0)
+        assert clock.now == 5.0
+
+    def test_advance_cannot_skip_events(self):
+        clock = SimClock()
+        clock.schedule(1.0, lambda: None)
+        with pytest.raises(ValueError, match="skip"):
+            clock.advance(2.0)
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)
+
+
+class TestPeriodic:
+    def test_every_fires_repeatedly(self):
+        clock = SimClock()
+        ticks = []
+        clock.every(1.0, lambda: ticks.append(clock.now))
+        clock.run(5.0)
+        assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_cancel_stops_future_firings(self):
+        clock = SimClock()
+        ticks = []
+        task = clock.every(1.0, lambda: ticks.append(clock.now))
+        clock.run(3.0)
+        task.cancel()
+        clock.run(5.0)
+        assert len(ticks) == 3
+        assert task.firings == 3
+
+    def test_interval_validated(self):
+        with pytest.raises(ValueError):
+            SimClock().every(0.0, lambda: None)

@@ -1,0 +1,170 @@
+"""Unit tests for fluctuation processes and the workload generator."""
+
+import pytest
+
+from repro.core import DeploymentModel
+from repro.core.errors import NetworkError
+from repro.sim import (
+    DisconnectionProcess, InteractionWorkload, RandomWalkFluctuation,
+    SimClock, SimulatedNetwork, StepChange, empirical_frequencies,
+    generate_trace,
+)
+
+
+def make_network(seed=1):
+    clock = SimClock()
+    network = SimulatedNetwork(clock, seed=seed)
+    network.add_endpoint("a")
+    network.add_endpoint("b")
+    network.add_link("a", "b", reliability=0.8, bandwidth=100.0)
+    return clock, network
+
+
+class TestRandomWalk:
+    def test_stays_within_bounds(self):
+        clock, network = make_network()
+        walk = RandomWalkFluctuation(network, "a", "b", step=0.3,
+                                     interval=0.5, seed=3).start()
+        clock.run(100.0)
+        link = network.link("a", "b")
+        assert 0.0 <= link.reliability <= 1.0
+        assert walk.perturbations == 200
+
+    def test_changes_value(self):
+        clock, network = make_network()
+        RandomWalkFluctuation(network, "a", "b", step=0.1, interval=1.0,
+                              seed=3).start()
+        clock.run(10.0)
+        assert network.link("a", "b").reliability != 0.8
+
+    def test_bandwidth_walk_non_negative(self):
+        clock, network = make_network()
+        RandomWalkFluctuation(network, "a", "b", attribute="bandwidth",
+                              step=80.0, interval=0.5, seed=3).start()
+        clock.run(50.0)
+        assert network.link("a", "b").bandwidth >= 0.0
+
+    def test_stop_halts_perturbation(self):
+        clock, network = make_network()
+        walk = RandomWalkFluctuation(network, "a", "b", step=0.1,
+                                     interval=1.0, seed=3).start()
+        clock.run(5.0)
+        walk.stop()
+        count = walk.perturbations
+        clock.run(5.0)
+        assert walk.perturbations == count
+
+    def test_unknown_attribute_rejected(self):
+        clock, network = make_network()
+        with pytest.raises(NetworkError):
+            RandomWalkFluctuation(network, "a", "b", attribute="nonsense")
+
+    def test_double_start_rejected(self):
+        clock, network = make_network()
+        walk = RandomWalkFluctuation(network, "a", "b", seed=1).start()
+        with pytest.raises(NetworkError):
+            walk.start()
+
+
+class TestDisconnection:
+    def test_link_alternates(self):
+        clock, network = make_network()
+        process = DisconnectionProcess(network, "a", "b", mean_uptime=2.0,
+                                       mean_downtime=1.0, seed=5).start()
+        clock.run(100.0)
+        assert process.transitions > 10
+
+    def test_stop_leaves_link_up(self):
+        clock, network = make_network()
+        process = DisconnectionProcess(network, "a", "b", mean_uptime=0.5,
+                                       mean_downtime=50.0, seed=5).start()
+        clock.run(5.0)  # almost surely down now
+        process.stop()
+        assert network.link("a", "b").connected
+
+    def test_durations_validated(self):
+        clock, network = make_network()
+        with pytest.raises(NetworkError):
+            DisconnectionProcess(network, "a", "b", mean_uptime=0.0)
+
+
+class TestStepChange:
+    def test_applies_at_scheduled_time(self):
+        clock, network = make_network()
+        change = StepChange(network, "a", "b", at=5.0,
+                            attribute="reliability", value=0.1).start()
+        clock.run(4.0)
+        assert network.link("a", "b").reliability == 0.8
+        assert not change.applied
+        clock.run(2.0)
+        assert network.link("a", "b").reliability == 0.1
+        assert change.applied
+
+    def test_connected_attribute_uses_network_api(self):
+        clock, network = make_network()
+        events = []
+        network.observers.append(lambda name, payload: events.append(name))
+        StepChange(network, "a", "b", at=1.0, attribute="connected",
+                   value=False).start()
+        clock.run(2.0)
+        assert events == ["link_down"]
+
+
+class TestWorkload:
+    def two_component_model(self, frequency=4.0):
+        model = DeploymentModel()
+        model.add_component("x")
+        model.add_component("y")
+        model.connect_components("x", "y", frequency=frequency, evt_size=2.0)
+        return model
+
+    def test_periodic_rate_matches_model(self):
+        model = self.two_component_model(frequency=4.0)
+        trace = generate_trace(model, duration=100.0, seed=1)
+        rates = empirical_frequencies(trace, 100.0)
+        assert rates[("x", "y")] == pytest.approx(4.0, rel=0.05)
+
+    def test_poisson_rate_matches_model(self):
+        model = self.two_component_model(frequency=4.0)
+        trace = generate_trace(model, duration=200.0, poisson=True, seed=1)
+        rates = empirical_frequencies(trace, 200.0)
+        assert rates[("x", "y")] == pytest.approx(4.0, rel=0.15)
+
+    def test_both_directions_emitted(self):
+        model = self.two_component_model()
+        trace = generate_trace(model, duration=50.0, seed=2)
+        sources = {record.source for record in trace}
+        assert sources == {"x", "y"}
+
+    def test_event_sizes_from_logical_link(self):
+        model = self.two_component_model()
+        trace = generate_trace(model, duration=10.0, seed=2)
+        assert all(record.size_kb == 2.0 for record in trace)
+
+    def test_zero_frequency_links_silent(self):
+        model = self.two_component_model(frequency=0.0)
+        assert generate_trace(model, duration=50.0, seed=1) == []
+
+    def test_rate_scale(self):
+        model = self.two_component_model(frequency=2.0)
+        clock = SimClock()
+        count = []
+        workload = InteractionWorkload(model, clock,
+                                       lambda s, t, kb: count.append(1),
+                                       seed=1, rate_scale=5.0).start()
+        clock.run(100.0)
+        workload.stop()
+        assert len(count) == pytest.approx(2.0 * 5.0 * 100.0, rel=0.05)
+
+    def test_stop_halts_emission(self):
+        model = self.two_component_model()
+        clock = SimClock()
+        count = []
+        workload = InteractionWorkload(model, clock,
+                                       lambda s, t, kb: count.append(1),
+                                       seed=1).start()
+        clock.run(10.0)
+        workload.stop()
+        size = len(count)
+        clock.run(10.0)
+        assert len(count) == size

@@ -1,0 +1,180 @@
+"""Unit tests for the simulated network."""
+
+import pytest
+
+from repro.core import DeploymentModel
+from repro.core.errors import NetworkError, UnknownEntityError
+from repro.sim import SimClock, SimulatedNetwork
+
+
+def two_host_network(reliability=1.0, bandwidth=100.0, delay=0.01, seed=1):
+    clock = SimClock()
+    network = SimulatedNetwork(clock, seed=seed)
+    network.add_endpoint("a")
+    network.add_endpoint("b")
+    network.add_link("a", "b", reliability=reliability, bandwidth=bandwidth,
+                     delay=delay)
+    return clock, network
+
+
+class TestTopology:
+    def test_duplicate_endpoint_rejected(self):
+        clock, network = two_host_network()
+        with pytest.raises(NetworkError):
+            network.add_endpoint("a")
+
+    def test_duplicate_link_rejected(self):
+        clock, network = two_host_network()
+        with pytest.raises(NetworkError):
+            network.add_link("b", "a")
+
+    def test_link_to_unknown_endpoint_rejected(self):
+        clock, network = two_host_network()
+        with pytest.raises(UnknownEntityError):
+            network.add_link("a", "ghost")
+
+    def test_parameter_validation(self):
+        clock, network = two_host_network()
+        network.add_endpoint("c")
+        with pytest.raises(NetworkError):
+            network.add_link("a", "c", reliability=1.5)
+        with pytest.raises(NetworkError):
+            network.set_reliability("a", "b", -0.1)
+        with pytest.raises(NetworkError):
+            network.set_bandwidth("a", "b", -1.0)
+
+    def test_neighbors_reflect_link_state(self):
+        clock, network = two_host_network()
+        assert network.neighbors("a") == ("b",)
+        network.set_connected("a", "b", False)
+        assert network.neighbors("a") == ()
+
+
+class TestTransmission:
+    def test_delivery_after_transmission_time(self):
+        clock, network = two_host_network(bandwidth=100.0, delay=0.5)
+        arrivals = []
+        network.attach_handler("b", lambda src, payload, kb: arrivals.append(
+            (clock.now, payload)))
+        network.send("a", "b", "hello", size_kb=50.0)
+        clock.run()
+        assert arrivals == [(0.5 + 0.5, "hello")]  # delay + 50/100
+
+    def test_loopback_is_instant_and_reliable(self):
+        clock, network = two_host_network(reliability=0.0)
+        arrivals = []
+        network.attach_handler("a", lambda src, payload, kb: arrivals.append(
+            payload))
+        network.send("a", "a", "self")
+        clock.run()
+        assert arrivals == ["self"]
+
+    def test_loss_rate_matches_reliability(self):
+        clock, network = two_host_network(reliability=0.3, seed=7)
+        delivered = []
+        network.attach_handler("b", lambda *args: delivered.append(1))
+        for __ in range(1000):
+            network.send("a", "b", None, size_kb=0.1)
+        clock.run()
+        assert len(delivered) == pytest.approx(300, abs=50)
+        assert network.stats.dropped + network.stats.delivered == 1000
+
+    def test_reliable_flag_skips_loss(self):
+        clock, network = two_host_network(reliability=0.0)
+        delivered = []
+        network.attach_handler("b", lambda *args: delivered.append(1))
+        for __ in range(20):
+            network.send("a", "b", None, reliable=True)
+        clock.run()
+        assert len(delivered) == 20
+
+    def test_reliable_flag_cannot_cross_down_link(self):
+        clock, network = two_host_network()
+        network.set_connected("a", "b", False)
+        assert network.send("a", "b", None, reliable=True) is False
+
+    def test_no_link_means_drop_with_callback(self):
+        clock = SimClock()
+        network = SimulatedNetwork(clock, seed=1)
+        network.add_endpoint("a")
+        network.add_endpoint("b")
+        dropped = []
+        ok = network.send("a", "b", "payload",
+                          on_dropped=lambda dst, p: dropped.append(p))
+        assert ok is False
+        assert dropped == ["payload"]
+
+    def test_disconnect_mid_flight_drops_message(self):
+        clock, network = two_host_network(delay=1.0)
+        delivered = []
+        network.attach_handler("b", lambda *args: delivered.append(1))
+        network.send("a", "b", None)
+        clock.run(0.5)
+        network.set_connected("a", "b", False)
+        clock.run(5.0)
+        assert delivered == []
+        assert network.stats.dropped == 1
+
+    def test_zero_bandwidth_link_raises(self):
+        clock, network = two_host_network(bandwidth=0.0)
+        with pytest.raises(NetworkError, match="zero bandwidth"):
+            network.send("a", "b", None, size_kb=1.0)
+
+    def test_observers_notified_on_link_transitions(self):
+        clock, network = two_host_network()
+        events = []
+        network.observers.append(lambda name, payload: events.append(name))
+        network.set_connected("a", "b", False)
+        network.set_connected("a", "b", False)  # no-op, no event
+        network.set_connected("a", "b", True)
+        assert events == ["link_down", "link_up"]
+
+
+class TestPing:
+    def test_ping_success_rate(self):
+        clock, network = two_host_network(reliability=0.8, seed=4)
+        successes = sum(network.ping("a", "b") for __ in range(1000))
+        assert successes == pytest.approx(800, abs=50)
+
+    def test_ping_self_always_succeeds(self):
+        clock, network = two_host_network(reliability=0.0)
+        assert network.ping("a", "a")
+
+    def test_ping_down_link_fails(self):
+        clock, network = two_host_network()
+        network.set_connected("a", "b", False)
+        assert not network.ping("a", "b")
+
+    def test_ping_no_link_fails(self):
+        clock = SimClock()
+        network = SimulatedNetwork(clock)
+        network.add_endpoint("a")
+        network.add_endpoint("b")
+        assert not network.ping("a", "b")
+
+
+class TestModelInterop:
+    def test_from_model_mirrors_links(self, tiny_model):
+        clock = SimClock()
+        network = SimulatedNetwork.from_model(tiny_model, clock, seed=1)
+        assert set(network.endpoints) == {"hA", "hB"}
+        link = network.link("hA", "hB")
+        assert link.reliability == 0.5
+        assert link.bandwidth == 100.0
+
+    def test_apply_to_model_writes_truth_back(self, tiny_model):
+        clock = SimClock()
+        network = SimulatedNetwork.from_model(tiny_model, clock, seed=1)
+        network.set_reliability("hA", "hB", 0.123)
+        network.apply_to_model(tiny_model)
+        assert tiny_model.physical_link("hA", "hB").params.get(
+            "reliability") == 0.123
+
+    def test_stats_observed_reliability(self):
+        clock, network = two_host_network(reliability=0.5, seed=2)
+        for __ in range(400):
+            network.send("a", "b", None)
+        clock.run()
+        link = network.link("a", "b")
+        assert link.stats.observed_reliability() == pytest.approx(0.5,
+                                                                  abs=0.08)

@@ -1,0 +1,102 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.desi import xadl
+
+
+@pytest.fixture
+def architecture_file(tmp_path):
+    path = str(tmp_path / "arch.xml")
+    code = main(["generate", "--hosts", "3", "--components", "6",
+                 "--seed", "4", "-o", path])
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_loadable_xadl(self, architecture_file):
+        model = xadl.load(architecture_file)
+        assert len(model.host_ids) == 3
+        assert len(model.component_ids) == 6
+        model.validate_deployment()
+
+    def test_stdout_mode(self, capsys):
+        assert main(["generate", "--hosts", "2", "--components", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "<deploymentArchitecture" in out
+
+    def test_seed_reproducibility(self, tmp_path):
+        a = str(tmp_path / "a.xml")
+        b = str(tmp_path / "b.xml")
+        main(["generate", "--seed", "9", "-o", a])
+        main(["generate", "--seed", "9", "-o", b])
+        assert open(a).read() == open(b).read()
+
+
+class TestInspect:
+    def test_tables(self, architecture_file, capsys):
+        assert main(["inspect", architecture_file]) == 0
+        out = capsys.readouterr().out
+        assert "PARAMETERS / hosts" in out
+        assert "availability of current deployment" in out
+
+    def test_graph_and_dot(self, architecture_file, capsys):
+        main(["inspect", architecture_file, "--graph"])
+        assert "physical links:" in capsys.readouterr().out
+        main(["inspect", architecture_file, "--dot"])
+        assert capsys.readouterr().out.startswith("graph deployment {")
+
+
+class TestImprove:
+    def test_reports_results(self, architecture_file, capsys):
+        code = main(["improve", architecture_file, "-a", "avala",
+                     "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "initial availability" in out
+        assert "avala:" in out
+
+    def test_apply_writes_back(self, architecture_file, tmp_path):
+        before = dict(xadl.load(architecture_file).deployment)
+        output = str(tmp_path / "improved.xml")
+        code = main(["improve", architecture_file, "-a", "exact",
+                     "--apply", "-o", output, "--seed", "1"])
+        assert code == 0
+        improved = xadl.load(output)
+        from repro.core import AvailabilityObjective
+        objective = AvailabilityObjective()
+        original = xadl.load(architecture_file)
+        assert objective.evaluate(improved, improved.deployment) >= \
+            objective.evaluate(original, before) - 1e-9
+
+    def test_multiple_objectives(self, architecture_file, capsys):
+        code = main(["improve", architecture_file, "-a", "hillclimb",
+                     "--objective", "latency", "--seed", "1"])
+        assert code == 0
+        assert "latency" in capsys.readouterr().out
+
+
+class TestSweep:
+    def test_table_output(self, capsys):
+        code = main(["sweep", "--family", "tiny:3:5", "-a", "avala",
+                     "--replicates", "2", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tiny" in out
+        assert "best for tiny: avala" in out
+
+    def test_bad_family_spec(self, capsys):
+        assert main(["sweep", "--family", "nonsense", "-a", "avala"]) == 2
+
+
+class TestSimulate:
+    def test_crisis_trajectory(self, capsys):
+        code = main(["simulate", "--scenario", "crisis", "--duration",
+                     "20", "--seed", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "t=0" in out
+        assert "availability" in out
+        assert "redeploy" in out  # at least one cycle summary printed

@@ -1,0 +1,42 @@
+"""Executes the README's code snippets so documentation cannot rot."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+README = Path(__file__).resolve().parent.parent / "README.md"
+
+
+def python_snippets():
+    text = README.read_text(encoding="utf-8")
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+def test_readme_has_python_snippets():
+    assert len(python_snippets()) >= 2
+
+
+@pytest.mark.parametrize("index", range(len(python_snippets())))
+def test_readme_snippet_runs(index, capsys):
+    snippet = python_snippets()[index]
+    namespace = {}
+    exec(compile(snippet, f"README.md#snippet{index}", "exec"),  # noqa: S102
+         namespace)
+    # Snippets print results; they must have produced something.
+    assert capsys.readouterr().out
+
+
+def test_readme_mentions_every_package():
+    text = README.read_text(encoding="utf-8")
+    for package in ("repro.core", "repro.algorithms", "repro.middleware",
+                    "repro.desi", "repro.decentralized", "repro.sim",
+                    "repro.scenarios"):
+        assert package in text, f"README does not mention {package}"
+
+
+def test_examples_referenced_in_readme_exist():
+    text = README.read_text(encoding="utf-8")
+    examples_dir = README.parent / "examples"
+    for name in re.findall(r"`(\w+\.py)`", text):
+        assert (examples_dir / name).exists(), f"README references {name}"
