@@ -109,6 +109,65 @@ def test_e1_large_systems(availability, memory_constraints, benchmark):
                                      seed=1).run(models[0]))
 
 
+def test_e1_portfolio_evaluation_savings(availability, memory_constraints,
+                                         benchmark):
+    """E1c — the memoized portfolio engine pays for measurably fewer full
+    ``Objective.evaluate`` calls than the sequential seed path.
+
+    Three accountings of the same three-algorithm suite:
+
+    * *logical* — evaluations the algorithms request (the seed path paid one
+      full evaluation for each of these);
+    * *isolated* — full evaluations with one private engine per algorithm
+      (delta fast path + per-run memo, no sharing);
+    * *portfolio* — full evaluations with the engines sharing one
+      :class:`DeploymentCache` across the portfolio.
+    """
+    from repro.algorithms.engine import PortfolioRunner
+
+    model = large_architectures(count=1)[0]
+    factories = {
+        "stochastic": lambda: StochasticAlgorithm(
+            availability, memory_constraints, seed=1, iterations=30),
+        "avala": lambda: AvalaAlgorithm(availability, memory_constraints,
+                                        seed=1),
+        "hillclimb": lambda: HillClimbingAlgorithm(
+            availability, memory_constraints, seed=1),
+    }
+
+    isolated = {name: factory().run(model.copy())
+                for name, factory in factories.items()}
+    logical = sum(r.evaluations for r in isolated.values())
+    isolated_full = sum(r.extra["engine"]["full_evaluations"]
+                        for r in isolated.values())
+
+    runner = PortfolioRunner(parallel=False)
+    report = runner.run(model.copy(), factories)
+    counters = report.counters()
+
+    print_table(
+        "E1c: full Objective.evaluate calls by accounting (10x40 system)",
+        ["accounting", "full evaluations"],
+        [("logical (seed path)", logical),
+         ("isolated engines", isolated_full),
+         ("shared-cache portfolio", counters["full_evaluations"])])
+
+    assert set(report.succeeded) == set(factories)
+    # Memoization + delta fast path beat the pay-full-price seed path...
+    assert counters["full_evaluations"] < logical
+    assert isolated_full < logical
+    # ...and sharing the cache across the portfolio saves further.
+    assert counters["full_evaluations"] <= isolated_full
+    assert counters["cache_hits"] > 0
+    # The portfolio decision is identical to the sequential seed path's.
+    for name, result in isolated.items():
+        assert report.outcome(name).result.value == \
+            pytest.approx(result.value)
+
+    benchmark(lambda: PortfolioRunner(parallel=False).run(
+        model.copy(), factories))
+
+
 def test_e1_exact_infeasible_at_scale(availability, memory_constraints,
                                       benchmark):
     """Exact aborts on large architectures — its O(k^n) guard trips."""

@@ -9,6 +9,10 @@ Related-work baselines: :class:`BIPAlgorithm` (I5) and
 
 Framework-extension main bodies: :class:`HillClimbingAlgorithm`,
 :class:`SimulatedAnnealingAlgorithm`, :class:`GeneticAlgorithm`.
+
+Evaluation plumbing: :class:`EvaluationEngine` (memoized + incremental
+objective evaluation with budgets) and :class:`PortfolioRunner` (concurrent
+execution of an algorithm portfolio) in :mod:`repro.algorithms.engine`.
 """
 
 from repro.algorithms.annealing import SimulatedAnnealingAlgorithm
@@ -20,6 +24,10 @@ from repro.algorithms.base import (
 from repro.algorithms.bip import BIPAlgorithm
 from repro.algorithms.decap import (
     AwarenessMap, DecApAlgorithm, connectivity_awareness,
+)
+from repro.algorithms.engine import (
+    DeploymentCache, EvaluationEngine, EvaluationStats, PortfolioOutcome,
+    PortfolioReport, PortfolioRunner, run_portfolio,
 )
 from repro.algorithms.exact import ExactAlgorithm
 from repro.algorithms.genetic import GeneticAlgorithm
@@ -35,14 +43,21 @@ __all__ = [
     "BIPAlgorithm",
     "DecApAlgorithm",
     "DeploymentAlgorithm",
+    "DeploymentCache",
+    "EvaluationEngine",
+    "EvaluationStats",
     "ExactAlgorithm",
     "GeneticAlgorithm",
     "HillClimbingAlgorithm",
     "MinCutAlgorithm",
+    "PortfolioOutcome",
+    "PortfolioReport",
+    "PortfolioRunner",
     "SimulatedAnnealingAlgorithm",
     "StochasticAlgorithm",
     "SwapSearchAlgorithm",
     "connectivity_awareness",
     "greedy_fill_deployment",
     "random_valid_deployment",
+    "run_portfolio",
 ]

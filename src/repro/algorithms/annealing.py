@@ -68,8 +68,7 @@ class SimulatedAnnealingAlgorithm(DeploymentAlgorithm):
                 continue
             if not self.constraints.allows(model, current, component, host):
                 continue
-            delta = self.objective.move_delta(model, current, component, host)
-            self._count_evaluation()
+            delta = self._move_delta(model, current, component, host)
             gain = delta if self.objective.direction == "max" else -delta
             accept = gain >= 0.0
             if not accept and temperature > 1e-12:

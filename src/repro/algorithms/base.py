@@ -23,12 +23,17 @@ import random
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.core.constraints import ConstraintSet
-from repro.core.errors import AlgorithmError, NoValidDeploymentError
+from repro.core.errors import (
+    AlgorithmError, EvaluationBudgetExceeded, NoValidDeploymentError,
+)
 from repro.core.model import Deployment, DeploymentModel
 from repro.core.objectives import Objective
+
+if TYPE_CHECKING:  # engine imports base; keep the runtime import lazy
+    from repro.algorithms.engine import EvaluationEngine
 
 
 @dataclass
@@ -77,21 +82,29 @@ class DeploymentAlgorithm(ABC):
         self.constraints = constraints if constraints is not None else ConstraintSet()
         self.rng = random.Random(seed)
         self._evaluations = 0
+        self._engine: Optional["EvaluationEngine"] = None
 
     # ------------------------------------------------------------------
     def run(self, model: DeploymentModel,
-            initial: Optional[Mapping[str, str]] = None) -> AlgorithmResult:
+            initial: Optional[Mapping[str, str]] = None,
+            engine: Optional["EvaluationEngine"] = None) -> AlgorithmResult:
         """Search for an improved deployment of *model*.
 
         Args:
             model: The deployment model to improve.
             initial: The deployment to measure movement cost against;
                 defaults to the model's current deployment.
+            engine: Evaluation engine to score deployments through.  A
+                private one is created when omitted; portfolio callers pass
+                a budgeted engine sharing a memo cache across algorithms.
 
         Returns:
             The best deployment found.  ``result.valid`` is False only when
             the algorithm could not find any constraint-satisfying
-            deployment and fell back to its best-effort answer.
+            deployment and fell back to its best-effort answer.  When the
+            engine's budget runs out mid-search, the run degrades to the
+            best deployment scored so far (``extra["engine"]["truncated"]``
+            is set) instead of failing.
         """
         if not model.component_ids:
             raise AlgorithmError(f"{self.name}: model has no components")
@@ -99,18 +112,37 @@ class DeploymentAlgorithm(ABC):
             raise AlgorithmError(f"{self.name}: model has no hosts")
         if initial is None:
             initial = model.deployment
+        if engine is None:
+            from repro.algorithms.engine import EvaluationEngine
+            engine = EvaluationEngine(self.objective, self.constraints)
+        self._engine = engine
+        engine.reset()
         self._evaluations = 0
         start = time.perf_counter()
-        deployment, extra = self._search(model, dict(initial))
+        try:
+            deployment, extra = self._search(model, dict(initial))
+        except EvaluationBudgetExceeded:
+            # Graceful truncation: fall back to the best deployment the
+            # engine fully evaluated before the budget ran out.
+            best = engine.best_seen()
+            if best is None:
+                raise NoValidDeploymentError(
+                    f"{self.name}: evaluation budget exhausted before any "
+                    "deployment was scored") from None
+            deployment, extra = best[0], {"truncated": True}
+        finally:
+            self._engine = None
         elapsed = time.perf_counter() - start
         if deployment is None:
             raise NoValidDeploymentError(
                 f"{self.name}: no deployment satisfies the constraints")
         final = Deployment(deployment)
-        value = self.objective.evaluate(model, final)
+        value = engine.evaluate(model, final, charge=False)
         valid = self.constraints.is_satisfied(model, final)
         moves = sum(1 for c in final
                     if c in initial and initial[c] != final[c])
+        extra = dict(extra)
+        extra["engine"] = engine.snapshot()
         return AlgorithmResult(
             algorithm=self.name,
             deployment=final,
@@ -131,8 +163,23 @@ class DeploymentAlgorithm(ABC):
     # ------------------------------------------------------------------
     def _evaluate(self, model: DeploymentModel,
                   deployment: Mapping[str, str]) -> float:
+        """Score a full deployment (memoized when an engine is attached)."""
         self._evaluations += 1
-        return self.objective.evaluate(model, deployment)
+        if self._engine is None:
+            return self.objective.evaluate(model, deployment)
+        return self._engine.evaluate(model, deployment)
+
+    def _move_delta(self, model: DeploymentModel,
+                    deployment: Mapping[str, str], component: str,
+                    new_host: str) -> float:
+        """Objective change for one component move, counted as one
+        evaluation and routed through the engine's delta fast path."""
+        self._evaluations += 1
+        if self._engine is None:
+            return self.objective.move_delta(model, deployment, component,
+                                             new_host)
+        return self._engine.move_delta(model, deployment, component,
+                                       new_host)
 
     def _count_evaluation(self, n: int = 1) -> None:
         """Record *n* incremental (delta-based) evaluations."""

@@ -57,9 +57,8 @@ class HillClimbingAlgorithm(DeploymentAlgorithm):
                     if not self.constraints.allows(
                             model, assignment, component, host):
                         continue
-                    delta = self.objective.move_delta(
+                    delta = self._move_delta(
                         model, assignment, component, host)
-                    self._count_evaluation()
                     gain = (delta if self.objective.direction == "max"
                             else -delta)
                     if gain > best_delta + 1e-12:

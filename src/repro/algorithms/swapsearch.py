@@ -45,9 +45,9 @@ class SwapSearchAlgorithm(DeploymentAlgorithm):
         """
         host_a = assignment[comp_a]
         host_b = assignment[comp_b]
-        first = self.objective.move_delta(model, assignment, comp_a, host_b)
+        first = self._move_delta(model, assignment, comp_a, host_b)
         assignment[comp_a] = host_b  # temporarily apply
-        second = self.objective.move_delta(model, assignment, comp_b, host_a)
+        second = self._move_delta(model, assignment, comp_b, host_a)
         assignment[comp_a] = host_a  # restore
         return first + second
 
@@ -93,8 +93,7 @@ class SwapSearchAlgorithm(DeploymentAlgorithm):
                     if not self.constraints.allows(model, assignment,
                                                    component, host):
                         continue
-                    self._count_evaluation()
-                    gain = self._gain(self.objective.move_delta(
+                    gain = self._gain(self._move_delta(
                         model, assignment, component, host))
                     if gain > best_gain:
                         best_gain = gain
@@ -107,7 +106,6 @@ class SwapSearchAlgorithm(DeploymentAlgorithm):
                     if not self._swap_allowed(model, assignment,
                                               comp_a, comp_b):
                         continue
-                    self._count_evaluation()
                     gain = self._gain(self._swap_delta(
                         model, assignment, comp_a, comp_b))
                     if gain > best_gain:

@@ -36,8 +36,10 @@ from repro.core.constraints import (
 from repro.core.parameters import (
     ParameterDefinition, ParameterRegistry, standard_registry,
 )
+from repro.core.registry import AlgorithmRegistry
 
 __all__ = [
+    "AlgorithmRegistry",
     "AvailabilityObjective",
     "BandwidthConstraint",
     "CollocationConstraint",

@@ -25,18 +25,22 @@ time) via :meth:`Analyzer.register_algorithm` /
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.algorithms import (
     AlgorithmResult, AvalaAlgorithm, DeploymentAlgorithm, ExactAlgorithm,
     HillClimbingAlgorithm, StochasticAlgorithm,
 )
+from repro.algorithms.engine import (
+    DeploymentCache, EvaluationEngine, PortfolioReport, PortfolioRunner,
+)
 from repro.core.constraints import ConstraintSet
 from repro.core.effector import RedeploymentPlan, plan_redeployment
-from repro.core.errors import AlgorithmError, AnalyzerError
 from repro.core.model import Deployment, DeploymentModel
-from repro.core.objectives import LatencyObjective, Objective
+from repro.core.objectives import Objective
+from repro.core.registry import AlgorithmRegistry
 
 
 class ObjectiveHistory:
@@ -83,6 +87,9 @@ class Decision:
     candidates: List[AlgorithmResult] = field(default_factory=list)
     algorithms_run: List[str] = field(default_factory=list)
     guard_values: Dict[str, float] = field(default_factory=dict)
+    #: Full per-algorithm outcome record (ok/skipped/error/timeout) of the
+    #: portfolio run behind this decision.
+    portfolio: Optional[PortfolioReport] = None
 
     @property
     def will_redeploy(self) -> bool:
@@ -118,7 +125,18 @@ class Analyzer:
         guard_tolerance: Allowed multiplicative worsening of the guard
             objective (1.10 = up to 10% worse latency is acceptable).
         seed: Seed handed to the stock algorithms.
+        parallel: Run the selected algorithms concurrently (Section 4.3's
+            "invokes the selected redeployment algorithms" as a portfolio)
+            instead of one after another.
+        algorithm_timeout: Per-algorithm wall-clock deadline per cycle in
+            seconds; a timed-out algorithm degrades to a skipped outcome.
+        evaluation_budget: Per-algorithm cap on charged objective
+            evaluations per cycle (graceful truncation).
+        max_workers: Thread-pool width for the portfolio.
     """
+
+    #: Cost tiers of the Section-5.1 selection policy.
+    TIERS = ("exact", "thorough", "fast")
 
     def __init__(self, objective: Objective,
                  constraints: Optional[ConstraintSet] = None,
@@ -129,7 +147,11 @@ class Analyzer:
                  stability_window: int = 5,
                  min_improvement: float = 0.01,
                  guard_tolerance: float = 1.10,
-                 seed: Optional[int] = None):
+                 seed: Optional[int] = None,
+                 parallel: bool = True,
+                 algorithm_timeout: Optional[float] = None,
+                 evaluation_budget: Optional[int] = None,
+                 max_workers: Optional[int] = None):
         self.objective = objective
         self.constraints = constraints if constraints is not None else ConstraintSet()
         self.latency_guard = latency_guard
@@ -145,31 +167,43 @@ class Analyzer:
         self.redeployments_effected = 0
         # Pluggable algorithm suite, grouped by cost tier (the analyzer
         # "determin[es] the best configuration for the tool" by editing
-        # these at run time).
-        self._algorithms: Dict[str, AlgorithmFactory] = {}
-        self._tiers: Dict[str, List[str]] = {
-            "exact": [], "thorough": [], "fast": [],
-        }
+        # the registry at run time).
+        self.registry = AlgorithmRegistry(tiers=self.TIERS,
+                                          default_tier="thorough")
+        # One memo cache for the whole analyzer: the portfolio's engines,
+        # the current-value evaluation, and the guard all share it, and it
+        # survives across cycles until the model changes under monitoring.
+        self._cache = DeploymentCache()
+        self._engine = EvaluationEngine(objective, self.constraints,
+                                        cache=self._cache)
+        self._guard_engine = (
+            EvaluationEngine(latency_guard, self.constraints,
+                             cache=self._cache)
+            if latency_guard is not None else None)
+        self._portfolio = PortfolioRunner(
+            parallel=parallel, algorithm_timeout=algorithm_timeout,
+            max_evaluations=evaluation_budget, max_workers=max_workers,
+            cache=self._cache)
         self._install_default_algorithms()
 
     # ------------------------------------------------------------------
     # Algorithm suite management (framework adaptation)
     # ------------------------------------------------------------------
     def _install_default_algorithms(self) -> None:
-        self.register_algorithm(
+        self.registry.register(
             "exact", lambda: ExactAlgorithm(
                 self.objective, self.constraints, seed=self.seed),
             tier="exact")
-        self.register_algorithm(
+        self.registry.register(
             "avala", lambda: AvalaAlgorithm(
                 self.objective, self.constraints, seed=self.seed),
             tier="thorough")
-        self.register_algorithm(
+        self.registry.register(
             "stochastic", lambda: StochasticAlgorithm(
                 self.objective, self.constraints, seed=self.seed,
                 iterations=100),
             tier="thorough")
-        self.register_algorithm(
+        self.registry.register(
             "hillclimb", lambda: HillClimbingAlgorithm(
                 self.objective, self.constraints, seed=self.seed,
                 max_rounds=50),
@@ -177,7 +211,7 @@ class Analyzer:
         # The unstable-system tier: "a less expensive algorithm that could
         # produce faster results for the immediate improvement" (§5.1) —
         # a handful of stochastic restarts, O(n^2) each.
-        self.register_algorithm(
+        self.registry.register(
             "stochastic_fast", lambda: StochasticAlgorithm(
                 self.objective, self.constraints, seed=self.seed,
                 iterations=10),
@@ -185,23 +219,36 @@ class Analyzer:
 
     def register_algorithm(self, name: str, factory: AlgorithmFactory,
                            tier: str = "thorough") -> None:
-        if tier not in self._tiers:
-            raise AnalyzerError(f"unknown tier {tier!r}")
-        self._algorithms[name] = factory
-        for members in self._tiers.values():
-            if name in members:
-                members.remove(name)
-        self._tiers[tier].append(name)
+        """Deprecated shim — use ``analyzer.registry.register`` instead.
+
+        Kept with its historical replace-on-collision semantics.
+        """
+        warnings.warn(
+            "Analyzer.register_algorithm is deprecated; use "
+            "Analyzer.registry.register(name, factory, tier=...)",
+            DeprecationWarning, stacklevel=2)
+        self.registry.register(name, factory, tier=tier, replace=True)
 
     def unregister_algorithm(self, name: str) -> None:
-        self._algorithms.pop(name, None)
-        for members in self._tiers.values():
-            if name in members:
-                members.remove(name)
+        """Deprecated shim — use ``analyzer.registry.unregister``/``discard``.
+
+        Kept with its historical remove-if-present semantics.
+        """
+        warnings.warn(
+            "Analyzer.unregister_algorithm is deprecated; use "
+            "Analyzer.registry.unregister(name)",
+            DeprecationWarning, stacklevel=2)
+        self.registry.discard(name)
 
     @property
     def algorithm_names(self) -> Tuple[str, ...]:
-        return tuple(sorted(self._algorithms))
+        return self.registry.names
+
+    @property
+    def _tiers(self) -> Dict[str, List[str]]:
+        """Tier -> member names view (kept for backward compatibility)."""
+        return {tier: list(self.registry.members(tier))
+                for tier in self.TIERS}
 
     # ------------------------------------------------------------------
     # Selection policy (Section 5.1)
@@ -226,26 +273,28 @@ class Analyzer:
     # Analysis cycle
     # ------------------------------------------------------------------
     def analyze(self, model: DeploymentModel, now: float = 0.0) -> Decision:
-        """Run one analysis cycle against *model* and decide what to do."""
+        """Run one analysis cycle against *model* and decide what to do.
+
+        The selected algorithms execute as a portfolio: concurrently when
+        the analyzer was built with ``parallel=True``, each under the
+        configured timeout/evaluation budget.  An algorithm that fails,
+        crashes, or times out degrades to a skipped outcome (recorded in
+        ``decision.portfolio``) — it never aborts the cycle.
+        """
         current = model.deployment
-        current_value = self.objective.evaluate(model, current)
+        current_value = self._engine.evaluate(model, current, charge=False)
         self.history.record(now, current_value)
 
         names = self.select_algorithms(model)
-        candidates: List[AlgorithmResult] = []
-        for name in names:
-            factory = self._algorithms.get(name)
-            if factory is None:
-                continue
-            try:
-                result = factory().run(model, initial=current)
-            except AlgorithmError:
-                continue  # e.g. exact over its space guard; skip it
-            if result.valid:
-                candidates.append(result)
+        factories = {name: self.registry.get(name)
+                     for name in names if name in self.registry}
+        report = self._portfolio.run(model, factories, initial=current)
+        candidates = [outcome.result for outcome in report.outcomes
+                      if outcome.ok and outcome.result.valid]
 
         decision = self._decide(model, current, current_value, candidates)
         decision.algorithms_run = names
+        decision.portfolio = report
         self.decisions.append(decision)
         return decision
 
@@ -317,7 +366,8 @@ class Analyzer:
             return None
         guard = self.latency_guard
         working = dict(result.deployment)
-        before_guard = guard.evaluate(model, current)
+        before_guard = self._guard_engine.evaluate(model, current,
+                                                   charge=False)
         limit = (before_guard * self.guard_tolerance
                  if guard.direction == "min"
                  else before_guard / self.guard_tolerance)
@@ -350,9 +400,10 @@ class Analyzer:
             return None
         if not self.constraints.is_satisfied(model, working):
             return None
-        value = self.objective.evaluate(model, working)
+        value = self._engine.evaluate(model, working, charge=False)
         if self.objective.improvement(
-                value, self.objective.evaluate(model, current)) <= 0.0:
+                value,
+                self._engine.evaluate(model, current, charge=False)) <= 0.0:
             return None  # repair erased the improvement
         patched = AlgorithmResult(
             algorithm=f"{result.algorithm}+guard-repair",
@@ -376,8 +427,9 @@ class Analyzer:
         if self.latency_guard is None:
             return True, "", {}
         guard = self.latency_guard
-        before = guard.evaluate(model, current)
-        after = guard.evaluate(model, result.deployment)
+        before = self._guard_engine.evaluate(model, current, charge=False)
+        after = self._guard_engine.evaluate(model, result.deployment,
+                                            charge=False)
         extras = {f"{guard.name}_before": before,
                   f"{guard.name}_after_{result.algorithm}": after}
         if guard.direction == "min":

@@ -63,8 +63,38 @@ class NoValidDeploymentError(AlgorithmError):
     """The constraint set admits no deployment at all."""
 
 
+class EvaluationBudgetExceeded(AlgorithmError):
+    """An evaluation engine exhausted its evaluation or time budget.
+
+    Raised from :class:`repro.algorithms.engine.EvaluationEngine` when a
+    per-run budget runs out.  :meth:`DeploymentAlgorithm.run` catches it and
+    degrades to the best deployment scored so far (graceful truncation); it
+    only escapes to callers when truncation has nothing to fall back on.
+    """
+
+
 class AnalyzerError(ReproError):
     """The analyzer could not select a course of action."""
+
+
+class RegistryError(ReproError):
+    """Misuse of an algorithm registry (not an analysis failure)."""
+
+
+class DuplicateAlgorithmError(RegistryError):
+    """An algorithm with the same name is already registered."""
+
+    def __init__(self, name: str):
+        super().__init__(f"algorithm {name!r} already registered")
+        self.name = name
+
+
+class UnknownAlgorithmError(RegistryError):
+    """An operation referenced an algorithm that is not registered."""
+
+    def __init__(self, name: str):
+        super().__init__(f"algorithm {name!r} is not registered")
+        self.name = name
 
 
 class MonitoringError(ReproError):

@@ -32,7 +32,7 @@ import weakref
 from abc import ABC, abstractmethod
 from typing import Dict, Mapping, Optional, Sequence, Tuple
 
-from repro.core.model import Deployment, DeploymentModel
+from repro.core.model import DeploymentModel
 
 MAXIMIZE = "max"
 MINIMIZE = "min"
@@ -43,12 +43,34 @@ UNREACHABLE_COST = 1.0e9
 
 
 class Objective(ABC):
-    """A scalar criterion over deployments, to be maximized or minimized."""
+    """A scalar criterion over deployments, to be maximized or minimized.
+
+    **Incremental-evaluation contract.**  Every objective supports the same
+    protocol:
+
+    * :meth:`evaluate` scores a full deployment.
+    * :meth:`move_delta` returns the raw change ``evaluate(moved) -
+      evaluate(base)`` for a single-component move, and MUST agree with two
+      full evaluations to floating-point tolerance (the property tests
+      enforce 1e-9).
+    * :attr:`supports_delta` declares whether ``move_delta`` is genuinely
+      incremental (O(degree) in the moved component's interactions).
+      Objectives that cannot localize a move's effect (bottleneck/min
+      aggregations) declare ``supports_delta = False`` — the default base
+      implementation of ``move_delta`` then recomputes from scratch, and
+      the evaluation engine routes such objectives through (memoized) full
+      evaluation instead of the delta fast path.
+    """
 
     #: Short identifier used in analyzer logs and bench output.
     name: str = "objective"
     #: Either :data:`MAXIMIZE` or :data:`MINIMIZE`.
     direction: str = MAXIMIZE
+    #: True when :meth:`move_delta` is overridden with an O(degree)
+    #: incremental computation.  Declared explicitly per objective so the
+    #: engine never silently pays a full re-evaluation believing it bought
+    #: a delta.
+    supports_delta: bool = False
 
     @abstractmethod
     def evaluate(self, model: DeploymentModel,
@@ -76,9 +98,10 @@ class Objective(ABC):
                    component: str, new_host: str) -> float:
         """Change in objective value if *component* moved to *new_host*.
 
-        The default recomputes from scratch; subclasses override with an
-        O(degree) computation.  The returned delta is raw (new - old), not
-        direction-adjusted.
+        The default recomputes from scratch (two full evaluations);
+        subclasses overriding it with an O(degree) computation must also
+        declare ``supports_delta = True``.  The returned delta is raw
+        (new - old), not direction-adjusted.
         """
         old_value = self.evaluate(model, deployment)
         moved = dict(deployment)
@@ -112,6 +135,7 @@ class AvailabilityObjective(Objective):
 
     name = "availability"
     direction = MAXIMIZE
+    supports_delta = True
 
     def __init__(self, use_criticality: bool = False):
         self.use_criticality = use_criticality
@@ -191,6 +215,7 @@ class LatencyObjective(Objective):
 
     name = "latency"
     direction = MINIMIZE
+    supports_delta = True
 
     def __init__(self, local_dispatch_cost: float = 1.0e-5):
         self.local_dispatch_cost = local_dispatch_cost
@@ -254,6 +279,7 @@ class CommunicationCostObjective(Objective):
 
     name = "communication_cost"
     direction = MINIMIZE
+    supports_delta = True
 
     def evaluate(self, model: DeploymentModel,
                  deployment: Mapping[str, str]) -> float:
@@ -293,6 +319,34 @@ class SecurityObjective(Objective):
 
     name = "security"
     direction = MAXIMIZE
+    supports_delta = True
+
+    def __init__(self):
+        # Total interaction weight is deployment-independent; cache it per
+        # (model, interaction_version) exactly like AvailabilityObjective
+        # so move_delta stays O(degree).
+        self._total_cache = None  # (weakref, version, total)
+
+    def _total_weight(self, model: DeploymentModel) -> float:
+        cached = self._total_cache
+        if cached is not None and cached[0]() is model \
+                and cached[1] == model.interaction_version:
+            return cached[2]
+        total = sum(link.frequency
+                    for __, __, link in model.interaction_pairs()
+                    if link.frequency > 0.0)
+        self._total_cache = (weakref.ref(model), model.interaction_version,
+                             total)
+        return total
+
+    def _pair_security(self, model: DeploymentModel, host_a: str,
+                       host_b: str) -> float:
+        if host_a == host_b:
+            return 1.0
+        physical = model.physical_link(host_a, host_b)
+        if physical is None:
+            return 0.0
+        return physical.params.get("security")
 
     def evaluate(self, model: DeploymentModel,
                  deployment: Mapping[str, str]) -> float:
@@ -307,15 +361,31 @@ class SecurityObjective(Objective):
             host_b = deployment.get(comp_b)
             if host_a is None or host_b is None:
                 continue
-            if host_a == host_b:
-                secured += weight
-                continue
-            physical = model.physical_link(host_a, host_b)
-            if physical is not None:
-                secured += weight * physical.params.get("security")
+            secured += weight * self._pair_security(model, host_a, host_b)
         if total == 0.0:
             return 1.0
         return secured / total
+
+    def move_delta(self, model: DeploymentModel, deployment: Mapping[str, str],
+                   component: str, new_host: str) -> float:
+        total = self._total_weight(model)
+        if total == 0.0:
+            return 0.0
+        old_host = deployment.get(component)
+        delta_secured = 0.0
+        for neighbor in model.logical_neighbors(component):
+            link = model.logical_link(component, neighbor)
+            weight = link.frequency
+            if weight <= 0.0:
+                continue
+            neighbor_host = deployment.get(neighbor)
+            if neighbor_host is None:
+                continue
+            new_sec = self._pair_security(model, new_host, neighbor_host)
+            old_sec = (self._pair_security(model, old_host, neighbor_host)
+                       if old_host is not None else 0.0)
+            delta_secured += weight * (new_sec - old_sec)
+        return delta_secured / total
 
 
 class ThroughputObjective(Objective):
@@ -331,6 +401,11 @@ class ThroughputObjective(Objective):
 
     name = "throughput"
     direction = MINIMIZE
+    #: A move shifts traffic between links, but the objective is the MAX
+    #: utilization over all links — knowing the moved component's edges is
+    #: not enough to know the new bottleneck, so there is no O(degree)
+    #: delta.  The engine serves move_delta via memoized full evaluation.
+    supports_delta = False
 
     #: Utilization charged to interacting host pairs with no usable link.
     UNREACHABLE_UTILIZATION = 1.0e6
@@ -370,6 +445,11 @@ class DurabilityObjective(Objective):
 
     name = "durability"
     direction = MAXIMIZE
+    #: Durability is the MIN projected lifetime across battery hosts; a
+    #: single move can change which host is weakest, so the delta cannot be
+    #: localized to the moved component's edges.  Explicitly non-delta: the
+    #: engine falls back to memoized full evaluation.
+    supports_delta = False
 
     def __init__(self, idle_draw: float = 1.0, cpu_coefficient: float = 0.1,
                  radio_coefficient: float = 0.05,
@@ -435,6 +515,9 @@ class WeightedObjective(Objective):
             raise ValueError("scales must match terms one-to-one")
         self.scales: Tuple[float, ...] = tuple(scales)
         self.name = "weighted(" + "+".join(o.name for o, __ in self.terms) + ")"
+        # Incremental only when every term is: a non-delta term would make
+        # move_delta as expensive as two full evaluations of that term.
+        self.supports_delta = all(o.supports_delta for o, __ in self.terms)
 
     def evaluate(self, model: DeploymentModel,
                  deployment: Mapping[str, str]) -> float:

@@ -1,0 +1,122 @@
+"""Shared algorithm registry (the paper's meta-level add/remove API).
+
+Section 4.3: "The API allows for addition and removal of algorithms ...".
+Both the Analyzer (:mod:`repro.core.analyzer`) and DeSi's
+AlgorithmContainer (:mod:`repro.desi.container`) expose this meta-level
+operation; historically each had its own dialect (different names,
+signatures, and duplicate-registration behavior).  :class:`AlgorithmRegistry`
+is the single implementation both now delegate to.
+
+Registry misuse raises :class:`~repro.core.errors.RegistryError` subclasses,
+never :class:`~repro.core.errors.AnalyzerError` — the latter is reserved for
+actual analysis failures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.errors import (
+    DuplicateAlgorithmError, RegistryError, UnknownAlgorithmError,
+)
+
+#: Zero-argument callable building a fresh algorithm instance per run, so
+#: internal state (RNGs, counters) never leaks across runs.
+AlgorithmFactory = Callable[[], "object"]
+
+
+class AlgorithmRegistry:
+    """Name -> factory registry with optional cost tiers.
+
+    Args:
+        tiers: Ordered tier names.  The Analyzer uses
+            ``("exact", "thorough", "fast")`` (Section 5.1's cost spectrum);
+            registries that don't need tiers keep the single default.
+        default_tier: Tier used when ``register`` is called without one;
+            defaults to the first entry of *tiers*.
+    """
+
+    def __init__(self, tiers: Sequence[str] = ("default",),
+                 default_tier: Optional[str] = None):
+        if not tiers:
+            raise RegistryError("registry needs at least one tier")
+        self._factories: Dict[str, AlgorithmFactory] = {}
+        self._tiers: Dict[str, List[str]] = {tier: [] for tier in tiers}
+        self.default_tier = default_tier if default_tier is not None else tiers[0]
+        if self.default_tier not in self._tiers:
+            raise RegistryError(f"unknown tier {self.default_tier!r}")
+
+    # -- registration -------------------------------------------------------
+    def register(self, name: str, factory: AlgorithmFactory, *,
+                 tier: Optional[str] = None, replace: bool = False) -> None:
+        """Register *factory* under *name*.
+
+        Raises:
+            DuplicateAlgorithmError: *name* is taken and ``replace`` is False.
+            RegistryError: *tier* is not one of this registry's tiers.
+        """
+        if tier is None:
+            tier = self.default_tier
+        if tier not in self._tiers:
+            raise RegistryError(f"unknown tier {tier!r}")
+        if name in self._factories and not replace:
+            raise DuplicateAlgorithmError(name)
+        self._factories[name] = factory
+        for members in self._tiers.values():
+            if name in members:
+                members.remove(name)
+        self._tiers[tier].append(name)
+
+    def unregister(self, name: str) -> None:
+        """Remove *name*; raises :class:`UnknownAlgorithmError` if absent."""
+        if name not in self._factories:
+            raise UnknownAlgorithmError(name)
+        self.discard(name)
+
+    def discard(self, name: str) -> bool:
+        """Remove *name* if present; returns whether anything was removed."""
+        removed = self._factories.pop(name, None) is not None
+        for members in self._tiers.values():
+            if name in members:
+                members.remove(name)
+        return removed
+
+    # -- lookup -------------------------------------------------------------
+    def get(self, name: str) -> AlgorithmFactory:
+        try:
+            return self._factories[name]
+        except KeyError:
+            raise UnknownAlgorithmError(name) from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._factories
+
+    def __len__(self) -> int:
+        return len(self._factories)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._factories))
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._factories))
+
+    def members(self, tier: str) -> Tuple[str, ...]:
+        """Names registered under *tier*, in registration order."""
+        try:
+            return tuple(self._tiers[tier])
+        except KeyError:
+            raise RegistryError(f"unknown tier {tier!r}") from None
+
+    def tier_of(self, name: str) -> str:
+        for tier, members in self._tiers.items():
+            if name in members:
+                return tier
+        raise UnknownAlgorithmError(name)
+
+    def items(self) -> Tuple[Tuple[str, AlgorithmFactory], ...]:
+        return tuple(sorted(self._factories.items()))
+
+    def __repr__(self) -> str:
+        by_tier = {t: len(m) for t, m in self._tiers.items() if m}
+        return f"AlgorithmRegistry({len(self._factories)} algorithms, {by_tier})"

@@ -12,11 +12,11 @@ comparisons.
 from __future__ import annotations
 
 import statistics
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.algorithms.base import DeploymentAlgorithm
+from repro.algorithms.engine import EvaluationEngine
 from repro.core.errors import AlgorithmError, ReproError
 from repro.core.model import DeploymentModel
 from repro.core.objectives import Objective
@@ -38,6 +38,14 @@ class CellResult:
     mean_initial: float
     mean_elapsed: float
     mean_moves: float
+    #: Engine counters (means over successful runs): how many full
+    #: ``Objective.evaluate`` calls the cell actually paid for, how many
+    #: were served from the memo cache, and how many went through the
+    #: O(degree) delta fast path.
+    mean_full_evaluations: float = 0.0
+    mean_cache_hits: float = 0.0
+    mean_delta_evaluations: float = 0.0
+    truncated_runs: int = 0
 
     @property
     def mean_improvement(self) -> Optional[float]:
@@ -107,11 +115,16 @@ class ExperimentRunner:
             per run so internal RNG state never leaks across runs.
         replicates: Architectures generated per family.
         seed: Base seed; family i, replicate j uses ``seed + i*1000 + j``.
+        max_evaluations / max_seconds: Per-run evaluation-engine budgets;
+            over-budget runs truncate gracefully to their best-so-far
+            deployment and are counted in ``CellResult.truncated_runs``.
     """
 
     def __init__(self, objective: Objective,
                  algorithms: Dict[str, AlgorithmFactory],
-                 replicates: int = 5, seed: int = 0):
+                 replicates: int = 5, seed: int = 0,
+                 max_evaluations: Optional[int] = None,
+                 max_seconds: Optional[float] = None):
         if not algorithms:
             raise ReproError("need at least one algorithm")
         if replicates < 1:
@@ -120,6 +133,8 @@ class ExperimentRunner:
         self.algorithms = dict(algorithms)
         self.replicates = replicates
         self.seed = seed
+        self.max_evaluations = max_evaluations
+        self.max_seconds = max_seconds
 
     def run(self, families: Dict[str, GeneratorConfig]) -> ExperimentReport:
         """Execute the sweep; returns per-cell aggregates."""
@@ -145,11 +160,19 @@ class ExperimentRunner:
         values: List[float] = []
         elapsed: List[float] = []
         moves: List[float] = []
+        full_evals: List[float] = []
+        cache_hits: List[float] = []
+        delta_evals: List[float] = []
+        truncated = 0
         failures = 0
         for model in models:
             algorithm = self.algorithms[algorithm_name]()
+            engine = EvaluationEngine(
+                algorithm.objective, algorithm.constraints,
+                max_evaluations=self.max_evaluations,
+                max_seconds=self.max_seconds)
             try:
-                result = algorithm.run(model.copy())
+                result = algorithm.run(model.copy(), engine=engine)
             except AlgorithmError:
                 failures += 1
                 continue
@@ -159,6 +182,12 @@ class ExperimentRunner:
             values.append(result.value)
             elapsed.append(result.elapsed)
             moves.append(result.moves_from_initial)
+            counters = result.extra.get("engine", {})
+            full_evals.append(counters.get("full_evaluations", 0))
+            cache_hits.append(counters.get("cache_hits", 0))
+            delta_evals.append(counters.get("delta_evaluations", 0))
+            if counters.get("truncated"):
+                truncated += 1
         return CellResult(
             family=family,
             algorithm=algorithm_name,
@@ -170,4 +199,11 @@ class ExperimentRunner:
             mean_initial=statistics.mean(initials),
             mean_elapsed=statistics.mean(elapsed) if elapsed else 0.0,
             mean_moves=statistics.mean(moves) if moves else 0.0,
+            mean_full_evaluations=(statistics.mean(full_evals)
+                                   if full_evals else 0.0),
+            mean_cache_hits=(statistics.mean(cache_hits)
+                             if cache_hits else 0.0),
+            mean_delta_evaluations=(statistics.mean(delta_evals)
+                                    if delta_evals else 0.0),
+            truncated_runs=truncated,
         )

@@ -8,16 +8,29 @@ has been modified."
 Section 4.3 adds the meta-level API the Analyzer uses: "The API allows for
 addition and removal of algorithms, modification of the model, and access
 to DeSi's internal data structure that holds the results of executing
-algorithms."
+algorithms."  That meta-level operation is
+:class:`repro.core.registry.AlgorithmRegistry`, shared with the Analyzer;
+the container's historical ``register``/``unregister`` methods remain as
+thin deprecation shims over ``container.registry``.
+
+Invocation runs through the memoized
+:class:`repro.algorithms.engine.EvaluationEngine` — one cache per
+container, so repeated invocations over the same model (DeSi's Algorithms
+panel buttons, pressed repeatedly) stop re-scoring deployments any
+algorithm already evaluated.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+import warnings
+from typing import Callable, List, Optional, Tuple
 
 from repro.algorithms.base import AlgorithmResult, DeploymentAlgorithm
+from repro.algorithms.engine import (
+    DeploymentCache, EvaluationEngine, PortfolioReport, PortfolioRunner,
+)
 from repro.core.effector import plan_redeployment
-from repro.core.errors import AnalyzerError
+from repro.core.registry import AlgorithmRegistry
 from repro.desi.systemdata import DeSiModel
 
 AlgorithmFactory = Callable[[], DeploymentAlgorithm]
@@ -28,41 +41,89 @@ class AlgorithmContainer:
 
     def __init__(self, desi: DeSiModel):
         self.desi = desi
-        self._factories: Dict[str, AlgorithmFactory] = {}
+        #: The meta-level add/remove/query API (shared with the Analyzer).
+        self.registry = AlgorithmRegistry()
+        self._cache = DeploymentCache()
 
     # -- the meta-level API (add/remove/query) ------------------------------
     def register(self, name: str, factory: AlgorithmFactory) -> None:
-        if name in self._factories:
-            raise AnalyzerError(f"algorithm {name!r} already registered")
-        self._factories[name] = factory
+        """Deprecated shim — use ``container.registry.register`` instead.
+
+        Raises :class:`~repro.core.errors.DuplicateAlgorithmError` when the
+        name is taken (historical behavior, now a dedicated registry error).
+        """
+        warnings.warn(
+            "AlgorithmContainer.register is deprecated; use "
+            "container.registry.register(name, factory)",
+            DeprecationWarning, stacklevel=2)
+        self.registry.register(name, factory)
 
     def unregister(self, name: str) -> None:
-        if name not in self._factories:
-            raise AnalyzerError(f"algorithm {name!r} is not registered")
-        del self._factories[name]
+        """Deprecated shim — use ``container.registry.unregister`` instead."""
+        warnings.warn(
+            "AlgorithmContainer.unregister is deprecated; use "
+            "container.registry.unregister(name)",
+            DeprecationWarning, stacklevel=2)
+        self.registry.unregister(name)
 
     @property
     def algorithm_names(self) -> Tuple[str, ...]:
-        return tuple(sorted(self._factories))
+        return self.registry.names
 
-    # -- invocation ------------------------------------------------------------
+    # -- invocation ---------------------------------------------------------
+    def _record(self, result: AlgorithmResult) -> None:
+        plan = plan_redeployment(self.desi.deployment_model,
+                                 result.deployment)
+        self.desi.results.record(result, effect_estimate=plan.estimated_time)
+
     def invoke(self, name: str) -> AlgorithmResult:
         """Run one registered algorithm against the current model and record
         its outcome (including the effecting-time estimate) in
-        AlgoResultData."""
-        factory = self._factories.get(name)
-        if factory is None:
-            raise AnalyzerError(f"algorithm {name!r} is not registered")
+        AlgoResultData.
+
+        Raises :class:`~repro.core.errors.UnknownAlgorithmError` when *name*
+        is not registered.
+        """
+        factory = self.registry.get(name)
         model = self.desi.deployment_model
-        result = factory().run(model)
-        plan = plan_redeployment(model, result.deployment)
-        self.desi.results.record(result, effect_estimate=plan.estimated_time)
+        algorithm = factory()
+        engine = EvaluationEngine(algorithm.objective, algorithm.constraints,
+                                  cache=self._cache)
+        result = algorithm.run(model, engine=engine)
+        self._record(result)
         return result
 
-    def invoke_all(self) -> List[AlgorithmResult]:
+    def invoke_all(self, parallel: bool = False,
+                   algorithm_timeout: Optional[float] = None,
+                   ) -> List[AlgorithmResult]:
         """Run every registered algorithm (DeSi's Algorithms panel buttons,
-        pressed in order)."""
-        return [self.invoke(name) for name in self.algorithm_names]
+        pressed in order) and record each outcome.
+
+        With ``parallel=True`` the algorithms run as a concurrent portfolio
+        sharing this container's evaluation cache; failed or timed-out
+        algorithms are skipped rather than aborting the sweep (their fate is
+        available via :meth:`invoke_portfolio`).
+        """
+        return [outcome.result
+                for outcome in self.invoke_portfolio(
+                    parallel=parallel,
+                    algorithm_timeout=algorithm_timeout).outcomes
+                if outcome.result is not None]
+
+    def invoke_portfolio(self, parallel: bool = True,
+                         algorithm_timeout: Optional[float] = None,
+                         ) -> PortfolioReport:
+        """Run every registered algorithm as a portfolio, returning the full
+        per-algorithm outcome report (ok / skipped / error / timeout)."""
+        runner = PortfolioRunner(parallel=parallel,
+                                 algorithm_timeout=algorithm_timeout,
+                                 cache=self._cache)
+        report = runner.run(self.desi.deployment_model,
+                            dict(self.registry.items()))
+        for outcome in report.outcomes:
+            if outcome.result is not None:
+                self._record(outcome.result)
+        return report
 
     def results(self) -> List[AlgorithmResult]:
         """Access to the result store (part of the meta-level API)."""

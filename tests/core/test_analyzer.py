@@ -5,9 +5,8 @@ import pytest
 from repro.algorithms import HillClimbingAlgorithm
 from repro.core.analyzer import Analyzer, ObjectiveHistory
 from repro.core.constraints import ConstraintSet, MemoryConstraint
-from repro.core.errors import AnalyzerError
+from repro.core.errors import RegistryError
 from repro.core.objectives import AvailabilityObjective, LatencyObjective
-from repro.desi import Generator, GeneratorConfig
 
 
 @pytest.fixture
@@ -93,7 +92,7 @@ class TestAlgorithmSuiteManagement:
         assert "avala" not in analyzer._tiers["thorough"]
 
     def test_unknown_tier_rejected(self, analyzer):
-        with pytest.raises(AnalyzerError):
+        with pytest.raises(RegistryError):
             analyzer.register_algorithm("x", lambda: None, tier="bogus")
 
 

@@ -1,0 +1,121 @@
+"""Property tests for the Objective incremental-evaluation contract.
+
+Every objective promises that ``move_delta`` agrees with two full
+evaluations to floating-point tolerance:
+
+    evaluate(moved) == evaluate(base) + move_delta(base, component, host)
+
+within 1e-9, whether the objective serves the delta incrementally
+(``supports_delta = True``) or falls back to the base recompute-from-scratch
+implementation.  The tests sweep seeded generated architectures and many
+random single-component moves per objective.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.objectives import (
+    AvailabilityObjective, CommunicationCostObjective, DurabilityObjective,
+    LatencyObjective, Objective, SecurityObjective, ThroughputObjective,
+    WeightedObjective,
+)
+from repro.desi import Generator, GeneratorConfig
+
+OBJECTIVES = {
+    "availability": lambda: AvailabilityObjective(),
+    "availability_critical": lambda: AvailabilityObjective(
+        use_criticality=True),
+    "latency": lambda: LatencyObjective(),
+    "comm_cost": lambda: CommunicationCostObjective(),
+    "security": lambda: SecurityObjective(),
+    "throughput": lambda: ThroughputObjective(),
+    "durability": lambda: DurabilityObjective(),
+    "weighted": lambda: WeightedObjective([
+        (AvailabilityObjective(), 0.5),
+        (CommunicationCostObjective(), 0.3),
+        (SecurityObjective(), 0.2),
+    ]),
+}
+
+
+def _model(seed: int):
+    model = Generator(GeneratorConfig(hosts=6, components=14),
+                      seed=seed).generate(f"proto-{seed}")
+    # Security is not part of the generator's vocabulary; paint the links so
+    # SecurityObjective sees a non-trivial landscape.
+    rng = random.Random(seed * 7 + 1)
+    for link in model.physical_links:
+        host_a, host_b = link.hosts
+        model.set_physical_link_param(host_a, host_b,
+                                      "security", rng.random())
+    return model
+
+
+def _moves(model, rng: random.Random, count: int = 12):
+    components = list(model.component_ids)
+    hosts = list(model.host_ids)
+    base = dict(model.deployment)
+    moves = []
+    for _ in range(count):
+        component = rng.choice(components)
+        candidates = [h for h in hosts if h != base[component]]
+        moves.append((component, rng.choice(candidates)))
+    return base, moves
+
+
+@pytest.mark.parametrize("objective_name", sorted(OBJECTIVES))
+@pytest.mark.parametrize("seed", [3, 17, 41])
+def test_move_delta_matches_two_full_evaluations(objective_name, seed):
+    objective = OBJECTIVES[objective_name]()
+    model = _model(seed)
+    rng = random.Random(seed * 100 + 9)
+    base, moves = _moves(model, rng)
+    base_value = objective.evaluate(model, base)
+    for component, new_host in moves:
+        moved = dict(base)
+        moved[component] = new_host
+        delta = objective.move_delta(model, base, component, new_host)
+        assert objective.evaluate(model, moved) == pytest.approx(
+            base_value + delta, abs=1e-9), (
+            f"{objective_name}: move {component}->{new_host} disagrees")
+
+
+@pytest.mark.parametrize("objective_name", sorted(OBJECTIVES))
+def test_evaluate_move_uses_current_value(objective_name, tiny_model):
+    objective = OBJECTIVES[objective_name]()
+    base = dict(tiny_model.deployment)
+    value = objective.evaluate(tiny_model, base)
+    after = objective.evaluate_move(tiny_model, base, "c1", "hB", value)
+    moved = dict(base, c1="hB")
+    assert after == pytest.approx(objective.evaluate(tiny_model, moved),
+                                  abs=1e-9)
+
+
+class TestSupportsDeltaDeclarations:
+    """The flag is part of the public contract — the engine trusts it."""
+
+    def test_incremental_objectives_declare_support(self):
+        assert AvailabilityObjective.supports_delta is True
+        assert LatencyObjective.supports_delta is True
+        assert CommunicationCostObjective.supports_delta is True
+        assert SecurityObjective.supports_delta is True
+
+    def test_global_aggregations_opt_out(self):
+        # Bottleneck (max) and lifetime (min) aggregations cannot localize a
+        # move's effect; they take the memoized full-evaluation path.
+        assert ThroughputObjective.supports_delta is False
+        assert DurabilityObjective.supports_delta is False
+
+    def test_base_default_is_conservative(self):
+        assert Objective.supports_delta is False
+
+    def test_weighted_requires_all_terms(self):
+        fast = WeightedObjective([(AvailabilityObjective(), 0.5),
+                                  (LatencyObjective(), 0.5)])
+        assert fast.supports_delta is True
+        mixed = WeightedObjective([(AvailabilityObjective(), 0.5),
+                                   (ThroughputObjective(), 0.5)])
+        assert mixed.supports_delta is False

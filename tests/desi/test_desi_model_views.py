@@ -6,7 +6,9 @@ from repro.algorithms import AvalaAlgorithm, StochasticAlgorithm
 from repro.core import (
     AvailabilityObjective, ConstraintSet, MemoryConstraint,
 )
-from repro.core.errors import AnalyzerError, ModelError
+from repro.core.errors import (
+    DuplicateAlgorithmError, ModelError, UnknownAlgorithmError,
+)
 from repro.desi import (
     AlgorithmContainer, DeSiModel, GraphView, Modifier, TableView,
 )
@@ -116,11 +118,11 @@ class TestAlgorithmContainer:
     def test_duplicate_registration_rejected(self, desi):
         container = AlgorithmContainer(desi)
         container.register("x", lambda: None)
-        with pytest.raises(AnalyzerError):
+        with pytest.raises(DuplicateAlgorithmError):
             container.register("x", lambda: None)
 
     def test_invoke_unknown_rejected(self, desi):
-        with pytest.raises(AnalyzerError):
+        with pytest.raises(UnknownAlgorithmError):
             AlgorithmContainer(desi).invoke("ghost")
 
 
