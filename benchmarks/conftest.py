@@ -33,10 +33,10 @@ def print_table(title: str, headers: Sequence[str],
             widths[index] = max(widths[index], len(cell))
     print()
     print(f"== {title} ==")
-    print("  " + " | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    print("  " + " | ".join(h.ljust(w) for h, w in zip(headers, widths, strict=True)))
     print("  " + "-+-".join("-" * w for w in widths))
     for row in formatted:
-        print("  " + " | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        print("  " + " | ".join(c.ljust(w) for c, w in zip(row, widths, strict=True)))
 
 
 @pytest.fixture

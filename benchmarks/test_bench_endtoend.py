@@ -42,7 +42,7 @@ def run_centralized(managed: bool, duration=60.0, seed=100):
         StepChange(system.network, scenario.hq, commander, at=duration / 2,
                    attribute="reliability", value=0.35).start()
     trajectory = []
-    for step in range(int(duration / 10)):
+    for _step in range(int(duration / 10)):
         clock.run(10.0)
         # Score the *actual* placement against ground-truth link state.
         system.network.apply_to_model(model)

@@ -25,6 +25,7 @@ so benchmarks can prove the savings.
 
 from __future__ import annotations
 
+import contextlib
 import threading
 import time
 import weakref
@@ -83,10 +84,8 @@ class DeploymentCache:
             if current is model:
                 return
             if current is not None:
-                try:
+                with contextlib.suppress(ValueError):
                     current.remove_listener(self._on_model_event)
-                except ValueError:
-                    pass
             self._drop_entries()
             model.add_listener(self._on_model_event)
             self._model_ref = weakref.ref(model)

@@ -11,12 +11,16 @@ Commands:
 * ``improve``  — run redeployment algorithms against an xADL architecture;
 * ``simulate`` — run the closed centralized or decentralized loop on a
   built-in scenario and print the availability trajectory;
-* ``sweep``    — batch-compare algorithms over generated families.
+* ``sweep``    — batch-compare algorithms over generated families;
+* ``lint``     — statically verify models/xADL documents (or, with
+  ``--code``, this repository's middleware conventions) before anything
+  searches or enacts them.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Dict, List, Optional, Sequence
 
@@ -37,9 +41,14 @@ from repro.desi import (
     DeSiModel, ExperimentRunner, Generator, GeneratorConfig, GraphView,
     TableView, xadl,
 )
+from repro.lint import (
+    LintReport, Severity, analyze_paths, render_json, render_text,
+    verify_model, verify_xadl_file,
+)
 from repro.middleware import DistributedSystem
 from repro.scenarios import (
-    CrisisConfig, build_crisis_scenario, build_sensor_field,
+    CrisisConfig, build_client_server, build_crisis_scenario,
+    build_sensor_field,
 )
 from repro.sim import InteractionWorkload, SimClock, StepChange
 
@@ -215,6 +224,45 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+SCENARIO_BUILDERS = {
+    "crisis": lambda: build_crisis_scenario(),
+    "sensorfield": lambda: build_sensor_field(),
+    "clientserver": lambda: build_client_server(),
+}
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    fail_on = Severity.parse(args.fail_on)
+    reports: List[tuple] = []  # (title, LintReport)
+    if args.code:
+        paths = args.targets or ["src/repro"]
+        reports.append((", ".join(paths), analyze_paths(paths)))
+    else:
+        targets = args.targets or sorted(SCENARIO_BUILDERS)
+        for target in targets:
+            if target in SCENARIO_BUILDERS:
+                scenario = SCENARIO_BUILDERS[target]()
+                reports.append((f"scenario {target}", verify_model(
+                    scenario.model, constraints=scenario.constraints)))
+            elif os.path.exists(target):
+                reports.append((target, verify_xadl_file(target)))
+            else:
+                print(f"unknown lint target {target!r}: not a scenario "
+                      f"({', '.join(sorted(SCENARIO_BUILDERS))}) or a file",
+                      file=sys.stderr)
+                return 2
+    exit_code = 0
+    for title, report in reports:
+        render = render_json if args.json else render_text
+        print(render(report, title))
+        exit_code = max(exit_code, report.exit_code(fail_on))
+    if exit_code and args.force:
+        print("findings at or above the failure threshold ignored (--force)",
+              file=sys.stderr)
+        return 0
+    return exit_code
+
+
 # ---------------------------------------------------------------------------
 # Parser
 # ---------------------------------------------------------------------------
@@ -281,6 +329,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--replicates", type=int, default=3)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "lint", help="statically verify models or middleware code")
+    p.add_argument("targets", nargs="*",
+                   help="xADL files or scenario names "
+                        "(crisis, sensorfield, clientserver); with --code, "
+                        "source files/directories. Default: all bundled "
+                        "scenarios (or src/repro with --code)")
+    p.add_argument("--code", action="store_true",
+                   help="run the AST code analyzer instead of the model "
+                        "verifier")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report")
+    p.add_argument("--fail-on", choices=["error", "warning", "info"],
+                   default="error",
+                   help="lowest severity that makes the exit code non-zero")
+    p.add_argument("--force", action="store_true",
+                   help="report findings but exit zero anyway")
+    p.set_defaults(func=cmd_lint)
     return parser
 
 

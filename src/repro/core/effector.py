@@ -24,7 +24,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple
 
-from repro.core.errors import EffectorError
+from repro.core.errors import EffectorError, PreflightError
 from repro.core.model import Deployment, DeploymentModel, Move
 
 
@@ -121,21 +121,58 @@ class EffectReport:
 
 
 class Effector(ABC):
-    """Platform-independent coordinator; receives plans from the analyzer."""
+    """Platform-independent coordinator; receives plans from the analyzer.
+
+    Before enactment every effector runs a **pre-flight gate**: the static
+    deployment rules of :mod:`repro.lint.model_rules` (component mapping,
+    capacities, physical reachability, hard constraints) over the state the
+    plan would produce.  Error-severity findings abort the redeployment
+    with :class:`~repro.core.errors.PreflightError` — a statically-invalid
+    plan must fail *before* components start migrating, not midway.  Pass
+    ``verify=False`` at construction (or ``force=True`` to :meth:`effect`)
+    to skip the gate, mirroring the CLI's ``--force``.
+    """
+
+    #: Whether :meth:`effect` runs the pre-flight gate (set in __init__).
+    verify: bool = True
 
     @abstractmethod
-    def effect(self, plan: RedeploymentPlan) -> EffectReport:
+    def effect(self, plan: RedeploymentPlan,
+               force: bool = False) -> EffectReport:
         """Execute *plan*; raises :class:`EffectorError` on hard failure."""
+
+    def preflight(self, model: DeploymentModel, plan: RedeploymentPlan,
+                  force: bool = False) -> None:
+        """Statically verify the post-state *plan* would leave behind.
+
+        The verified deployment is the model's current deployment overlaid
+        with the plan's target, which is exactly what effecting produces
+        even for partial targets.
+        """
+        if not self.verify or force:
+            return
+        from repro.lint.model_rules import verify_deployment
+        effective = model.deployment.as_dict()
+        effective.update(plan.target.as_dict())
+        report = verify_deployment(model, effective)
+        if report.has_errors:
+            raise PreflightError(
+                f"refusing to enact {plan.summary()}; static verification "
+                "failed (use force=True to override)",
+                findings=report.errors)
 
 
 class ModelEffector(Effector):
     """Applies the plan to the deployment model only (what-if exploration)."""
 
-    def __init__(self, model: DeploymentModel):
+    def __init__(self, model: DeploymentModel, verify: bool = True):
         self.model = model
+        self.verify = verify
         self.history: list = []
 
-    def effect(self, plan: RedeploymentPlan) -> EffectReport:
+    def effect(self, plan: RedeploymentPlan,
+               force: bool = False) -> EffectReport:
+        self.preflight(self.model, plan, force=force)
         for component_id, host_id in plan.target.items():
             self.model.deploy(component_id, host_id)
         report = EffectReport(plan, True, len(plan.moves))
@@ -152,16 +189,20 @@ class MiddlewareEffector(Effector):
     analyzer talks to.
     """
 
-    def __init__(self, system: Any, max_wait: float = 1000.0):
+    def __init__(self, system: Any, max_wait: float = 1000.0,
+                 verify: bool = True):
         self.system = system
         self.max_wait = max_wait
+        self.verify = verify
         self.history: list = []
 
-    def effect(self, plan: RedeploymentPlan) -> EffectReport:
+    def effect(self, plan: RedeploymentPlan,
+               force: bool = False) -> EffectReport:
         if plan.is_noop:
             report = EffectReport(plan, True, 0)
             self.history.append(report)
             return report
+        self.preflight(self.system.model, plan, force=force)
         try:
             stats = self.system.redeploy(plan.target.as_dict(),
                                          max_wait=self.max_wait)

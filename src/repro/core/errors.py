@@ -97,6 +97,28 @@ class UnknownAlgorithmError(RegistryError):
         self.name = name
 
 
+class LintError(ReproError):
+    """Static verification produced blocking (error-severity) findings.
+
+    Carries the machine-readable findings so callers can render or log
+    them; the message embeds a short summary of the first few.
+    """
+
+    def __init__(self, message: str, findings: object = ()):
+        self.findings = tuple(findings)  # repro.lint.core.Finding instances
+        if self.findings:
+            shown = "; ".join(str(f) for f in self.findings[:3])
+            more = len(self.findings) - 3
+            if more > 0:
+                shown += f"; ... and {more} more"
+            message = f"{message}: {shown}"
+        super().__init__(message)
+
+
+class PreflightError(LintError):
+    """An effector refused to enact a plan that failed static verification."""
+
+
 class MonitoringError(ReproError):
     """A monitor failed to produce data for a model parameter."""
 
@@ -115,6 +137,15 @@ class MiddlewareError(ReproError):
 
 class SerializationError(MiddlewareError):
     """A component or event could not be (de)serialized for migration."""
+
+
+class XadlError(SerializationError):
+    """An xADL document is structurally invalid.
+
+    Raised (instead of constructing a broken model) when a document's link
+    or deployment elements reference undeclared hosts/components, when
+    required attributes are missing, or when entity ids collide.
+    """
 
 
 class NetworkError(ReproError):

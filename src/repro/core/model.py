@@ -644,7 +644,7 @@ class DeploymentModel:
         component_ids = self.component_ids
         host_ids = self.host_ids
         for assignment in itertools.product(host_ids, repeat=len(component_ids)):
-            yield Deployment(dict(zip(component_ids, assignment)))
+            yield Deployment(dict(zip(component_ids, assignment, strict=True)))
 
     def stats(self) -> Dict[str, Any]:
         return {

@@ -522,7 +522,7 @@ class WeightedObjective(Objective):
     def evaluate(self, model: DeploymentModel,
                  deployment: Mapping[str, str]) -> float:
         score = 0.0
-        for (objective, weight), scale in zip(self.terms, self.scales):
+        for (objective, weight), scale in zip(self.terms, self.scales, strict=True):
             value = objective.evaluate(model, deployment) / scale
             if objective.direction == MAXIMIZE:
                 score += weight * value
@@ -533,7 +533,7 @@ class WeightedObjective(Objective):
     def move_delta(self, model: DeploymentModel, deployment: Mapping[str, str],
                    component: str, new_host: str) -> float:
         delta = 0.0
-        for (objective, weight), scale in zip(self.terms, self.scales):
+        for (objective, weight), scale in zip(self.terms, self.scales, strict=True):
             term_delta = objective.move_delta(model, deployment, component,
                                               new_host) / scale
             if objective.direction == MAXIMIZE:

@@ -48,7 +48,7 @@ class UtilityFunction:
         if len(points) < 2:
             raise ModelError("utility curve needs at least two points")
         values = [value for value, __ in points]
-        if any(b <= a for a, b in zip(values, values[1:])):
+        if any(b <= a for a, b in zip(values, values[1:], strict=False)):
             raise ModelError("utility curve values must strictly increase")
         for __, utility in points:
             if not 0.0 <= utility <= 1.0:
@@ -63,7 +63,7 @@ class UtilityFunction:
             return points[0][1]
         if value >= points[-1][0]:
             return points[-1][1]
-        for (x0, y0), (x1, y1) in zip(points, points[1:]):
+        for (x0, y0), (x1, y1) in zip(points, points[1:], strict=False):
             if x0 <= value <= x1:
                 fraction = (value - x0) / (x1 - x0)
                 return y0 + fraction * (y1 - y0)

@@ -17,10 +17,11 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.algorithms.base import DeploymentAlgorithm
 from repro.algorithms.engine import EvaluationEngine
-from repro.core.errors import AlgorithmError, ReproError
+from repro.core.errors import AlgorithmError, LintError, ReproError
 from repro.core.model import DeploymentModel
 from repro.core.objectives import Objective
 from repro.desi.generator import Generator, GeneratorConfig
+from repro.lint.model_rules import verify_deployment
 
 AlgorithmFactory = Callable[[], DeploymentAlgorithm]
 
@@ -98,10 +99,10 @@ class ExperimentReport:
             for index, cell in enumerate(row):
                 widths[index] = max(widths[index], len(cell))
         lines = [
-            " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+            " | ".join(h.ljust(w) for h, w in zip(headers, widths, strict=True)),
             "-+-".join("-" * w for w in widths),
         ]
-        lines += [" | ".join(c.ljust(w) for c, w in zip(row, widths))
+        lines += [" | ".join(c.ljust(w) for c, w in zip(row, widths, strict=True))
                   for row in formatted]
         return "\n".join(lines)
 
@@ -118,13 +119,20 @@ class ExperimentRunner:
         max_evaluations / max_seconds: Per-run evaluation-engine budgets;
             over-budget runs truncate gracefully to their best-so-far
             deployment and are counted in ``CellResult.truncated_runs``.
+        preflight: Statically verify every generated model before any
+            algorithm searches it (:func:`repro.lint.model_rules.
+            verify_deployment`); a model with error-severity findings
+            aborts the sweep with :class:`~repro.core.errors.LintError`
+            instead of surfacing as a mid-sweep exception or a silently
+            wrong utility.
     """
 
     def __init__(self, objective: Objective,
                  algorithms: Dict[str, AlgorithmFactory],
                  replicates: int = 5, seed: int = 0,
                  max_evaluations: Optional[int] = None,
-                 max_seconds: Optional[float] = None):
+                 max_seconds: Optional[float] = None,
+                 preflight: bool = True):
         if not algorithms:
             raise ReproError("need at least one algorithm")
         if replicates < 1:
@@ -135,6 +143,16 @@ class ExperimentRunner:
         self.seed = seed
         self.max_evaluations = max_evaluations
         self.max_seconds = max_seconds
+        self.preflight = preflight
+
+    def verify_models(self, models: Sequence[DeploymentModel]) -> None:
+        """Raise :class:`LintError` if any model fails the deployment rules."""
+        for model in models:
+            report = verify_deployment(model)
+            if report.has_errors:
+                raise LintError(
+                    f"generated model {model.name!r} failed static "
+                    "verification", findings=report.errors)
 
     def run(self, families: Dict[str, GeneratorConfig]) -> ExperimentReport:
         """Execute the sweep; returns per-cell aggregates."""
@@ -147,6 +165,8 @@ class ExperimentRunner:
                           ).generate(f"{family}-{j}")
                 for j in range(self.replicates)
             ]
+            if self.preflight:
+                self.verify_models(models)
             initials = [self.objective.evaluate(m, m.deployment)
                         for m in models]
             for algorithm_name in sorted(self.algorithms):

@@ -180,7 +180,7 @@ class AlgoResultData:
         return [
             (r.algorithm, r.objective, r.value, r.valid, r.elapsed,
              r.moves_from_initial, estimate)
-            for r, estimate in zip(self.results, self.effect_estimates)
+            for r, estimate in zip(self.results, self.effect_estimates, strict=True)
         ]
 
 

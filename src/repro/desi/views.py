@@ -40,7 +40,7 @@ def _render_table(headers: Sequence[str],
             widths[index] = max(widths[index], len(cell))
     def line(cells: Sequence[str]) -> str:
         return " | ".join(cell.ljust(width)
-                          for cell, width in zip(cells, widths))
+                          for cell, width in zip(cells, widths, strict=True))
     out = [line(list(headers)), "-+-".join("-" * w for w in widths)]
     out.extend(line(row) for row in str_rows)
     return "\n".join(out)

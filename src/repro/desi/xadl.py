@@ -21,7 +21,7 @@ from typing import Any, Dict, Optional
 from repro.core.constraints import (
     CollocationConstraint, LocationConstraint,
 )
-from repro.core.errors import SerializationError
+from repro.core.errors import SerializationError, XadlError
 from repro.core.model import DeploymentModel
 
 _ROOT_TAG = "deploymentArchitecture"
@@ -109,7 +109,13 @@ def _constraint_to_xml(constraint: Any) -> Optional[ET.Element]:
 
 
 def from_xml(text: str) -> DeploymentModel:
-    """Parse an xADL-style document back into a :class:`DeploymentModel`."""
+    """Parse an xADL-style document back into a :class:`DeploymentModel`.
+
+    Documents whose link or deployment elements reference undeclared
+    hosts/components are rejected with :class:`XadlError` *before* any
+    model construction — a dangling reference means the document is wrong,
+    and half-built models must never reach algorithms or effectors.
+    """
     try:
         root = ET.fromstring(text)
     except ET.ParseError as exc:
@@ -117,6 +123,7 @@ def from_xml(text: str) -> DeploymentModel:
     if root.tag != _ROOT_TAG:
         raise SerializationError(
             f"expected root <{_ROOT_TAG}>, got <{root.tag}>")
+    _validate_references(root)
     model = DeploymentModel(name=root.get("name") or "imported")
     for element in root.findall("host"):
         model.add_host(element.get("id"), **_params_from_xml(element))
@@ -134,6 +141,56 @@ def from_xml(text: str) -> DeploymentModel:
     for element in root.findall("constraint"):
         model.constraints.append(_constraint_from_xml(element))
     return model
+
+
+def _validate_references(root: ET.Element) -> None:
+    """Raise :class:`XadlError` on undeclared or missing entity references."""
+    hosts = _collect_ids(root, "host")
+    components = _collect_ids(root, "component")
+    for element in root.findall("physicalLink"):
+        for attr in ("hostA", "hostB"):
+            host_id = element.get(attr)
+            if host_id is None:
+                raise XadlError(f"<physicalLink> is missing its {attr} "
+                                "attribute")
+            if host_id not in hosts:
+                raise XadlError(
+                    f"physical link endpoint references undeclared host "
+                    f"{host_id!r}")
+    for element in root.findall("logicalLink"):
+        for attr in ("componentA", "componentB"):
+            component_id = element.get(attr)
+            if component_id is None:
+                raise XadlError(f"<logicalLink> is missing its {attr} "
+                                "attribute")
+            if component_id not in components:
+                raise XadlError(
+                    f"logical link endpoint references undeclared "
+                    f"component {component_id!r}")
+    for element in root.findall("deployment"):
+        component_id = element.get("component")
+        host_id = element.get("host")
+        if component_id is None or host_id is None:
+            raise XadlError("<deployment> needs component and host "
+                            "attributes")
+        if component_id not in components:
+            raise XadlError(f"deployment references undeclared component "
+                            f"{component_id!r}")
+        if host_id not in hosts:
+            raise XadlError(f"deployment places {component_id!r} on "
+                            f"undeclared host {host_id!r}")
+
+
+def _collect_ids(root: ET.Element, tag: str) -> set:
+    out = set()
+    for element in root.findall(tag):
+        identifier = element.get("id")
+        if identifier is None:
+            raise XadlError(f"<{tag}> element has no id attribute")
+        if identifier in out:
+            raise XadlError(f"duplicate {tag} id {identifier!r}")
+        out.add(identifier)
+    return out
 
 
 def _constraint_from_xml(element: ET.Element) -> Any:

@@ -1,0 +1,58 @@
+"""Static verification for deployment models and middleware code.
+
+Two pillars behind one rule-engine core (:mod:`repro.lint.core`):
+
+* the **model verifier** (:mod:`repro.lint.model_rules`,
+  :mod:`repro.lint.xadl_rules`) — checks ``DeploymentModel``s, xADL
+  documents, constraint sets, and objective contracts before algorithms
+  search them or the effector migrates live components;
+* the **code analyzer** (:mod:`repro.lint.code`) — AST rules enforcing
+  this repository's concurrency and registry conventions.
+
+Entry points: ``python -m repro lint`` on the command line,
+:func:`verify_deployment` as the effector/batch pre-flight gate, and the
+rule registries for custom rules (see ``docs/STATIC_ANALYSIS.md``).
+"""
+
+from repro.lint.code import (
+    CODE_RULES, CodeLintContext, CodeRule, analyze_paths, analyze_source,
+    code_rule_registry, iter_python_files,
+)
+from repro.lint.core import (
+    Finding, LintReport, Rule, RuleRegistry, Severity, render_json,
+    render_text,
+)
+from repro.lint.model_rules import (
+    MODEL_RULES, ModelLintContext, ModelRule, default_objectives,
+    model_rule_registry, verify_deployment, verify_model,
+)
+from repro.lint.xadl_rules import (
+    DOCUMENT_RULES, verify_xadl_file, verify_xadl_source,
+)
+
+__all__ = [
+    "CODE_RULES",
+    "CodeLintContext",
+    "CodeRule",
+    "DOCUMENT_RULES",
+    "Finding",
+    "LintReport",
+    "MODEL_RULES",
+    "ModelLintContext",
+    "ModelRule",
+    "Rule",
+    "RuleRegistry",
+    "Severity",
+    "analyze_paths",
+    "analyze_source",
+    "code_rule_registry",
+    "default_objectives",
+    "iter_python_files",
+    "model_rule_registry",
+    "render_json",
+    "render_text",
+    "verify_deployment",
+    "verify_model",
+    "verify_xadl_file",
+    "verify_xadl_source",
+]

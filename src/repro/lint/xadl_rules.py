@@ -1,0 +1,157 @@
+"""Document-level verification of xADL deployment descriptions.
+
+The model verifier needs a constructed :class:`DeploymentModel`, but a
+broken document cannot (and, since the :mod:`repro.desi.xadl` hardening,
+will not) be constructed at all.  These checks therefore work on the raw
+XML: they find dangling link endpoints, undeclared deployment targets,
+duplicate ids, and missing attributes, reporting *all* problems at once
+instead of stopping at the loader's first exception.
+
+When the document is structurally sound it is loaded and the full model
+rule set from :mod:`repro.lint.model_rules` runs on the result, so
+``python -m repro lint arch.xml`` gives one combined report.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Dict, Optional, Set, Tuple
+
+from repro.core.errors import ReproError
+from repro.lint.core import Finding, LintReport, RuleRegistry, Severity
+from repro.lint.model_rules import model_rule_registry, verify_model
+
+_XD_MALFORMED = "XD001"
+_XD_DANGLING_LINK = "XD002"
+_XD_DANGLING_DEPLOYMENT = "XD003"
+_XD_DUPLICATE = "XD004"
+_XD_MISSING_ATTRIBUTE = "XD005"
+
+#: Rule id -> one-line description, for the documentation catalog.
+DOCUMENT_RULES: Dict[str, str] = {
+    _XD_MALFORMED: "The document must be well-formed XML with the "
+                   "expected deploymentArchitecture root.",
+    _XD_DANGLING_LINK: "Link endpoints must reference declared hosts "
+                       "(physicalLink) or components (logicalLink).",
+    _XD_DANGLING_DEPLOYMENT: "Deployment entries must reference a declared "
+                             "component and host.",
+    _XD_DUPLICATE: "Host/component ids and link endpoint pairs must be "
+                   "unique.",
+    _XD_MISSING_ATTRIBUTE: "Elements must carry their required identifying "
+                           "attributes.",
+}
+
+
+def _error(rule: str, message: str, subject: str = "") -> Finding:
+    return Finding(rule, Severity.ERROR, message, subject=subject)
+
+
+def verify_xadl_source(text: str,
+                       registry: Optional[RuleRegistry] = None,
+                       ) -> LintReport:
+    """Verify an xADL document; structure first, then the loaded model."""
+    report = LintReport()
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        report.add(_error(_XD_MALFORMED, f"malformed XML: {exc}"))
+        return report
+    if root.tag != "deploymentArchitecture":
+        report.add(_error(
+            _XD_MALFORMED,
+            f"expected root <deploymentArchitecture>, got <{root.tag}>"))
+        return report
+
+    hosts = _declared_ids(root, "host", report)
+    components = _declared_ids(root, "component", report)
+    _check_links(root, "physicalLink", ("hostA", "hostB"), hosts,
+                 "host", report)
+    _check_links(root, "logicalLink", ("componentA", "componentB"),
+                 components, "component", report)
+    _check_deployment(root, components, hosts, report)
+    if report.has_errors:
+        return report.sorted()
+
+    # Structurally sound: hand over to the model verifier.
+    from repro.desi import xadl  # deferred: desi imports are heavier
+    model = xadl.from_xml(text)
+    active = registry if registry is not None else model_rule_registry()
+    return report.merge(verify_model(model, registry=active)).sorted()
+
+
+def _declared_ids(root: ET.Element, tag: str,
+                  report: LintReport) -> Set[str]:
+    seen: Set[str] = set()
+    for element in root.findall(tag):
+        identifier = element.get("id")
+        if not identifier:
+            report.add(_error(_XD_MISSING_ATTRIBUTE,
+                              f"<{tag}> element has no id attribute"))
+            continue
+        if identifier in seen:
+            report.add(_error(_XD_DUPLICATE, f"duplicate {tag} id",
+                              subject=f"{tag} {identifier!r}"))
+        seen.add(identifier)
+    return seen
+
+
+def _check_links(root: ET.Element, tag: str, attrs: Tuple[str, str],
+                 declared: Set[str], kind: str, report: LintReport) -> None:
+    seen_pairs: Set[Tuple[str, str]] = set()
+    for element in root.findall(tag):
+        ends = []
+        for attr in attrs:
+            value = element.get(attr)
+            if not value:
+                report.add(_error(
+                    _XD_MISSING_ATTRIBUTE,
+                    f"<{tag}> element has no {attr} attribute"))
+                continue
+            ends.append(value)
+            if value not in declared:
+                report.add(_error(
+                    _XD_DANGLING_LINK,
+                    f"{tag} endpoint references undeclared {kind} "
+                    f"{value!r}",
+                    subject=f"{kind} {value!r}"))
+        if len(ends) == 2:
+            pair = tuple(sorted(ends))
+            if pair in seen_pairs:
+                report.add(_error(
+                    _XD_DUPLICATE, f"duplicate {tag}",
+                    subject=f"{tag} {pair[0]!r}<->{pair[1]!r}"))
+            seen_pairs.add(pair)
+
+
+def _check_deployment(root: ET.Element, components: Set[str],
+                      hosts: Set[str], report: LintReport) -> None:
+    for element in root.findall("deployment"):
+        component = element.get("component")
+        host = element.get("host")
+        if not component or not host:
+            report.add(_error(
+                _XD_MISSING_ATTRIBUTE,
+                "<deployment> element needs component and host attributes"))
+            continue
+        if component not in components:
+            report.add(_error(
+                _XD_DANGLING_DEPLOYMENT,
+                f"deployment references undeclared component {component!r}",
+                subject=f"component {component!r}"))
+        if host not in hosts:
+            report.add(_error(
+                _XD_DANGLING_DEPLOYMENT,
+                f"deployment places {component!r} on undeclared host "
+                f"{host!r}",
+                subject=f"host {host!r}"))
+
+
+def verify_xadl_file(path: str,
+                     registry: Optional[RuleRegistry] = None) -> LintReport:
+    """Read *path* and run :func:`verify_xadl_source` on its contents."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise ReproError(f"cannot read xADL file {path!r}: {exc}") from exc
+    return verify_xadl_source(text, registry=registry)

@@ -31,6 +31,7 @@ redeployment protocol of Section 4.3:
 
 from __future__ import annotations
 
+import contextlib
 from typing import Any, Callable, Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.core.errors import EffectorError, MigrationError
@@ -120,10 +121,8 @@ class AdminComponent(ExtensibleComponent):
     def uninstall_monitors(self) -> None:
         if self.reliability_monitor is not None:
             self.reliability_monitor.stop()
-            try:
+            with contextlib.suppress(ValueError):
                 self.connector.detach_monitor(self.reliability_monitor)
-            except ValueError:
-                pass
             self.reliability_monitor = None
         if self.frequency_monitor is not None:
             for component in self.local_architecture.components:
@@ -212,13 +211,11 @@ class AdminComponent(ExtensibleComponent):
         requester_host = event.payload["requester_host"]
         if not self.local_architecture.has_component(component_id):
             return  # raced with another move; requester will be updated later
-        try:
+        # Destination became unreachable between request and transfer:
+        # decline silently.  The component stays attached and running;
+        # the requester's pending move times out at the Deployer.
+        with contextlib.suppress(MigrationError):
             self.migrate_out(component_id, requester_host)
-        except MigrationError:
-            # Destination became unreachable between request and transfer:
-            # decline silently.  The component stays attached and running;
-            # the requester's pending move times out at the Deployer.
-            pass
 
     def _destination_reachable(self, destination_host: str) -> bool:
         """Can a transfer reach *destination_host* right now (directly or

@@ -132,7 +132,8 @@ class ThreadPoolScaffold(Scaffold):
         self._queue.join()
 
     def shutdown(self) -> None:
-        self._shutdown = True
+        with self._locks_guard:
+            self._shutdown = True
         for __ in self._threads:
             self._queue.put(self._SENTINEL)
         for thread in self._threads:

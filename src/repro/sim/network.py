@@ -29,6 +29,8 @@ from repro.core.errors import NetworkError, UnknownEntityError
 from repro.core.model import DeploymentModel
 from repro.sim.clock import SimClock
 
+_INF = float("inf")
+
 
 def _pair(a: str, b: str) -> Tuple[str, str]:
     return (a, b) if a <= b else (b, a)
@@ -55,7 +57,7 @@ class NetworkLink:
     """A bidirectional link between two endpoints."""
 
     def __init__(self, end_a: str, end_b: str, reliability: float = 1.0,
-                 bandwidth: float = float("inf"), delay: float = 0.0,
+                 bandwidth: float = _INF, delay: float = 0.0,
                  connected: bool = True):
         if not 0.0 <= reliability <= 1.0:
             raise NetworkError(f"reliability must be in [0,1], got {reliability}")
@@ -122,7 +124,7 @@ class SimulatedNetwork:
         self._endpoints[name] = handler
 
     def add_link(self, end_a: str, end_b: str, reliability: float = 1.0,
-                 bandwidth: float = float("inf"), delay: float = 0.0,
+                 bandwidth: float = _INF, delay: float = 0.0,
                  connected: bool = True) -> NetworkLink:
         for end in (end_a, end_b):
             if end not in self._endpoints:

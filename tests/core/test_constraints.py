@@ -216,3 +216,49 @@ class TestConstraintSet:
         checker = standard_constraints()
         kinds = {type(c) for c in checker}
         assert kinds == {MemoryConstraint, BandwidthConstraint}
+
+
+class TestConstraintSetEdgeCases:
+    def test_empty_set_has_no_violations_and_allows_all_hosts(self, model):
+        checker = ConstraintSet()
+        assert checker.violations(model, {"heavy": "small"}) == []
+        assert checker.allowed_hosts(model, {}, "heavy") == ("big", "small")
+        assert len(checker) == 0
+
+    def test_mutually_unsatisfiable_constraints(self, model):
+        # "heavy only on big" + "heavy never on big" leaves no host at all.
+        checker = ConstraintSet([
+            LocationConstraint("heavy", allowed=["big"]),
+            LocationConstraint("heavy", forbidden=["big"]),
+        ])
+        assert checker.allowed_hosts(model, {}, "heavy") == ()
+        for host in model.host_ids:
+            assert not checker.allows(model, {}, "heavy", host)
+        # Any placement of heavy violates exactly one of the two.
+        assert len(checker.violations(model, {"heavy": "big"})) == 1
+        assert len(checker.violations(model, {"heavy": "small"})) == 1
+
+    def test_unsatisfiable_pair_surfaces_in_lint(self, model):
+        from repro.lint.model_rules import verify_model
+        checker = ConstraintSet([
+            LocationConstraint("heavy", allowed=["big"]),
+            LocationConstraint("heavy", forbidden=["big"]),
+        ])
+        report = verify_model(model, constraints=checker,
+                              tags=("topology",))
+        assert any(f.rule == "MV012" and "heavy" in f.subject
+                   for f in report)
+
+    def test_constraint_over_absent_component(self, model):
+        constraint = LocationConstraint("missing", allowed=["big"])
+        checker = ConstraintSet([constraint])
+        # A constraint about an undeclared component never fires on the
+        # declared ones, and placements of declared components stay legal.
+        assert checker.is_satisfied(model, {"heavy": "big"})
+        assert checker.allows(model, {}, "heavy", "small")
+        assert constraint.is_satisfied(model, {"heavy": "small"})
+
+    def test_collocation_with_absent_member_is_inert(self, model):
+        checker = ConstraintSet(
+            [CollocationConstraint(["heavy", "missing"], together=True)])
+        assert checker.is_satisfied(model, {"heavy": "big"})

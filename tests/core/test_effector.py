@@ -5,7 +5,7 @@ import pytest
 from repro.core.effector import (
     ModelEffector, MiddlewareEffector, plan_redeployment,
 )
-from repro.core.errors import EffectorError
+from repro.core.errors import EffectorError, LintError, PreflightError
 from repro.core.model import Deployment, DeploymentModel
 from repro.middleware import DistributedSystem
 from repro.sim import SimClock
@@ -77,6 +77,55 @@ class TestModelEffector:
         assert report.succeeded
         assert dict(tiny_model.deployment) == target
         assert effector.history == [report]
+
+
+class TestPreflightGate:
+    def overloading_plan(self, tiny_model):
+        """A plan that would overflow hB's memory."""
+        tiny_model.set_host_param("hB", "memory", 15.0)
+        target = {"c1": "hB", "c2": "hB", "c3": "hB"}  # needs 30
+        return plan_redeployment(tiny_model, target)
+
+    def test_invalid_plan_blocked_before_mutation(self, tiny_model):
+        effector = ModelEffector(tiny_model)
+        before = dict(tiny_model.deployment)
+        with pytest.raises(PreflightError) as excinfo:
+            effector.effect(self.overloading_plan(tiny_model))
+        assert dict(tiny_model.deployment) == before  # untouched
+        assert effector.history == []
+        assert any(f.rule == "MV003" for f in excinfo.value.findings)
+
+    def test_preflight_error_is_lint_error(self, tiny_model):
+        effector = ModelEffector(tiny_model)
+        with pytest.raises(LintError):
+            effector.effect(self.overloading_plan(tiny_model))
+
+    def test_force_overrides_gate(self, tiny_model):
+        effector = ModelEffector(tiny_model)
+        report = effector.effect(self.overloading_plan(tiny_model),
+                                 force=True)
+        assert report.succeeded
+
+    def test_verify_false_disables_gate(self, tiny_model):
+        effector = ModelEffector(tiny_model, verify=False)
+        assert effector.effect(self.overloading_plan(tiny_model)).succeeded
+
+    def test_partial_target_overlays_current_deployment(self, tiny_model):
+        # The plan only mentions c3; c1/c2 stay put and must not be
+        # reported as unmapped by the gate.
+        effector = ModelEffector(tiny_model)
+        plan = plan_redeployment(tiny_model, {"c3": "hA"})
+        assert effector.effect(plan).succeeded
+
+    def test_middleware_effector_gated_too(self, tiny_model):
+        tiny_model.set_host_param("hB", "memory", 15.0)
+        clock = SimClock()
+        system = DistributedSystem(tiny_model, clock, seed=4)
+        effector = MiddlewareEffector(system)
+        plan = plan_redeployment(tiny_model,
+                                 {"c1": "hB", "c2": "hB", "c3": "hB"})
+        with pytest.raises(PreflightError):
+            effector.effect(plan)
 
 
 class TestMiddlewareEffector:

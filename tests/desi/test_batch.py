@@ -105,3 +105,42 @@ class TestExperimentRunner:
         avala = report.cell("tiny", "avala")
         stochastic = report.cell("tiny", "stochastic")
         assert avala.mean_initial == stochastic.mean_initial
+
+
+class TestPreflight:
+    def bad_model(self):
+        from repro.core import DeploymentModel
+        model = DeploymentModel(name="broken")
+        model.add_host("h1", memory=100.0)
+        model.add_component("c1", memory=5.0)  # never deployed -> MV001
+        return model
+
+    def test_verify_models_rejects_invalid_model(self, runner):
+        from repro.core.errors import LintError
+        with pytest.raises(LintError, match="broken"):
+            runner.verify_models([self.bad_model()])
+
+    def test_lint_error_carries_findings(self, runner):
+        from repro.core.errors import LintError
+        with pytest.raises(LintError) as excinfo:
+            runner.verify_models([self.bad_model()])
+        assert any(f.rule == "MV001" for f in excinfo.value.findings)
+
+    def test_preflight_false_disables_gate_in_run(self, availability,
+                                                  memory_constraints,
+                                                  monkeypatch):
+        runner = ExperimentRunner(
+            availability,
+            {"avala": lambda: AvalaAlgorithm(availability,
+                                             memory_constraints, seed=1)},
+            replicates=1, seed=3, preflight=False)
+        calls = []
+        monkeypatch.setattr(runner, "verify_models",
+                            lambda models: calls.append(models))
+        runner.run({"f": GeneratorConfig(hosts=3, components=5)})
+        assert calls == []
+
+    def test_generated_models_pass_preflight(self, runner):
+        """The Generator's output must satisfy the deployment rules."""
+        report = runner.run({"f": GeneratorConfig(hosts=3, components=5)})
+        assert report.cells  # ran to completion with preflight enabled

@@ -7,7 +7,7 @@ from repro.core import (
     AvailabilityObjective, ConstraintSet, DeploymentModel, MemoryConstraint,
 )
 from repro.core.constraints import CollocationConstraint, LocationConstraint
-from repro.core.errors import SerializationError
+from repro.core.errors import SerializationError, XadlError
 from repro.desi import DeSiModel, MiddlewareAdapter, xadl
 from repro.middleware import DistributedSystem
 from repro.sim import InteractionWorkload, SimClock
@@ -65,6 +65,55 @@ class TestXadlRoundTrip:
             xadl.from_xml("<not-even-close")
         with pytest.raises(SerializationError, match="root"):
             xadl.from_xml("<wrongRoot/>")
+
+
+class TestReferenceValidation:
+    """Dangling references must fail with XadlError before model build."""
+
+    def doc(self, extra=""):
+        return f"""
+        <deploymentArchitecture name="t">
+          <host id="h1"/>
+          <component id="c1"/>
+          <component id="c2"/>
+          <logicalLink componentA="c1" componentB="c2"/>
+          <deployment component="c1" host="h1"/>
+          {extra}
+        </deploymentArchitecture>
+        """
+
+    def test_dangling_logical_link_endpoint(self):
+        text = self.doc('<logicalLink componentA="c1" componentB="ghost"/>')
+        with pytest.raises(XadlError, match="undeclared component 'ghost'"):
+            xadl.from_xml(text)
+
+    def test_dangling_physical_link_endpoint(self):
+        text = self.doc('<physicalLink hostA="h1" hostB="h9"/>')
+        with pytest.raises(XadlError, match="undeclared host 'h9'"):
+            xadl.from_xml(text)
+
+    def test_dangling_deployment_component(self):
+        text = self.doc('<deployment component="nope" host="h1"/>')
+        with pytest.raises(XadlError, match="undeclared component 'nope'"):
+            xadl.from_xml(text)
+
+    def test_dangling_deployment_host(self):
+        text = self.doc('<deployment component="c2" host="h9"/>')
+        with pytest.raises(XadlError, match="undeclared host 'h9'"):
+            xadl.from_xml(text)
+
+    def test_duplicate_id_rejected(self):
+        text = self.doc('<host id="h1"/>')
+        with pytest.raises(XadlError, match="duplicate host id 'h1'"):
+            xadl.from_xml(text)
+
+    def test_missing_link_attribute(self):
+        text = self.doc('<physicalLink hostA="h1"/>')
+        with pytest.raises(XadlError, match="hostB"):
+            xadl.from_xml(text)
+
+    def test_xadl_error_is_serialization_error(self):
+        assert issubclass(XadlError, SerializationError)
 
 
 class TestMiddlewareAdapter:

@@ -1,0 +1,174 @@
+"""Unit tests for the rule-engine core (registry, report, reporters)."""
+
+import json
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.lint.core import (
+    Finding, LintReport, Rule, RuleRegistry, Severity, render_json,
+    render_text,
+)
+
+
+class AlwaysFind(Rule):
+    rule_id = "T001"
+    severity = Severity.WARNING
+    description = "always emits one finding"
+    tags = frozenset({"test"})
+
+    def check(self, context):
+        yield self.finding("something", subject="x")
+
+
+class Crashes(Rule):
+    rule_id = "T002"
+    severity = Severity.INFO
+    description = "always raises"
+    tags = frozenset({"test"})
+
+    def check(self, context):
+        raise RuntimeError("boom")
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.ERROR > Severity.WARNING > Severity.INFO
+
+    def test_parse(self):
+        assert Severity.parse("error") is Severity.ERROR
+        assert Severity.parse("WARNING") is Severity.WARNING
+
+    def test_parse_unknown(self):
+        with pytest.raises(ReproError):
+            Severity.parse("fatal")
+
+    def test_label(self):
+        assert Severity.ERROR.label == "error"
+
+
+class TestFinding:
+    def test_str_with_subject(self):
+        finding = Finding("MV001", Severity.ERROR, "bad", subject="c 'x'")
+        assert str(finding) == "c 'x': bad [MV001]"
+
+    def test_str_with_file_line(self):
+        finding = Finding("CD004", Severity.ERROR, "bad", file="a.py", line=3)
+        assert str(finding) == "a.py:3: bad [CD004]"
+
+    def test_as_dict_omits_empty(self):
+        finding = Finding("MV001", Severity.ERROR, "bad")
+        assert finding.as_dict() == {
+            "rule": "MV001", "severity": "error", "message": "bad"}
+
+    def test_as_dict_detail(self):
+        finding = Finding("MV003", Severity.ERROR, "bad", detail={"used": 2})
+        assert finding.as_dict()["detail"] == {"used": 2}
+
+
+class TestLintReport:
+    def make(self):
+        report = LintReport()
+        report.add(Finding("B", Severity.WARNING, "warn"))
+        report.add(Finding("A", Severity.ERROR, "err"))
+        report.add(Finding("C", Severity.INFO, "note"))
+        return report
+
+    def test_counts(self):
+        assert self.make().counts() == {"error": 1, "warning": 1, "info": 1}
+
+    def test_errors_and_has_errors(self):
+        report = self.make()
+        assert report.has_errors
+        assert [f.rule for f in report.errors] == ["A"]
+        assert not LintReport().has_errors
+
+    def test_at_least(self):
+        report = self.make()
+        assert len(report.at_least(Severity.WARNING)) == 2
+        assert len(report.at_least(Severity.INFO)) == 3
+
+    def test_exit_code_thresholds(self):
+        report = self.make()
+        assert report.exit_code() == 1
+        assert report.exit_code(Severity.INFO) == 1
+        assert LintReport().exit_code() == 0
+        warn_only = LintReport([Finding("B", Severity.WARNING, "w")])
+        assert warn_only.exit_code(Severity.ERROR) == 0
+        assert warn_only.exit_code(Severity.WARNING) == 1
+
+    def test_sorted_most_severe_first(self):
+        ordered = self.make().sorted()
+        assert [f.severity for f in ordered] == [
+            Severity.ERROR, Severity.WARNING, Severity.INFO]
+
+    def test_merge(self):
+        a, b = self.make(), self.make()
+        assert len(a.merge(b)) == 6
+
+
+class TestRuleRegistry:
+    def test_register_instance_and_class(self):
+        registry = RuleRegistry()
+        registry.register(AlwaysFind())
+        registry.register(Crashes)  # classes are instantiated
+        assert "T001" in registry and "T002" in registry
+        assert len(registry) == 2
+
+    def test_duplicate_rejected_unless_replace(self):
+        registry = RuleRegistry([AlwaysFind()])
+        with pytest.raises(ReproError):
+            registry.register(AlwaysFind())
+        registry.register(AlwaysFind(), replace=True)
+
+    def test_unregister(self):
+        registry = RuleRegistry([AlwaysFind()])
+        registry.unregister("T001")
+        assert "T001" not in registry
+        with pytest.raises(ReproError):
+            registry.unregister("T001")
+
+    def test_missing_rule_id_rejected(self):
+        with pytest.raises(ReproError):
+            RuleRegistry([Rule()])
+
+    def test_tag_and_id_selection(self):
+        registry = RuleRegistry([AlwaysFind(), Crashes()])
+        assert len(registry.rules(tags=["test"])) == 2
+        assert len(registry.rules(tags=["absent"])) == 0
+        assert [r.rule_id for r in registry.rules(only=["T001"])] == ["T001"]
+
+    def test_crashing_rule_isolated(self):
+        registry = RuleRegistry([AlwaysFind(), Crashes()])
+        report = registry.run(None)
+        rules = {f.rule for f in report}
+        assert rules == {"T001", "T002"}
+        crash = next(f for f in report if f.rule == "T002")
+        assert crash.severity is Severity.ERROR
+        assert "boom" in crash.message
+
+    def test_copy_is_independent(self):
+        registry = RuleRegistry([AlwaysFind()])
+        clone = registry.copy()
+        clone.unregister("T001")
+        assert "T001" in registry
+
+
+class TestReporters:
+    def test_render_text_clean(self):
+        assert "clean" in render_text(LintReport())
+
+    def test_render_text_lists_findings(self):
+        report = LintReport([Finding("X1", Severity.ERROR, "oops",
+                                     subject="c")])
+        text = render_text(report, title="t")
+        assert text.startswith("t")
+        assert "[X1]" in text and "1 error(s)" in text
+
+    def test_render_json_round_trip(self):
+        report = LintReport([Finding("X1", Severity.ERROR, "oops",
+                                     detail={"k": 1})])
+        payload = json.loads(render_json(report, title="t"))
+        assert payload["target"] == "t"
+        assert payload["summary"]["error"] == 1
+        assert payload["findings"][0]["rule"] == "X1"

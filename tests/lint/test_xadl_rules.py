@@ -1,0 +1,100 @@
+"""Unit tests for document-level xADL verification."""
+
+from repro.desi import xadl
+from repro.lint.xadl_rules import (
+    DOCUMENT_RULES, verify_xadl_file, verify_xadl_source,
+)
+
+
+def rules_found(report):
+    return {f.rule for f in report}
+
+
+GOOD = """
+<deploymentArchitecture name="ok">
+  <host id="h1"><param name="memory" value="50.0" type="float"/></host>
+  <host id="h2"><param name="memory" value="50.0" type="float"/></host>
+  <physicalLink hostA="h1" hostB="h2">
+    <param name="reliability" value="0.9" type="float"/>
+  </physicalLink>
+  <component id="c1"><param name="memory" value="5.0" type="float"/></component>
+  <component id="c2"><param name="memory" value="5.0" type="float"/></component>
+  <logicalLink componentA="c1" componentB="c2">
+    <param name="frequency" value="1.0" type="float"/>
+  </logicalLink>
+  <deployment component="c1" host="h1"/>
+  <deployment component="c2" host="h2"/>
+</deploymentArchitecture>
+"""
+
+
+class TestDocumentChecks:
+    def test_clean_document(self):
+        report = verify_xadl_source(GOOD)
+        assert not report.has_errors
+
+    def test_malformed_xml(self):
+        report = verify_xadl_source("<deploymentArchitecture")
+        assert rules_found(report) == {"XD001"}
+
+    def test_wrong_root(self):
+        report = verify_xadl_source("<otherDocument/>")
+        assert rules_found(report) == {"XD001"}
+
+    def test_dangling_logical_link(self):
+        text = GOOD.replace('componentB="c2"', 'componentB="ghost"')
+        report = verify_xadl_source(text)
+        finding = next(f for f in report if f.rule == "XD002")
+        assert "ghost" in finding.message
+
+    def test_dangling_physical_link(self):
+        text = GOOD.replace('hostB="h2">', 'hostB="nowhere">', 1)
+        report = verify_xadl_source(text)
+        assert "XD002" in rules_found(report)
+
+    def test_dangling_deployment(self):
+        text = GOOD.replace('<deployment component="c2" host="h2"/>',
+                            '<deployment component="c2" host="h9"/>')
+        report = verify_xadl_source(text)
+        assert "XD003" in rules_found(report)
+
+    def test_duplicate_component_id(self):
+        text = GOOD.replace('<component id="c2">', '<component id="c1">')
+        report = verify_xadl_source(text)
+        assert "XD004" in rules_found(report)
+
+    def test_missing_attribute(self):
+        text = GOOD.replace('<deployment component="c1" host="h1"/>',
+                            '<deployment component="c1"/>')
+        report = verify_xadl_source(text)
+        assert "XD005" in rules_found(report)
+
+    def test_reports_all_problems_at_once(self):
+        text = GOOD.replace('componentB="c2"', 'componentB="ghost"') \
+                   .replace('<deployment component="c2" host="h2"/>',
+                            '<deployment component="c2" host="h9"/>')
+        report = verify_xadl_source(text)
+        assert {"XD002", "XD003"} <= rules_found(report)
+
+
+class TestModelHandoff:
+    def test_model_rules_run_on_sound_document(self):
+        # Memory over capacity is invisible at the document level but must
+        # surface through the combined report.
+        text = GOOD.replace('name="memory" value="5.0"',
+                            'name="memory" value="80.0"')
+        report = verify_xadl_source(text)
+        assert "MV003" in rules_found(report)
+
+    def test_file_entry_point(self, tiny_model, tmp_path):
+        path = tmp_path / "arch.xml"
+        path.write_text(xadl.to_xml(tiny_model), encoding="utf-8")
+        report = verify_xadl_file(str(path))
+        assert not report.has_errors
+
+
+class TestCatalog:
+    def test_every_document_rule_documented(self):
+        assert set(DOCUMENT_RULES) == {"XD001", "XD002", "XD003", "XD004",
+                                       "XD005"}
+        assert all(DOCUMENT_RULES.values())

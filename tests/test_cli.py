@@ -100,3 +100,85 @@ class TestSimulate:
         assert "t=0" in out
         assert "availability" in out
         assert "redeploy" in out  # at least one cycle summary printed
+
+
+BAD_CAPACITY = """
+<deploymentArchitecture name="overloaded">
+  <host id="h1"><param name="memory" value="10.0" type="float"/></host>
+  <host id="h2"><param name="memory" value="10.0" type="float"/></host>
+  <physicalLink hostA="h1" hostB="h2">
+    <param name="reliability" value="0.9" type="float"/>
+  </physicalLink>
+  <component id="c1"><param name="memory" value="25.0" type="float"/></component>
+  <deployment component="c1" host="h1"/>
+</deploymentArchitecture>
+"""
+
+BAD_DANGLING = """
+<deploymentArchitecture name="dangling">
+  <host id="h1"/>
+  <component id="c1"/>
+  <logicalLink componentA="c1" componentB="ghost"/>
+  <deployment component="c1" host="h1"/>
+</deploymentArchitecture>
+"""
+
+
+class TestLint:
+    def write(self, tmp_path, text):
+        path = tmp_path / "arch.xml"
+        path.write_text(text, encoding="utf-8")
+        return str(path)
+
+    def test_bundled_scenarios_exit_zero(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        for scenario in ("crisis", "sensorfield", "clientserver"):
+            assert f"scenario {scenario}" in out
+
+    def test_capacity_violation_fails(self, tmp_path, capsys):
+        path = self.write(tmp_path, BAD_CAPACITY)
+        assert main(["lint", path]) == 1
+        assert "MV003" in capsys.readouterr().out
+
+    def test_dangling_link_fails(self, tmp_path, capsys):
+        path = self.write(tmp_path, BAD_DANGLING)
+        assert main(["lint", path]) == 1
+        out = capsys.readouterr().out
+        assert "XD002" in out and "ghost" in out
+
+    def test_force_reports_but_exits_zero(self, tmp_path, capsys):
+        path = self.write(tmp_path, BAD_CAPACITY)
+        assert main(["lint", path, "--force"]) == 0
+        assert "MV003" in capsys.readouterr().out
+
+    def test_json_output(self, tmp_path, capsys):
+        import json
+        path = self.write(tmp_path, BAD_CAPACITY)
+        assert main(["lint", path, "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["error"] == 1
+        assert payload["findings"][0]["rule"] == "MV003"
+
+    def test_fail_on_threshold(self, capsys):
+        # sensorfield has info-level findings (isolated components) only.
+        assert main(["lint", "sensorfield"]) == 0
+        capsys.readouterr()
+        assert main(["lint", "sensorfield", "--fail-on", "info"]) == 1
+
+    def test_unknown_target_is_usage_error(self, capsys):
+        assert main(["lint", "not-a-scenario-or-file"]) == 2
+
+    def test_code_analyzer_on_clean_file(self, tmp_path, capsys):
+        clean = tmp_path / "ok.py"
+        clean.write_text("def f(x):\n    return x\n", encoding="utf-8")
+        assert main(["lint", "--code", str(clean)]) == 0
+
+    def test_code_analyzer_flags_violation(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(x=[]):\n    return x\n", encoding="utf-8")
+        assert main(["lint", "--code", str(bad)]) == 1
+        assert "CD006" in capsys.readouterr().out
+
+    def test_generated_architecture_lints_clean(self, architecture_file):
+        assert main(["lint", architecture_file]) == 0

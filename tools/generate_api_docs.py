@@ -13,8 +13,11 @@ MODULES = [
     "repro.core.model", "repro.core.parameters", "repro.core.objectives",
     "repro.core.constraints", "repro.core.monitoring", "repro.core.analyzer",
     "repro.core.effector", "repro.core.user_input", "repro.core.utility",
-    "repro.core.framework", "repro.core.errors",
-    "repro.algorithms.base", "repro.algorithms.exact",
+    "repro.core.framework", "repro.core.errors", "repro.core.registry",
+    "repro.lint.core", "repro.lint.model_rules", "repro.lint.xadl_rules",
+    "repro.lint.code",
+    "repro.algorithms.base", "repro.algorithms.engine",
+    "repro.algorithms.exact",
     "repro.algorithms.stochastic", "repro.algorithms.avala",
     "repro.algorithms.decap", "repro.algorithms.bip",
     "repro.algorithms.mincut", "repro.algorithms.hillclimb",
@@ -39,6 +42,79 @@ MODULES = [
 ]
 
 
+# Hand-written overview sections, emitted immediately before the named
+# module so regeneration never loses them.
+PROSE_BEFORE = {
+    "repro.lint.core": """\
+## Static analysis (`repro.lint`)
+
+A pluggable static verifier with two pillars on one rule engine: the
+**model verifier** (rules over `DeploymentModel`/xADL — mapping,
+capacities, parameter ranges, reachability, constraint satisfiability,
+objective contracts) and the **code analyzer** (AST rules for the
+middleware's conventions).  `python -m repro lint` runs the model rules
+over scenarios/xADL files, `python -m repro lint --code` runs the AST
+rules, and the `deployment`-tagged subset gates `Effector.effect` and
+`ExperimentRunner.run` (`PreflightError`/`LintError` on error findings).
+See `docs/STATIC_ANALYSIS.md` for the rule catalog, severities,
+suppression syntax, and how to write custom rules.
+""",
+    "repro.algorithms.engine": """\
+## Evaluation engine & algorithm portfolio
+
+All algorithm execution now flows through `repro.algorithms.engine`.
+`DeploymentAlgorithm.run(model, initial=None, engine=None)` accepts an
+`EvaluationEngine`; when omitted, a private one is created, so existing
+call sites keep working unchanged.
+
+**Memoized evaluation.** The engine memoizes `Objective.evaluate` on the
+hashable `Deployment`, in a `DeploymentCache` that listens to the model:
+any topology or parameter mutation (e.g. a monitor writing a fresh
+observation through `set_physical_link_param`) drops the cache, so stale
+scores are never served.  Deployment changes do *not* invalidate —
+evaluation takes the deployment as an explicit argument.  One cache may be
+shared by many engines (keys include the objective), which is how a
+portfolio's members reuse each other's work.
+
+**Incremental evaluation.** Every `Objective` follows one contract:
+`move_delta(model, deployment, component, new_host)` returns
+`evaluate(moved) - evaluate(base)` to 1e-9, and `supports_delta` declares
+whether that delta is served incrementally in O(degree) of the moved
+component.  Availability, latency, communication cost, and security
+implement the fast path; throughput (bottleneck max) and durability
+(lifetime min) declare `supports_delta = False` and the engine transparently
+falls back to two memoized full evaluations.  `WeightedObjective` supports
+the fast path iff all of its terms do.  (`repro.lint` rule MV015 flags
+objectives that declare the fast path without implementing it.)
+
+**Budgets and graceful truncation.** Engines accept `max_evaluations`
+and/or `max_seconds`.  When a budget runs out mid-search the engine raises
+`EvaluationBudgetExceeded`; `DeploymentAlgorithm.run` catches it and
+degrades to the best deployment fully evaluated so far, setting
+`extra["engine"]["truncated"]`.  Per-run counters (full evaluations, cache
+hits/misses, delta evaluations and fallbacks, elapsed vs budget) land in
+`AlgorithmResult.extra["engine"]`.
+
+**Portfolios.** `PortfolioRunner.run(model, factories)` executes a suite of
+algorithms concurrently (`parallel=False` for sequential), each under an
+optional per-algorithm timeout, all sharing one cache.  A member that
+raises `AlgorithmError`, crashes, or times out degrades to a `skipped` /
+`error` / `timeout` `PortfolioOutcome` instead of aborting the run; the
+`PortfolioReport` records every member's fate plus aggregate counters.
+`Analyzer.analyze` runs its selected algorithms this way (see
+`Decision.portfolio`), and `AlgorithmContainer.invoke_portfolio` exposes
+the same machinery in DeSi.
+
+**Registries.** `Analyzer` and `AlgorithmContainer` share
+`repro.core.registry.AlgorithmRegistry` (exposed as `.registry`); the
+historical `register_algorithm`/`register`/`unregister` methods remain as
+deprecation shims.  Registry misuse raises the dedicated
+`RegistryError` family from `repro.core.errors` rather than
+`AnalyzerError`.
+""",
+}
+
+
 def first_line(doc):
     if not doc:
         return ""
@@ -54,6 +130,9 @@ def generate() -> str:
               "rationale.\n\n")
     for module_name in MODULES:
         module = importlib.import_module(module_name)
+        if module_name in PROSE_BEFORE:
+            out.write(PROSE_BEFORE[module_name])
+            out.write("\n")
         out.write(f"## `{module_name}`\n\n")
         summary = first_line(module.__doc__)
         if summary:
