@@ -12,7 +12,9 @@ Framework-extension main bodies: :class:`HillClimbingAlgorithm`,
 
 Evaluation plumbing: :class:`EvaluationEngine` (memoized + incremental
 objective evaluation with budgets) and :class:`PortfolioRunner` (concurrent
-execution of an algorithm portfolio) in :mod:`repro.algorithms.engine`.
+execution of an algorithm portfolio) in :mod:`repro.algorithms.engine`;
+:class:`CompiledModel`/:class:`CompiledDeployment` and the per-objective
+evaluation kernels in :mod:`repro.algorithms.compiled`.
 """
 
 from repro.algorithms.annealing import SimulatedAnnealingAlgorithm
@@ -22,6 +24,10 @@ from repro.algorithms.base import (
     random_valid_deployment,
 )
 from repro.algorithms.bip import BIPAlgorithm
+from repro.algorithms.compiled import (
+    CompiledDeployment, CompiledModel, Kernel, compile_kernel, compiled_model,
+    register_kernel,
+)
 from repro.algorithms.decap import (
     AwarenessMap, DecApAlgorithm, connectivity_awareness,
 )
@@ -41,6 +47,8 @@ __all__ = [
     "AwarenessMap",
     "AvalaAlgorithm",
     "BIPAlgorithm",
+    "CompiledDeployment",
+    "CompiledModel",
     "DecApAlgorithm",
     "DeploymentAlgorithm",
     "DeploymentCache",
@@ -49,6 +57,7 @@ __all__ = [
     "ExactAlgorithm",
     "GeneticAlgorithm",
     "HillClimbingAlgorithm",
+    "Kernel",
     "MinCutAlgorithm",
     "PortfolioOutcome",
     "PortfolioReport",
@@ -56,8 +65,11 @@ __all__ = [
     "SimulatedAnnealingAlgorithm",
     "StochasticAlgorithm",
     "SwapSearchAlgorithm",
+    "compile_kernel",
+    "compiled_model",
     "connectivity_awareness",
     "greedy_fill_deployment",
+    "register_kernel",
     "random_valid_deployment",
     "run_portfolio",
 ]

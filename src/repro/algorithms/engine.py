@@ -34,6 +34,9 @@ from concurrent.futures import TimeoutError as _FutureTimeout
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
+from repro.algorithms.compiled import (
+    CompiledModel, Kernel, compile_kernel, compiled_model,
+)
 from repro.core.constraints import ConstraintSet
 from repro.core.errors import AlgorithmError, EvaluationBudgetExceeded
 from repro.core.model import DEPLOYMENT_CHANGED, Deployment, DeploymentModel
@@ -133,6 +136,12 @@ class EvaluationStats:
     #: move_delta requests the objective could not serve incrementally
     #: (``supports_delta`` is False) and that fell back to full evaluation.
     delta_fallbacks: int = 0
+    #: Full evaluations served by a compiled kernel instead of the
+    #: object-path ``Objective.evaluate`` (subset of ``full_evaluations``).
+    kernel_evaluations: int = 0
+    #: Delta evaluations served by a compiled kernel (subset of
+    #: ``delta_evaluations``).
+    kernel_deltas: int = 0
     truncated: bool = False
 
     @property
@@ -157,21 +166,33 @@ class EvaluationEngine:
         max_evaluations: Budget on charged evaluations (full + delta) per
             run; ``None`` means unlimited.
         max_seconds: Wall-clock budget per run; ``None`` means unlimited.
+        use_kernels: Route evaluation through the compiled kernels of
+            :mod:`repro.algorithms.compiled` when the objective has one
+            (built-in objectives do; custom objectives fall back to the
+            object path automatically).  Kernel values are bit-compatible
+            with ``Objective.evaluate``, so memoized scores mix freely.
     """
 
     def __init__(self, objective: Objective,
                  constraints: Optional[ConstraintSet] = None, *,
                  cache: Optional[DeploymentCache] = None,
                  max_evaluations: Optional[int] = None,
-                 max_seconds: Optional[float] = None):
+                 max_seconds: Optional[float] = None,
+                 use_kernels: bool = True):
         self.objective = objective
         self.constraints = constraints if constraints is not None else ConstraintSet()
         self.cache = cache if cache is not None else DeploymentCache()
         self.max_evaluations = max_evaluations
         self.max_seconds = max_seconds
+        self.use_kernels = use_kernels
         self.stats = EvaluationStats()
         self._started = time.perf_counter()
         self._best: Optional[Tuple[Deployment, float]] = None
+        # (model weakref, CompiledModel the kernel was built against,
+        #  kernel or None): one kernel per model generation per engine, so
+        # stateful kernels are never shared across portfolio threads.
+        self._kernel_state: Optional[
+            Tuple[weakref.ref, CompiledModel, Optional[Kernel]]] = None
 
     # -- run lifecycle ------------------------------------------------------
     def reset(self) -> None:
@@ -204,6 +225,28 @@ class EvaluationEngine:
                 f"{self.objective.name}: time budget "
                 f"{self.max_seconds:.3f}s exhausted")
 
+    # -- compiled-kernel routing --------------------------------------------
+    def _kernel_for(self, model: DeploymentModel) -> Optional[Kernel]:
+        """The engine's kernel for *model*'s current generation, or None.
+
+        Compiles at most once per (engine, model generation): the model
+        snapshot itself is shared process-wide through
+        :func:`~repro.algorithms.compiled.compiled_model`, while the kernel
+        (which may hold per-base accumulator state) stays private to this
+        engine.  Returns None when kernels are disabled or the objective
+        has no registered kernel — callers then use the object path.
+        """
+        if not self.use_kernels:
+            return None
+        snapshot = compiled_model(model)
+        cached = self._kernel_state
+        if cached is not None and cached[0]() is model \
+                and cached[1] is snapshot:
+            return cached[2]
+        kernel = compile_kernel(self.objective, snapshot)
+        self._kernel_state = (weakref.ref(model), snapshot, kernel)
+        return kernel
+
     # -- evaluation ---------------------------------------------------------
     def evaluate(self, model: DeploymentModel,
                  deployment: Mapping[str, str], *,
@@ -211,7 +254,8 @@ class EvaluationEngine:
         """Memoized ``objective.evaluate`` keyed on the deployment.
 
         Cache hits are free; misses are charged against the budget (unless
-        ``charge`` is False, used for final result scoring).
+        ``charge`` is False, used for final result scoring) and served by
+        the objective's compiled kernel when one exists.
         """
         self.cache.bind(model)
         key = (deployment if isinstance(deployment, Deployment)
@@ -225,7 +269,15 @@ class EvaluationEngine:
             self._charge()
         self.stats.cache_misses += 1
         self.stats.full_evaluations += 1
-        value = self.objective.evaluate(model, key)
+        value: Optional[float] = None
+        kernel = self._kernel_for(model)
+        if kernel is not None:
+            assignment = kernel.cm.encode(key)
+            if assignment is not None:
+                value = kernel.evaluate(assignment)
+                self.stats.kernel_evaluations += 1
+        if value is None:
+            value = self.objective.evaluate(model, key)
         self.cache.store(self.objective, key, value)
         self._track_best(key, value)
         return value
@@ -235,13 +287,25 @@ class EvaluationEngine:
                    new_host: str) -> float:
         """Objective change for one component move.
 
-        Routed through the objective's O(degree) ``move_delta`` when it
-        declares ``supports_delta``; otherwise served by two (memoized)
-        full evaluations.
+        Routed through the objective's compiled kernel when one exists,
+        else its O(degree) ``move_delta`` when it declares
+        ``supports_delta``; otherwise served by two (memoized) full
+        evaluations.
         """
         if getattr(self.objective, "supports_delta", False):
             self._charge()
             self.stats.delta_evaluations += 1
+            kernel = self._kernel_for(model)
+            if kernel is not None and kernel.supports_delta:
+                compiled = kernel.cm
+                component_index = compiled.component_index.get(component)
+                host_index = compiled.host_index.get(new_host)
+                if component_index is not None and host_index is not None:
+                    assignment = compiled.encode(deployment)
+                    if assignment is not None:
+                        self.stats.kernel_deltas += 1
+                        return kernel.move_delta(assignment, component_index,
+                                                 host_index)
             return self.objective.move_delta(model, deployment, component,
                                              new_host)
         self.stats.delta_fallbacks += 1
@@ -275,6 +339,8 @@ class EvaluationEngine:
             "cache_misses": self.stats.cache_misses,
             "delta_evaluations": self.stats.delta_evaluations,
             "delta_fallbacks": self.stats.delta_fallbacks,
+            "kernel_evaluations": self.stats.kernel_evaluations,
+            "kernel_deltas": self.stats.kernel_deltas,
             "supports_delta": bool(getattr(self.objective, "supports_delta",
                                            False)),
             "truncated": self.stats.truncated,
@@ -342,7 +408,8 @@ class PortfolioReport:
     def counters(self) -> Dict[str, int]:
         """Aggregate engine counters across the portfolio's results."""
         totals = {"full_evaluations": 0, "cache_hits": 0, "cache_misses": 0,
-                  "delta_evaluations": 0, "delta_fallbacks": 0}
+                  "delta_evaluations": 0, "delta_fallbacks": 0,
+                  "kernel_evaluations": 0, "kernel_deltas": 0}
         for outcome in self.outcomes:
             if outcome.result is None:
                 continue

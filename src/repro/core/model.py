@@ -139,8 +139,16 @@ class Deployment(Mapping[str, str]):
         return len(self._map)
 
     def __hash__(self) -> int:
+        # Order-independent XOR over item hashes.  Unlike the previous
+        # frozenset-based hash this composes incrementally: :meth:`moved`
+        # derives a child's hash from its parent's with two XORs, so the
+        # memo-cache key costs O(1) per candidate on the search hot path
+        # instead of an O(n) rehash (plus a frozenset allocation) each.
         if self._hash is None:
-            self._hash = hash(frozenset(self._map.items()))
+            value = 0
+            for item in self._map.items():
+                value ^= hash(item)
+            self._hash = value
         return self._hash
 
     def __eq__(self, other: object) -> bool:
@@ -169,12 +177,24 @@ class Deployment(Mapping[str, str]):
 
     # -- derivation -------------------------------------------------------------
     def moved(self, component_id: str, host_id: str) -> "Deployment":
-        """A new deployment with one component reassigned."""
-        if component_id not in self._map:
+        """A new deployment with one component reassigned.
+
+        When this deployment's hash is already known, the child's hash is
+        derived with two XORs instead of rehashed from scratch — the same
+        Zobrist-style incremental scheme as ``CompiledDeployment``.
+        """
+        old_host = self._map.get(component_id)
+        if old_host is None:
             raise UnknownEntityError("component", component_id)
         new_map = dict(self._map)
         new_map[component_id] = host_id
-        return Deployment(new_map)
+        child = Deployment(new_map)
+        if self._hash is not None:
+            child._hash = (self._hash if host_id == old_host
+                           else self._hash
+                           ^ hash((component_id, old_host))
+                           ^ hash((component_id, host_id)))
+        return child
 
     def diff(self, target: "Deployment") -> Tuple["Move", ...]:
         """The moves required to turn this deployment into *target*.
@@ -249,6 +269,11 @@ class DeploymentModel:
         #: Bumped whenever the logical-interaction structure or its
         #: parameters change; objectives key their aggregate caches on it.
         self.interaction_version = 0
+        #: Bumped on *every* topology/parameter event (deployment changes
+        #: excluded — evaluation takes the deployment explicitly).  Stateful
+        #: incremental evaluators (objective accumulators, compiled-model
+        #: snapshots) key their caches on it.
+        self.version = 0
 
     # ------------------------------------------------------------------
     # Listeners
@@ -260,6 +285,8 @@ class DeploymentModel:
         self._listeners.remove(listener)
 
     def _fire(self, event: str, **payload: Any) -> None:
+        if event != DEPLOYMENT_CHANGED:
+            self.version += 1
         for listener in tuple(self._listeners):
             listener(event, payload)
 

@@ -401,14 +401,22 @@ class ThroughputObjective(Objective):
 
     name = "throughput"
     direction = MINIMIZE
-    #: A move shifts traffic between links, but the objective is the MAX
-    #: utilization over all links — knowing the moved component's edges is
-    #: not enough to know the new bottleneck, so there is no O(degree)
-    #: delta.  The engine serves move_delta via memoized full evaluation.
-    supports_delta = False
+    #: The objective is the MAX utilization over all links, but a move only
+    #: touches the moved component's O(degree) host pairs: ``move_delta``
+    #: keeps the per-host-pair demand table for the base deployment (edge
+    #: counts alongside volumes, so a pair vacated by the move drops out
+    #: exactly instead of leaving float residue), applies the O(degree)
+    #: adjustments, and re-derives the bottleneck over the live pairs.
+    supports_delta = True
 
     #: Utilization charged to interacting host pairs with no usable link.
     UNREACHABLE_UTILIZATION = 1.0e6
+
+    def __init__(self):
+        # Demand accumulators for the last base deployment queried:
+        # (model weakref, model.version, base mapping dict,
+        #  {host pair: volume}, {host pair: contributing edges}, base value).
+        self._state = None
 
     def evaluate(self, model: DeploymentModel,
                  deployment: Mapping[str, str]) -> float:
@@ -430,6 +438,80 @@ class ThroughputObjective(Objective):
                 worst = max(worst, volume / bandwidth)
         return worst
 
+    def _utilization(self, model: DeploymentModel, host_a: str, host_b: str,
+                     volume: float) -> float:
+        bandwidth = model.bandwidth(host_a, host_b)
+        if bandwidth <= 0.0:
+            return self.UNREACHABLE_UTILIZATION
+        if bandwidth == float("inf"):
+            return 0.0
+        return volume / bandwidth
+
+    def _base_state(self, model: DeploymentModel,
+                    deployment: Mapping[str, str]):
+        base = dict(deployment)
+        state = self._state
+        if state is not None and state[0]() is model \
+                and state[1] == model.version and state[2] == base:
+            return state
+        demand: Dict[Tuple[str, str], float] = {}
+        counts: Dict[Tuple[str, str], int] = {}
+        for comp_a, comp_b, link in model.interaction_pairs():
+            host_a = base.get(comp_a)
+            host_b = base.get(comp_b)
+            if host_a is None or host_b is None or host_a == host_b:
+                continue
+            key = (host_a, host_b) if host_a <= host_b else (host_b, host_a)
+            demand[key] = demand.get(key, 0.0) + \
+                link.frequency * link.evt_size
+            counts[key] = counts.get(key, 0) + 1
+        state = (weakref.ref(model), model.version, base, demand, counts,
+                 self.evaluate(model, base))
+        self._state = state
+        return state
+
+    def move_delta(self, model: DeploymentModel, deployment: Mapping[str, str],
+                   component: str, new_host: str) -> float:
+        __, __, base, demand, counts, base_value = \
+            self._base_state(model, deployment)
+        old_host = base.get(component)
+        if old_host == new_host:
+            return 0.0
+        volume_changes: Dict[Tuple[str, str], float] = {}
+        count_changes: Dict[Tuple[str, str], int] = {}
+        for neighbor in model.logical_neighbors(component):
+            neighbor_host = base.get(neighbor)
+            if neighbor_host is None:
+                continue
+            link = model.logical_link(component, neighbor)
+            volume = link.frequency * link.evt_size
+            if old_host is not None and old_host != neighbor_host:
+                key = ((old_host, neighbor_host)
+                       if old_host <= neighbor_host
+                       else (neighbor_host, old_host))
+                volume_changes[key] = volume_changes.get(key, 0.0) - volume
+                count_changes[key] = count_changes.get(key, 0) - 1
+            if new_host != neighbor_host:
+                key = ((new_host, neighbor_host)
+                       if new_host <= neighbor_host
+                       else (neighbor_host, new_host))
+                volume_changes[key] = volume_changes.get(key, 0.0) + volume
+                count_changes[key] = count_changes.get(key, 0) + 1
+        worst = 0.0
+        for key, volume in demand.items():
+            change = count_changes.get(key)
+            if change is not None:
+                if counts[key] + change <= 0:
+                    continue  # every contributing edge moved off this pair
+                volume = volume + volume_changes[key]
+            worst = max(worst, self._utilization(model, *key, volume))
+        for key, change in count_changes.items():
+            if key not in demand and change > 0:
+                worst = max(worst,
+                            self._utilization(model, *key,
+                                              volume_changes[key]))
+        return worst - base_value
+
 
 class DurabilityObjective(Objective):
     """Projected system lifetime on battery power, to be maximized (§6).
@@ -445,11 +527,12 @@ class DurabilityObjective(Objective):
 
     name = "durability"
     direction = MAXIMIZE
-    #: Durability is the MIN projected lifetime across battery hosts; a
-    #: single move can change which host is weakest, so the delta cannot be
-    #: localized to the moved component's edges.  Explicitly non-delta: the
-    #: engine falls back to memoized full evaluation.
-    supports_delta = False
+    #: Durability is the MIN projected lifetime across battery hosts, but a
+    #: move only changes the draw of O(degree) hosts: ``move_delta`` keeps
+    #: per-host running CPU-load and radio-traffic accumulators for the base
+    #: deployment, applies the move to scratch copies, and re-derives the
+    #: minimum lifetime in O(hosts).
+    supports_delta = True
 
     def __init__(self, idle_draw: float = 1.0, cpu_coefficient: float = 0.1,
                  radio_coefficient: float = 0.05,
@@ -458,6 +541,10 @@ class DurabilityObjective(Objective):
         self.cpu_coefficient = cpu_coefficient
         self.radio_coefficient = radio_coefficient
         self.max_lifetime = max_lifetime
+        # Load accumulators for the last base deployment queried:
+        # (model weakref, model.version, base mapping dict,
+        #  {host: cpu load}, {host: radio volume}, base value).
+        self._state = None
 
     def host_lifetime(self, model: DeploymentModel,
                       deployment: Mapping[str, str], host_id: str) -> float:
@@ -489,6 +576,83 @@ class DurabilityObjective(Objective):
         if not finite:
             return self.max_lifetime  # fully mains-powered system
         return min(finite)
+
+    def _min_lifetime(self, model: DeploymentModel,
+                      cpu_load: Dict[str, float],
+                      radio: Dict[str, float]) -> float:
+        best: Optional[float] = None
+        for host in model.hosts:
+            battery = host.params.get("battery")
+            if battery == float("inf"):
+                continue
+            draw = (self.idle_draw
+                    + self.cpu_coefficient * cpu_load.get(host.id, 0.0)
+                    + self.radio_coefficient * radio.get(host.id, 0.0))
+            lifetime = (self.max_lifetime if draw <= 0.0
+                        else min(battery / draw, self.max_lifetime))
+            if lifetime < self.max_lifetime \
+                    and (best is None or lifetime < best):
+                best = lifetime
+        return self.max_lifetime if best is None else best
+
+    def _base_state(self, model: DeploymentModel,
+                    deployment: Mapping[str, str]):
+        base = dict(deployment)
+        state = self._state
+        if state is not None and state[0]() is model \
+                and state[1] == model.version and state[2] == base:
+            return state
+        cpu_load: Dict[str, float] = {}
+        radio: Dict[str, float] = {}
+        for component_id, host_id in base.items():
+            cpu_load[host_id] = cpu_load.get(host_id, 0.0) + \
+                model.component(component_id).cpu
+        for comp_a, comp_b, link in model.interaction_pairs():
+            host_a = base.get(comp_a)
+            host_b = base.get(comp_b)
+            if host_a == host_b:
+                continue
+            volume = link.frequency * link.evt_size
+            if host_a is not None:
+                radio[host_a] = radio.get(host_a, 0.0) + volume
+            if host_b is not None:
+                radio[host_b] = radio.get(host_b, 0.0) + volume
+        state = (weakref.ref(model), model.version, base, cpu_load, radio,
+                 self._min_lifetime(model, cpu_load, radio))
+        self._state = state
+        return state
+
+    def move_delta(self, model: DeploymentModel, deployment: Mapping[str, str],
+                   component: str, new_host: str) -> float:
+        __, __, base, cpu_load, radio, base_value = \
+            self._base_state(model, deployment)
+        old_host = base.get(component)
+        if old_host == new_host:
+            return 0.0
+        cpu_scratch = dict(cpu_load)
+        radio_scratch = dict(radio)
+        cpu = model.component(component).cpu
+        if old_host is not None:
+            cpu_scratch[old_host] = cpu_scratch.get(old_host, 0.0) - cpu
+        cpu_scratch[new_host] = cpu_scratch.get(new_host, 0.0) + cpu
+        for neighbor in model.logical_neighbors(component):
+            neighbor_host = base.get(neighbor)
+            if neighbor_host is None:
+                continue
+            link = model.logical_link(component, neighbor)
+            volume = link.frequency * link.evt_size
+            if old_host is not None and old_host != neighbor_host:
+                radio_scratch[old_host] = \
+                    radio_scratch.get(old_host, 0.0) - volume
+                radio_scratch[neighbor_host] = \
+                    radio_scratch.get(neighbor_host, 0.0) - volume
+            if new_host != neighbor_host:
+                radio_scratch[new_host] = \
+                    radio_scratch.get(new_host, 0.0) + volume
+                radio_scratch[neighbor_host] = \
+                    radio_scratch.get(neighbor_host, 0.0) + volume
+        return self._min_lifetime(model, cpu_scratch, radio_scratch) \
+            - base_value
 
 
 class WeightedObjective(Objective):

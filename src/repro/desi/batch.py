@@ -11,7 +11,9 @@ comparisons.
 
 from __future__ import annotations
 
+import pickle
 import statistics
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -21,6 +23,7 @@ from repro.core.errors import AlgorithmError, LintError, ReproError
 from repro.core.model import DeploymentModel
 from repro.core.objectives import Objective
 from repro.desi.generator import Generator, GeneratorConfig
+from repro.desi.xadl import from_xml, to_xml
 from repro.lint.model_rules import verify_deployment
 
 AlgorithmFactory = Callable[[], DeploymentAlgorithm]
@@ -46,6 +49,9 @@ class CellResult:
     mean_full_evaluations: float = 0.0
     mean_cache_hits: float = 0.0
     mean_delta_evaluations: float = 0.0
+    #: Evaluations served by compiled kernels (full + delta), mean over
+    #: successful runs.
+    mean_kernel_evaluations: float = 0.0
     truncated_runs: int = 0
 
     @property
@@ -78,21 +84,33 @@ class ExperimentReport:
             return max(candidates, key=lambda c: c.mean_value).algorithm
         return min(candidates, key=lambda c: c.mean_value).algorithm
 
-    def rows(self) -> List[Tuple]:
-        return [
-            (cell.family, cell.algorithm, cell.runs - cell.failures,
-             cell.mean_initial,
-             cell.mean_value if cell.mean_value is not None else "-",
-             cell.mean_elapsed * 1000.0, cell.mean_moves)
-            for cell in self.cells
-        ]
+    def rows(self, include_timing: bool = True) -> List[Tuple]:
+        out = []
+        for cell in self.cells:
+            row = [cell.family, cell.algorithm, cell.runs - cell.failures,
+                   cell.mean_initial,
+                   cell.mean_value if cell.mean_value is not None else "-"]
+            if include_timing:
+                row.append(cell.mean_elapsed * 1000.0)
+            row.append(cell.mean_moves)
+            out.append(tuple(row))
+        return out
 
-    def render(self) -> str:
+    def render(self, include_timing: bool = True) -> str:
+        """The sweep as an aligned text table.
+
+        ``include_timing=False`` drops the wall-clock column, making the
+        rendering deterministic for a given seed — serial and
+        ``workers=N`` sweeps then render byte-identically.
+        """
         headers = ["family", "algorithm", "ok runs", "initial",
-                   self.objective_name, "time (ms)", "moves"]
+                   self.objective_name]
+        if include_timing:
+            headers.append("time (ms)")
+        headers.append("moves")
         formatted = [
             [f"{v:.4f}" if isinstance(v, float) else str(v) for v in row]
-            for row in self.rows()
+            for row in self.rows(include_timing)
         ]
         widths = [len(h) for h in headers]
         for row in formatted:
@@ -125,6 +143,15 @@ class ExperimentRunner:
             aborts the sweep with :class:`~repro.core.errors.LintError`
             instead of surfacing as a mid-sweep exception or a silently
             wrong utility.
+        workers: Number of worker processes for the sweep.  ``None``/1 runs
+            serially in-process; ``N > 1`` fans (family, algorithm) cells
+            out over a process pool, shipping models as xADL documents
+            (whose ``repr``-based float round-trip is exact).  Both modes
+            run every cell from the same serialized model bytes, so for a
+            given seed they produce identical cells up to wall-clock
+            timing — compare with ``report.render(include_timing=False)``.
+            Algorithm factories must be picklable (module-level functions
+            or ``functools.partial``, not lambdas).
     """
 
     def __init__(self, objective: Objective,
@@ -132,11 +159,14 @@ class ExperimentRunner:
                  replicates: int = 5, seed: int = 0,
                  max_evaluations: Optional[int] = None,
                  max_seconds: Optional[float] = None,
-                 preflight: bool = True):
+                 preflight: bool = True,
+                 workers: Optional[int] = None):
         if not algorithms:
             raise ReproError("need at least one algorithm")
         if replicates < 1:
             raise ReproError("replicates must be >= 1")
+        if workers is not None and workers < 1:
+            raise ReproError("workers must be >= 1")
         self.objective = objective
         self.algorithms = dict(algorithms)
         self.replicates = replicates
@@ -144,6 +174,7 @@ class ExperimentRunner:
         self.max_evaluations = max_evaluations
         self.max_seconds = max_seconds
         self.preflight = preflight
+        self.workers = workers
 
     def verify_models(self, models: Sequence[DeploymentModel]) -> None:
         """Raise :class:`LintError` if any model fails the deployment rules."""
@@ -154,9 +185,25 @@ class ExperimentRunner:
                     f"generated model {model.name!r} failed static "
                     "verification", findings=report.errors)
 
+    def _check_picklable(self) -> None:
+        """Reject unpicklable factories before spawning any worker."""
+        for name in sorted(self.algorithms):
+            try:
+                pickle.dumps(self.algorithms[name])
+            except Exception as exc:
+                raise ReproError(
+                    f"workers mode requires picklable algorithm factories, "
+                    f"but {name!r} cannot be pickled ({exc}); use a "
+                    "module-level function or functools.partial instead of "
+                    "a lambda or closure") from exc
+
     def run(self, families: Dict[str, GeneratorConfig]) -> ExperimentReport:
         """Execute the sweep; returns per-cell aggregates."""
         report = ExperimentReport(self.objective.name)
+        # Generate + verify + score initials in-process, then freeze every
+        # family to xADL: serial and worker cells both reconstruct models
+        # from the same bytes, so the two modes cannot diverge.
+        prepared: List[Tuple[str, Tuple[str, ...], List[float]]] = []
         for family_index, (family, config) in enumerate(
                 sorted(families.items())):
             models = [
@@ -169,61 +216,92 @@ class ExperimentRunner:
                 self.verify_models(models)
             initials = [self.objective.evaluate(m, m.deployment)
                         for m in models]
-            for algorithm_name in sorted(self.algorithms):
-                report.cells.append(self._run_cell(
-                    family, algorithm_name, models, initials))
+            prepared.append((family, tuple(to_xml(m) for m in models),
+                             initials))
+        jobs = [
+            (family, algorithm_name, self.algorithms[algorithm_name],
+             model_xmls, initials, self.max_evaluations, self.max_seconds)
+            for family, model_xmls, initials in prepared
+            for algorithm_name in sorted(self.algorithms)
+        ]
+        if self.workers is not None and self.workers > 1:
+            self._check_picklable()
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                report.cells.extend(pool.map(_run_cell_job, jobs))
+        else:
+            report.cells.extend(_run_cell_job(job) for job in jobs)
         return report
 
-    def _run_cell(self, family: str, algorithm_name: str,
+
+def _run_cell_job(job: Tuple) -> CellResult:
+    """One (family, algorithm) cell; module-level so process pools can
+    pickle it.  Models arrive as xADL strings and are rebuilt here, in the
+    worker (or inline in serial mode)."""
+    (family, algorithm_name, factory, model_xmls, initials,
+     max_evaluations, max_seconds) = job
+    models = [from_xml(text) for text in model_xmls]
+    return _execute_cell(family, algorithm_name, factory, models, initials,
+                         max_evaluations, max_seconds)
+
+
+def _execute_cell(family: str, algorithm_name: str,
+                  factory: AlgorithmFactory,
                   models: Sequence[DeploymentModel],
-                  initials: Sequence[float]) -> CellResult:
-        values: List[float] = []
-        elapsed: List[float] = []
-        moves: List[float] = []
-        full_evals: List[float] = []
-        cache_hits: List[float] = []
-        delta_evals: List[float] = []
-        truncated = 0
-        failures = 0
-        for model in models:
-            algorithm = self.algorithms[algorithm_name]()
-            engine = EvaluationEngine(
-                algorithm.objective, algorithm.constraints,
-                max_evaluations=self.max_evaluations,
-                max_seconds=self.max_seconds)
-            try:
-                result = algorithm.run(model.copy(), engine=engine)
-            except AlgorithmError:
-                failures += 1
-                continue
-            if not result.valid:
-                failures += 1
-                continue
-            values.append(result.value)
-            elapsed.append(result.elapsed)
-            moves.append(result.moves_from_initial)
-            counters = result.extra.get("engine", {})
-            full_evals.append(counters.get("full_evaluations", 0))
-            cache_hits.append(counters.get("cache_hits", 0))
-            delta_evals.append(counters.get("delta_evaluations", 0))
-            if counters.get("truncated"):
-                truncated += 1
-        return CellResult(
-            family=family,
-            algorithm=algorithm_name,
-            runs=len(models),
-            failures=failures,
-            mean_value=statistics.mean(values) if values else None,
-            stdev_value=(statistics.stdev(values)
-                         if len(values) > 1 else 0.0 if values else None),
-            mean_initial=statistics.mean(initials),
-            mean_elapsed=statistics.mean(elapsed) if elapsed else 0.0,
-            mean_moves=statistics.mean(moves) if moves else 0.0,
-            mean_full_evaluations=(statistics.mean(full_evals)
-                                   if full_evals else 0.0),
-            mean_cache_hits=(statistics.mean(cache_hits)
-                             if cache_hits else 0.0),
-            mean_delta_evaluations=(statistics.mean(delta_evals)
-                                    if delta_evals else 0.0),
-            truncated_runs=truncated,
-        )
+                  initials: Sequence[float],
+                  max_evaluations: Optional[int],
+                  max_seconds: Optional[float]) -> CellResult:
+    values: List[float] = []
+    elapsed: List[float] = []
+    moves: List[float] = []
+    full_evals: List[float] = []
+    cache_hits: List[float] = []
+    delta_evals: List[float] = []
+    kernel_evals: List[float] = []
+    truncated = 0
+    failures = 0
+    for model in models:
+        algorithm = factory()
+        engine = EvaluationEngine(
+            algorithm.objective, algorithm.constraints,
+            max_evaluations=max_evaluations,
+            max_seconds=max_seconds)
+        try:
+            result = algorithm.run(model.copy(), engine=engine)
+        except AlgorithmError:
+            failures += 1
+            continue
+        if not result.valid:
+            failures += 1
+            continue
+        values.append(result.value)
+        elapsed.append(result.elapsed)
+        moves.append(result.moves_from_initial)
+        counters = result.extra.get("engine", {})
+        full_evals.append(counters.get("full_evaluations", 0))
+        cache_hits.append(counters.get("cache_hits", 0))
+        delta_evals.append(counters.get("delta_evaluations", 0))
+        kernel_evals.append(counters.get("kernel_evaluations", 0)
+                            + counters.get("kernel_deltas", 0))
+        if counters.get("truncated"):
+            truncated += 1
+    return CellResult(
+        family=family,
+        algorithm=algorithm_name,
+        runs=len(models),
+        failures=failures,
+        mean_value=statistics.mean(values) if values else None,
+        stdev_value=(statistics.stdev(values)
+                     if len(values) > 1 else 0.0 if values else None),
+        mean_initial=statistics.mean(initials),
+        mean_elapsed=statistics.mean(elapsed) if elapsed else 0.0,
+        mean_moves=statistics.mean(moves) if moves else 0.0,
+        mean_full_evaluations=(statistics.mean(full_evals)
+                               if full_evals else 0.0),
+        mean_cache_hits=(statistics.mean(cache_hits)
+                         if cache_hits else 0.0),
+        mean_delta_evaluations=(statistics.mean(delta_evals)
+                                if delta_evals else 0.0),
+        mean_kernel_evaluations=(statistics.mean(kernel_evals)
+                                 if kernel_evals else 0.0),
+        truncated_runs=truncated,
+    )

@@ -393,6 +393,35 @@ class IsolatedComponentRule(ModelRule):
                                    subject=f"component {component_id!r}")
 
 
+class CompiledEngineAdvisoryRule(ModelRule):
+    rule_id = "MV016"
+    severity = Severity.INFO
+    description = ("Models beyond the object path's comfort zone "
+                   "(hosts x components > 2000) should be searched through "
+                   "the compiled kernels (repro.algorithms.compiled), which "
+                   "the evaluation engine uses by default for the built-in "
+                   "objectives.")
+    tags = frozenset({TOPOLOGY})
+
+    #: hosts x components above which a full object-path evaluation walk
+    #: becomes the dominant cost of a search run (see docs/PERFORMANCE.md).
+    COMFORT_ZONE = 2000
+
+    def check(self, context: ModelLintContext) -> Iterable[Finding]:
+        hosts = len(context.model.host_ids)
+        components = len(context.model.component_ids)
+        size = hosts * components
+        if size > self.COMFORT_ZONE:
+            yield self.finding(
+                f"model size {hosts} hosts x {components} components "
+                f"(= {size}) exceeds the object-path comfort zone "
+                f"({self.COMFORT_ZONE}); ensure the evaluation engine's "
+                "compiled kernels are in use (use_kernels=True, built-in "
+                "objectives)",
+                subject=f"model {context.model.name!r}",
+                hosts=hosts, components=components, size=size)
+
+
 class EmptyModelRule(ModelRule):
     rule_id = "MV014"
     severity = Severity.WARNING
@@ -474,6 +503,7 @@ MODEL_RULES: Tuple[Type[ModelRule], ...] = (
     UnsatisfiableConstraintRule,
     IsolatedComponentRule,
     EmptyModelRule,
+    CompiledEngineAdvisoryRule,
     DeltaContractRule,
 )
 

@@ -22,7 +22,7 @@ from repro.algorithms.engine import (
 from repro.core.analyzer import Analyzer
 from repro.core.errors import EvaluationBudgetExceeded, NoValidDeploymentError
 from repro.core.objectives import (
-    AvailabilityObjective, CommunicationCostObjective, ThroughputObjective,
+    AvailabilityObjective, CommunicationCostObjective, Objective,
 )
 
 
@@ -134,8 +134,14 @@ class TestEvaluationEngine:
         assert base + delta == pytest.approx(
             availability.evaluate(tiny_model, moved), abs=1e-9)
 
-    def test_delta_fallback_for_global_objectives(self, tiny_model):
-        objective = ThroughputObjective()
+    def test_delta_fallback_for_non_delta_objectives(self, tiny_model):
+        class FullOnly(Objective):
+            name = "full_only"
+
+            def evaluate(self, model, deployment):
+                return float(len(set(deployment.values())))
+
+        objective = FullOnly()
         engine = EvaluationEngine(objective)
         deployment = dict(tiny_model.deployment)
         delta = engine.move_delta(tiny_model, deployment, "c1", "hB")
@@ -293,3 +299,144 @@ class TestAnalyzerResilience:
         if a.selected is not None:
             assert a.selected.value == pytest.approx(b.selected.value)
             assert a.selected.deployment == b.selected.deployment
+
+
+class TestKernelRouting:
+    def test_full_evaluations_served_by_kernel(self, tiny_model,
+                                               availability):
+        engine = EvaluationEngine(availability)
+        deployment = dict(tiny_model.deployment)
+        value = engine.evaluate(tiny_model, deployment)
+        assert engine.stats.kernel_evaluations == 1
+        # Kernel values are bit-identical to the object path.
+        assert value == availability.evaluate(tiny_model, deployment)
+
+    def test_deltas_served_by_kernel(self, tiny_model, availability):
+        engine = EvaluationEngine(availability)
+        deployment = dict(tiny_model.deployment)
+        base = engine.evaluate(tiny_model, deployment)
+        delta = engine.move_delta(tiny_model, deployment, "c1", "hB")
+        assert engine.stats.kernel_deltas == 1
+        assert engine.stats.delta_evaluations == 1
+        moved = dict(deployment, c1="hB")
+        assert base + delta == pytest.approx(
+            availability.evaluate(tiny_model, moved), abs=1e-9)
+
+    def test_use_kernels_false_takes_object_path(self, tiny_model,
+                                                 availability):
+        engine = EvaluationEngine(availability, use_kernels=False)
+        deployment = dict(tiny_model.deployment)
+        value = engine.evaluate(tiny_model, deployment)
+        engine.move_delta(tiny_model, deployment, "c1", "hB")
+        assert engine.stats.kernel_evaluations == 0
+        assert engine.stats.kernel_deltas == 0
+        assert value == availability.evaluate(tiny_model, deployment)
+
+    def test_custom_objective_falls_back(self, tiny_model):
+        class Custom(Objective):
+            name = "custom"
+
+            def evaluate(self, model, deployment):
+                return float(len(deployment))
+
+        engine = EvaluationEngine(Custom())
+        engine.evaluate(tiny_model, dict(tiny_model.deployment))
+        assert engine.stats.full_evaluations == 1
+        assert engine.stats.kernel_evaluations == 0
+
+    def test_unknown_host_falls_back_to_object_path(self, tiny_model,
+                                                    availability):
+        engine = EvaluationEngine(availability)
+        deployment = {"c1": "hA", "c2": "hA", "c3": "ghost"}
+        value = engine.evaluate(tiny_model, deployment)
+        assert engine.stats.kernel_evaluations == 0
+        assert value == availability.evaluate(tiny_model, deployment)
+
+    def test_parameter_change_recompiles_kernel(self, tiny_model,
+                                                availability):
+        engine = EvaluationEngine(availability)
+        deployment = dict(tiny_model.deployment)
+        engine.evaluate(tiny_model, deployment)
+        tiny_model.set_physical_link_param("hA", "hB", "reliability", 0.95)
+        fresh = engine.evaluate(tiny_model, deployment)
+        assert engine.stats.kernel_evaluations == 2
+        assert fresh == availability.evaluate(tiny_model, deployment)
+
+    def test_snapshot_reports_kernel_counters(self, tiny_model,
+                                              availability):
+        engine = EvaluationEngine(availability)
+        engine.evaluate(tiny_model, dict(tiny_model.deployment))
+        snapshot = engine.snapshot()
+        assert snapshot["kernel_evaluations"] == 1
+        assert snapshot["kernel_deltas"] == 0
+
+
+class TestDeploymentHash:
+    def test_hash_is_order_independent(self):
+        from repro.core.model import Deployment
+
+        items = [(f"c{i}", f"h{i % 7}") for i in range(50)]
+        forward = Deployment(dict(items))
+        backward = Deployment(dict(reversed(items)))
+        assert forward == backward
+        assert hash(forward) == hash(backward)
+
+    def test_moved_derives_hash_incrementally(self):
+        from repro.core.model import Deployment
+
+        base = Deployment({f"c{i}": f"h{i % 5}" for i in range(30)})
+        hash(base)  # prime the parent hash
+        child = base.moved("c3", "h4")
+        assert child._hash is not None  # derived, not recomputed
+        assert hash(child) == hash(Deployment(dict(child)))
+        # No-op move keeps the hash unchanged.
+        same = base.moved("c3", base["c3"])
+        assert hash(same) == hash(base)
+
+    def test_hash_microbenchmark_beats_frozenset(self):
+        """Guard for the incremental hash: on the search hot path (hashing
+        a chain of moved() children) the O(1) derived hash must beat the
+        old rehash-everything-via-frozenset scheme."""
+        import time
+
+        from repro.core.model import Deployment
+
+        mapping = {f"component-{i}": f"host-{i % 40}" for i in range(400)}
+        components = list(mapping)
+        hosts = [f"host-{i}" for i in range(40)]
+
+        def incremental():
+            base = Deployment(mapping)
+            hash(base)
+            total = 0
+            for index in range(300):
+                child = base.moved(components[index % 400],
+                                   hosts[index % 40])
+                total ^= hash(child)
+            return total
+
+        def frozenset_rehash():
+            base = Deployment(mapping)
+            hash(base)
+            total = 0
+            for index in range(300):
+                child = base.moved(components[index % 400],
+                                   hosts[index % 40])
+                total ^= hash(frozenset(child._map.items()))
+            return total
+
+        def best_of(repeats, func):
+            best = float("inf")
+            for __ in range(repeats):
+                started = time.perf_counter()
+                func()
+                best = min(best, time.perf_counter() - started)
+            return best
+
+        incremental_time = best_of(5, incremental)
+        frozenset_time = best_of(5, frozenset_rehash)
+        # The derived hash is ~5x faster in practice; require merely
+        # "not slower" with margin so CI noise cannot flake the guard.
+        assert incremental_time < frozenset_time * 1.2, \
+            f"incremental {incremental_time:.6f}s vs " \
+            f"frozenset {frozenset_time:.6f}s"

@@ -103,11 +103,11 @@ class TestSupportsDeltaDeclarations:
         assert CommunicationCostObjective.supports_delta is True
         assert SecurityObjective.supports_delta is True
 
-    def test_global_aggregations_opt_out(self):
-        # Bottleneck (max) and lifetime (min) aggregations cannot localize a
-        # move's effect; they take the memoized full-evaluation path.
-        assert ThroughputObjective.supports_delta is False
-        assert DurabilityObjective.supports_delta is False
+    def test_global_aggregations_support_delta(self):
+        # Bottleneck (max) and lifetime (min) aggregations localize a move
+        # with per-host-pair demand / per-host draw accumulators.
+        assert ThroughputObjective.supports_delta is True
+        assert DurabilityObjective.supports_delta is True
 
     def test_base_default_is_conservative(self):
         assert Objective.supports_delta is False
@@ -118,4 +118,14 @@ class TestSupportsDeltaDeclarations:
         assert fast.supports_delta is True
         mixed = WeightedObjective([(AvailabilityObjective(), 0.5),
                                    (ThroughputObjective(), 0.5)])
-        assert mixed.supports_delta is False
+        assert mixed.supports_delta is True
+
+        class NonDelta(Objective):
+            name = "nondelta"
+
+            def evaluate(self, model, deployment):
+                return 0.0
+
+        blocked = WeightedObjective([(AvailabilityObjective(), 0.5),
+                                     (NonDelta(), 0.5)])
+        assert blocked.supports_delta is False

@@ -144,3 +144,83 @@ class TestPreflight:
         """The Generator's output must satisfy the deployment rules."""
         report = runner.run({"f": GeneratorConfig(hosts=3, components=5)})
         assert report.cells  # ran to completion with preflight enabled
+
+
+# Module-level factories: workers mode ships factories to worker processes
+# via pickle, which lambdas/closures cannot survive.
+def _make_avala():
+    from repro.core import ConstraintSet, MemoryConstraint
+    return AvalaAlgorithm(AvailabilityObjective(),
+                          ConstraintSet([MemoryConstraint()]), seed=1)
+
+
+def _make_stochastic():
+    from repro.core import ConstraintSet, MemoryConstraint
+    return StochasticAlgorithm(AvailabilityObjective(),
+                               ConstraintSet([MemoryConstraint()]),
+                               seed=1, iterations=10)
+
+
+class TestWorkersMode:
+    FAMILIES = {
+        "tiny": GeneratorConfig(hosts=3, components=5),
+        "small": GeneratorConfig(hosts=4, components=8),
+    }
+
+    def build(self, workers=None):
+        return ExperimentRunner(
+            AvailabilityObjective(),
+            {"avala": _make_avala, "stochastic": _make_stochastic},
+            replicates=2, seed=7, workers=workers)
+
+    def test_workers_validation(self):
+        with pytest.raises(ReproError):
+            self.build(workers=0)
+
+    def test_unpicklable_factory_rejected_upfront(self):
+        runner = ExperimentRunner(
+            AvailabilityObjective(),
+            {"lambda": lambda: None},
+            replicates=1, workers=2)
+        with pytest.raises(ReproError, match="picklable"):
+            runner.run({"f": GeneratorConfig(hosts=3, components=5)})
+
+    def test_parallel_report_identical_to_serial(self):
+        serial = self.build(workers=None).run(self.FAMILIES)
+        parallel = self.build(workers=2).run(self.FAMILIES)
+        assert serial.render(include_timing=False) == \
+            parallel.render(include_timing=False)
+        # Beyond the rendering: every non-timing cell field matches exactly.
+        for cell_a, cell_b in zip(serial.cells, parallel.cells, strict=True):
+            assert cell_a.family == cell_b.family
+            assert cell_a.algorithm == cell_b.algorithm
+            assert cell_a.runs == cell_b.runs
+            assert cell_a.failures == cell_b.failures
+            assert cell_a.mean_value == cell_b.mean_value
+            assert cell_a.stdev_value == cell_b.stdev_value
+            assert cell_a.mean_initial == cell_b.mean_initial
+            assert cell_a.mean_moves == cell_b.mean_moves
+            assert cell_a.mean_full_evaluations == \
+                cell_b.mean_full_evaluations
+            assert cell_a.mean_cache_hits == cell_b.mean_cache_hits
+            assert cell_a.mean_delta_evaluations == \
+                cell_b.mean_delta_evaluations
+            assert cell_a.truncated_runs == cell_b.truncated_runs
+
+    def test_workers_one_equals_serial_path(self):
+        explicit = self.build(workers=1).run(self.FAMILIES)
+        implicit = self.build(workers=None).run(self.FAMILIES)
+        assert explicit.render(include_timing=False) == \
+            implicit.render(include_timing=False)
+
+    def test_kernel_counters_flow_into_cells(self):
+        report = self.build().run(
+            {"tiny": GeneratorConfig(hosts=3, components=5)})
+        cell = report.cell("tiny", "avala")
+        assert cell.mean_kernel_evaluations > 0
+
+    def test_render_without_timing_drops_column(self):
+        report = self.build().run(
+            {"tiny": GeneratorConfig(hosts=3, components=5)})
+        assert "time (ms)" in report.render()
+        assert "time (ms)" not in report.render(include_timing=False)

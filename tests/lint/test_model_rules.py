@@ -151,6 +151,24 @@ class TestTopologyRules:
                               objectives=[AvailabilityObjective])
         assert len([f for f in report if f.rule == "MV014"]) == 2
 
+    def test_mv016_advises_compiled_engine_on_large_models(self):
+        model = DeploymentModel(name="big")
+        for h in range(50):
+            model.add_host(f"h{h}", memory=100.0)
+        for c in range(50):
+            model.add_component(f"c{c}", memory=1.0)
+            model.deploy(f"c{c}", f"h{c}")
+        report = verify_model(model, objectives=[AvailabilityObjective])
+        finding = next(f for f in report if f.rule == "MV016")
+        assert finding.severity is Severity.INFO
+        assert finding.detail["size"] == 2500
+        assert "compiled" in finding.message
+
+    def test_mv016_silent_within_comfort_zone(self, clean_model):
+        report = verify_model(clean_model,
+                              objectives=[AvailabilityObjective])
+        assert "MV016" not in rules_found(report)
+
 
 class TestDeltaContractRule:
     def test_mv015_flags_broken_contract(self, clean_model):
@@ -210,5 +228,5 @@ class TestContextAndRegistry:
 
     def test_registry_lists_all_builtin_rules(self):
         registry = model_rule_registry()
-        assert len(registry) == 15
-        assert "MV001" in registry and "MV015" in registry
+        assert len(registry) == 16
+        assert "MV001" in registry and "MV016" in registry

@@ -17,6 +17,7 @@ MODULES = [
     "repro.lint.core", "repro.lint.model_rules", "repro.lint.xadl_rules",
     "repro.lint.code",
     "repro.algorithms.base", "repro.algorithms.engine",
+    "repro.algorithms.compiled",
     "repro.algorithms.exact",
     "repro.algorithms.stochastic", "repro.algorithms.avala",
     "repro.algorithms.decap", "repro.algorithms.bip",
@@ -80,12 +81,12 @@ portfolio's members reuse each other's work.
 `move_delta(model, deployment, component, new_host)` returns
 `evaluate(moved) - evaluate(base)` to 1e-9, and `supports_delta` declares
 whether that delta is served incrementally in O(degree) of the moved
-component.  Availability, latency, communication cost, and security
-implement the fast path; throughput (bottleneck max) and durability
-(lifetime min) declare `supports_delta = False` and the engine transparently
-falls back to two memoized full evaluations.  `WeightedObjective` supports
-the fast path iff all of its terms do.  (`repro.lint` rule MV015 flags
-objectives that declare the fast path without implementing it.)
+component.  All six built-in objectives implement the fast path —
+throughput (bottleneck max) and durability (lifetime min) localize a move
+with per-host-pair demand / per-host draw accumulators keyed on
+`model.version`.  `WeightedObjective` supports the fast path iff all of
+its terms do.  (`repro.lint` rule MV015 flags objectives that declare the
+fast path without implementing it.)
 
 **Budgets and graceful truncation.** Engines accept `max_evaluations`
 and/or `max_seconds`.  When a budget runs out mid-search the engine raises
@@ -111,6 +112,27 @@ historical `register_algorithm`/`register`/`unregister` methods remain as
 deprecation shims.  Registry misuse raises the dedicated
 `RegistryError` family from `repro.core.errors` rather than
 `AnalyzerError`.
+""",
+    "repro.algorithms.compiled": """\
+## Compiled evaluation kernels
+
+`repro.algorithms.compiled` is the evaluation-side view of the object
+model: `compiled_model(model)` snapshots a `DeploymentModel` into a
+`CompiledModel` of integer-indexed flat structures (index maps, CSR
+logical adjacency with per-edge parameter arrays, dense host×host
+reliability/bandwidth/delay/security matrices, per-entity resource
+vectors), invalidated through model-listener events and recompiled
+lazily per generation.  `CompiledDeployment` pairs a host-index array
+with an O(1) incrementally-maintained Zobrist hash.
+`compile_kernel(objective, compiled)` resolves a per-objective kernel by
+exact type (`register_kernel` extends the table); every built-in
+objective has one, all with incremental `move_delta`, and
+`WeightedObjective` composes its terms' kernels.  The
+`EvaluationEngine` routes through kernels automatically
+(`use_kernels=True`), falling back to the object path for custom
+objectives or un-encodable deployments.  `docs/PERFORMANCE.md` covers
+the lifecycle and the measured speedups (`BENCH_compiled.json`);
+lint rule MV016 advises when model size demands the compiled path.
 """,
 }
 
