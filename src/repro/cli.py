@@ -34,16 +34,21 @@ from repro.core import (
     DurabilityObjective, LatencyObjective, MemoryConstraint,
     SecurityObjective, ThroughputObjective,
 )
+from repro.core.errors import FaultPlanError
 from repro.core.framework import CentralizedFramework
 from repro.core.objectives import Objective
 from repro.decentralized import DecentralizedFramework
+from repro.faults import (
+    CAMPAIGNS, SCENARIOS as FAULT_SCENARIOS, generate_campaign, load_plan,
+    run_campaign, save_plan,
+)
 from repro.desi import (
     DeSiModel, ExperimentRunner, Generator, GeneratorConfig, GraphView,
     TableView, xadl,
 )
 from repro.lint import (
     LintReport, Severity, analyze_paths, render_json, render_text,
-    verify_model, verify_xadl_file,
+    verify_fault_plan, verify_model, verify_xadl_file,
 )
 from repro.middleware import DistributedSystem
 from repro.scenarios import (
@@ -224,6 +229,67 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_or_generate_plan(args: argparse.Namespace):
+    if args.plan:
+        return load_plan(args.plan)
+    model = FAULT_SCENARIOS[args.scenario](args.seed).model
+    return generate_campaign(args.campaign, model,
+                             duration=args.duration or 60.0, seed=args.seed)
+
+
+def cmd_faults_run(args: argparse.Namespace) -> int:
+    try:
+        plan = _load_or_generate_plan(args)
+        report = run_campaign(plan, seed=args.seed, scenario=args.scenario,
+                              duration=args.duration,
+                              improve=not args.no_improve)
+    except FaultPlanError as exc:
+        print(f"fault plan rejected: {exc}", file=sys.stderr)
+        return 2
+    document = report.render(include_timing=args.timing)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(document + "\n")
+        print(report.summary())
+        print(f"wrote resilience report to {args.output}")
+    else:
+        print(document)
+    return 0
+
+
+def cmd_faults_generate(args: argparse.Namespace) -> int:
+    try:
+        model = FAULT_SCENARIOS[args.scenario](args.seed).model
+        plan = generate_campaign(args.campaign, model,
+                                 duration=args.duration or 60.0,
+                                 seed=args.seed)
+        plan.validate(model)
+    except FaultPlanError as exc:
+        print(f"campaign generation failed: {exc}", file=sys.stderr)
+        return 2
+    if args.output:
+        save_plan(plan, args.output)
+        print(f"wrote plan {plan.name!r} ({len(plan)} actions) "
+              f"to {args.output}")
+    else:
+        print(plan.to_xml() if args.xml else plan.to_json())
+    return 0
+
+
+def cmd_faults_lint(args: argparse.Namespace) -> int:
+    try:
+        plan = load_plan(args.plan)
+    except FaultPlanError as exc:
+        print(f"fault plan rejected: {exc}", file=sys.stderr)
+        return 2
+    model = (FAULT_SCENARIOS[args.scenario](args.seed).model
+             if args.scenario else None)
+    report = verify_fault_plan(plan, model=model)
+    render = render_json if args.json else render_text
+    print(render(report, f"fault plan {plan.name}"))
+    return report.exit_code(Severity.parse(args.fail_on))
+
+
 SCENARIO_BUILDERS = {
     "crisis": lambda: build_crisis_scenario(),
     "sensorfield": lambda: build_sensor_field(),
@@ -329,6 +395,54 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--replicates", type=int, default=3)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "faults", help="fault-injection campaigns and resilience reports")
+    fsub = p.add_subparsers(dest="faults_command", required=True)
+
+    f = fsub.add_parser("run", help="run a campaign and score resilience")
+    f.add_argument("--plan", help="JSON/XML fault plan file; omit to "
+                                  "generate --campaign on the fly")
+    f.add_argument("--campaign", choices=sorted(CAMPAIGNS),
+                   default="random-churn",
+                   help="generator used when no --plan is given")
+    f.add_argument("--scenario", choices=sorted(FAULT_SCENARIOS),
+                   default="crisis")
+    f.add_argument("--seed", type=int, default=0)
+    f.add_argument("--duration", type=float, default=None,
+                   help="simulated seconds (default: the plan's duration)")
+    f.add_argument("--no-improve", action="store_true",
+                   help="endure only: no monitoring/analysis/redeployment")
+    f.add_argument("--timing", action="store_true",
+                   help="include wall-clock timing in the JSON "
+                        "(breaks byte-for-byte reproducibility)")
+    f.add_argument("-o", "--output",
+                   help="write the ResilienceReport JSON here")
+    f.set_defaults(func=cmd_faults_run)
+
+    f = fsub.add_parser("generate", help="emit a campaign as a plan file")
+    f.add_argument("--campaign", choices=sorted(CAMPAIGNS),
+                   default="random-churn")
+    f.add_argument("--scenario", choices=sorted(FAULT_SCENARIOS),
+                   default="crisis")
+    f.add_argument("--seed", type=int, default=0)
+    f.add_argument("--duration", type=float, default=60.0)
+    f.add_argument("--xml", action="store_true",
+                   help="print xADL-adjacent XML instead of JSON")
+    f.add_argument("-o", "--output",
+                   help="plan output path (.json or .xml)")
+    f.set_defaults(func=cmd_faults_generate)
+
+    f = fsub.add_parser("lint", help="statically verify a fault plan")
+    f.add_argument("plan", help="JSON/XML fault plan file")
+    f.add_argument("--scenario", choices=sorted(FAULT_SCENARIOS),
+                   help="also check host/link references against this "
+                        "scenario's model")
+    f.add_argument("--seed", type=int, default=0)
+    f.add_argument("--json", action="store_true")
+    f.add_argument("--fail-on", choices=["error", "warning", "info"],
+                   default="error")
+    f.set_defaults(func=cmd_faults_lint)
 
     p = sub.add_parser(
         "lint", help="statically verify models or middleware code")

@@ -20,11 +20,14 @@ The platform-dependent half is the Admin/Deployer machinery of
 
 from __future__ import annotations
 
+import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple
 
-from repro.core.errors import EffectorError, PreflightError
+from repro.core.errors import (
+    EffectorError, MigrationTimeoutError, PreflightError,
+)
 from repro.core.model import Deployment, DeploymentModel, Move
 
 
@@ -118,6 +121,10 @@ class EffectReport:
     sim_duration: float = 0.0
     kb_transferred: float = 0.0
     detail: Dict[str, Any] = field(default_factory=dict)
+    #: How many times the whole plan was retried after a failed attempt.
+    retries: int = 0
+    #: Whether a failed plan was rolled back to the pre-plan deployment.
+    rolled_back: bool = False
 
 
 class Effector(ABC):
@@ -186,15 +193,54 @@ class MiddlewareEffector(Effector):
     The heavy lifting — the request/transfer/reconstitute protocol with
     buffering — is the platform-dependent half inside the middleware's
     Admin/Deployer components; this class is the coordination shim that the
-    analyzer talks to.
+    analyzer talks to, **hardened** for the failure environment the paper
+    targets:
+
+    * each enactment attempt is bounded by a per-migration timeout
+      (``max_wait`` simulated seconds; expiry raises
+      :class:`~repro.core.errors.MigrationTimeoutError`, never a
+      silently-partial report);
+    * failed attempts are retried up to ``max_retries`` times with bounded
+      exponential backoff plus seeded jitter — the backoff runs *simulated*
+      time forward, giving partitions a chance to heal and offline queues a
+      chance to flush;
+    * retries are safe because migration is idempotent end to end: the
+      Deployer re-requests only still-missing components, sources keep a
+      serialized copy until the receiver's ack, and receivers discard
+      duplicate transfers while re-acking;
+    * when retries are exhausted and ``transactional`` is set, the plan is
+      rolled back to the exact pre-plan deployment (limbo components are
+      restored to their sources first), so the system is never left
+      somewhere between two deployments.
+
+    What was retried and rolled back is reported in the
+    :class:`EffectReport` (``retries``/``rolled_back`` plus ``detail``),
+    which the raised error also carries as ``.report``.
     """
 
     def __init__(self, system: Any, max_wait: float = 1000.0,
-                 verify: bool = True):
+                 verify: bool = True, max_retries: int = 3,
+                 backoff_base: float = 0.5, backoff_factor: float = 2.0,
+                 backoff_max: float = 30.0, jitter: float = 0.1,
+                 transactional: bool = True, seed: Optional[int] = None):
         self.system = system
         self.max_wait = max_wait
         self.verify = verify
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_factor = backoff_factor
+        self.backoff_max = backoff_max
+        self.jitter = jitter
+        self.transactional = transactional
+        self._rng = random.Random(seed)
         self.history: list = []
+
+    def _backoff(self, retry_index: int) -> float:
+        delay = min(self.backoff_base * self.backoff_factor ** retry_index,
+                    self.backoff_max)
+        if self.jitter:
+            delay *= 1.0 + self.jitter * self._rng.uniform(-1.0, 1.0)
+        return max(delay, 0.0)
 
     def effect(self, plan: RedeploymentPlan,
                force: bool = False) -> EffectReport:
@@ -203,18 +249,53 @@ class MiddlewareEffector(Effector):
             self.history.append(report)
             return report
         self.preflight(self.system.model, plan, force=force)
-        try:
-            stats = self.system.redeploy(plan.target.as_dict(),
-                                         max_wait=self.max_wait)
-        except EffectorError as exc:
-            report = EffectReport(plan, False, 0,
-                                  detail={"error": str(exc)})
+        clock = self.system.clock
+        started = clock.now
+        pre_state = dict(self.system.actual_deployment())
+        retries = 0
+        backoffs: list = []
+        last_error: EffectorError
+        while True:
+            try:
+                stats = self.system.redeploy(plan.target.as_dict(),
+                                             max_wait=self.max_wait)
+            except EffectorError as exc:
+                last_error = exc
+                if retries >= self.max_retries:
+                    break
+                delay = self._backoff(retries)
+                retries += 1
+                backoffs.append(delay)
+                clock.run(delay)  # heal window: partitions may come back
+                continue
+            report = EffectReport(
+                plan, True, stats["moves"],
+                sim_duration=clock.now - started,
+                kb_transferred=stats["kb_transferred"],
+                retries=retries,
+                detail={"backoffs": tuple(backoffs)} if backoffs else {},
+            )
             self.history.append(report)
-            raise
+            return report
+        # Retries exhausted: roll back to the pre-plan deployment.
+        detail: Dict[str, Any] = {"error": str(last_error),
+                                  "backoffs": tuple(backoffs)}
+        rolled_back = False
+        if self.transactional:
+            try:
+                restored = self.system.reset_redeployment()
+                self.system.redeploy(pre_state, max_wait=self.max_wait)
+                rolled_back = True
+                detail["restored_in_place"] = restored
+            except EffectorError as rollback_exc:
+                detail["rollback_error"] = str(rollback_exc)
         report = EffectReport(
-            plan, True, stats["moves"],
-            sim_duration=stats["sim_duration"],
-            kb_transferred=stats["kb_transferred"],
-        )
+            plan, False, 0, sim_duration=clock.now - started,
+            retries=retries, rolled_back=rolled_back, detail=detail)
         self.history.append(report)
-        return report
+        raise MigrationTimeoutError(
+            f"{plan.summary()} failed after {retries} retr"
+            f"{'y' if retries == 1 else 'ies'}"
+            f"{' (rolled back)' if rolled_back else ''}: {last_error}",
+            pending=getattr(last_error, "pending", None),
+            report=report) from last_error

@@ -131,6 +131,24 @@ class MigrationError(EffectorError):
     """A component migration failed mid-flight."""
 
 
+class MigrationTimeoutError(MigrationError):
+    """A redeployment did not converge within its timeout.
+
+    Raised instead of returning a silently-partial
+    :class:`~repro.core.effector.EffectReport`: callers must either see the
+    plan complete or see this error (after the effector has retried and, for
+    transactional plans, rolled back).  Carries the pending moves at expiry
+    and, when raised by :meth:`MiddlewareEffector.effect`, the final
+    ``report`` describing what was retried and rolled back.
+    """
+
+    def __init__(self, message: str, pending: object = None,
+                 report: object = None):
+        super().__init__(message)
+        self.pending = dict(pending) if pending else {}
+        self.report = report
+
+
 class MiddlewareError(ReproError):
     """An error inside the Prism-MW style middleware substrate."""
 
@@ -145,6 +163,15 @@ class XadlError(SerializationError):
     Raised (instead of constructing a broken model) when a document's link
     or deployment elements reference undeclared hosts/components, when
     required attributes are missing, or when entity ids collide.
+    """
+
+
+class FaultPlanError(ReproError):
+    """A fault-injection plan is invalid (unknown refs, bad times, overlap).
+
+    Raised by :meth:`repro.faults.FaultPlan.validate` and by the plan
+    loaders; the lint rules ``FP001``–``FP004`` report the same problems
+    all-at-once without raising.
     """
 
 

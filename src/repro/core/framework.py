@@ -96,7 +96,7 @@ class CentralizedFramework:
         self.analyzer = analyzer if analyzer is not None else Analyzer(
             objective, self.constraints, latency_guard=latency_guard,
             seed=seed)
-        self.effector = MiddlewareEffector(system)
+        self.effector = MiddlewareEffector(system, seed=seed)
         self.monitor_interval = monitor_interval
         self.cycles: List[CycleReport] = []
         self._cycle_task = None

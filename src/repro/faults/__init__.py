@@ -1,0 +1,38 @@
+"""repro.faults: deterministic fault-injection campaigns.
+
+Declarative :class:`FaultPlan` s (JSON / xADL-adjacent XML), a
+clock-scheduled :class:`FaultInjector`, model-derived campaign
+generators, and the :class:`ResilienceReport` harness that scores how a
+live system — and its hardened, self-healing redeployment path — copes.
+"""
+
+from repro.faults.campaigns import (
+    CAMPAIGNS, generate_campaign, host_traffic, random_churn,
+    rolling_partitions, targeted_attack, worst_host,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    FaultAction, FaultPlan, KINDS, load_plan, save_plan,
+)
+from repro.faults.report import (
+    ResilienceReport, SCENARIOS, run_campaign,
+)
+
+__all__ = [
+    "CAMPAIGNS",
+    "FaultAction",
+    "FaultInjector",
+    "FaultPlan",
+    "KINDS",
+    "ResilienceReport",
+    "SCENARIOS",
+    "generate_campaign",
+    "host_traffic",
+    "load_plan",
+    "random_churn",
+    "rolling_partitions",
+    "run_campaign",
+    "save_plan",
+    "targeted_attack",
+    "worst_host",
+]

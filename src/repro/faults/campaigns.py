@@ -1,0 +1,192 @@
+"""Campaign generators: model-derived :class:`FaultPlan` factories.
+
+Three canonical stressors for the paper's evaluation scenarios, all pure
+functions of (model, parameters, seed) so a campaign regenerates
+identically anywhere:
+
+* :func:`random_churn` — seeded random link churn: flaps, loss bursts,
+  and transient host crashes spread over the campaign, the "fluctuating
+  wireless field" regime of Section 5;
+* :func:`rolling_partitions` — deterministic rolling network splits,
+  isolating one host group after another, the disconnection scenario the
+  redeployment algorithms exist to survive;
+* :func:`targeted_attack` — derives the *worst* host from the model (the
+  one carrying the most interaction traffic, frequency x event size of
+  every logical link touching its deployed components) and takes it down
+  for most of the campaign — the adversarial upper bound on availability
+  loss.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.errors import FaultPlanError
+from repro.core.model import DeploymentModel
+from repro.faults.plan import FaultAction, FaultPlan
+
+
+def _link_targets(model: DeploymentModel) -> Tuple[Tuple[str, str], ...]:
+    return tuple(tuple(sorted(link.hosts))
+                 for link in model.physical_links)
+
+
+def host_traffic(model: DeploymentModel) -> Dict[str, float]:
+    """Interaction traffic carried by each host: the sum of
+    ``frequency * evt_size`` over logical links whose endpoints are
+    deployed on it (links internal to a host count once)."""
+    deployment = model.deployment.as_dict()
+    traffic = {host: 0.0 for host in model.host_ids}
+    for comp_a, comp_b, link in model.interaction_pairs():
+        volume = (link.frequency or 0.0) * (link.evt_size or 0.0)
+        hosts = {deployment.get(comp_a), deployment.get(comp_b)}
+        for host in hosts:
+            if host in traffic:
+                traffic[host] += volume
+    return traffic
+
+
+def worst_host(model: DeploymentModel,
+               exclude: Iterable[str] = ()) -> str:
+    """The host whose loss removes the most interaction traffic."""
+    traffic = host_traffic(model)
+    excluded = set(exclude)
+    candidates = [h for h in model.host_ids if h not in excluded]
+    if not candidates:
+        raise FaultPlanError("no candidate hosts left after exclusions")
+    # Ties break on host id so the choice is deterministic.
+    return max(candidates, key=lambda h: (traffic[h], h))
+
+
+def random_churn(model: DeploymentModel, duration: float, seed: int,
+                 events: int = 12,
+                 crash_fraction: float = 0.25,
+                 exclude_hosts: Iterable[str] = ()) -> FaultPlan:
+    """Seeded random churn: link flaps, loss bursts, and short host
+    crashes scattered across the campaign.
+
+    Args:
+        events: Total number of fault events to generate.
+        crash_fraction: Share of events that are host crashes (the rest
+            split between flaps and loss bursts).
+        exclude_hosts: Hosts never crashed (e.g. the master).
+    """
+    rng = random.Random(seed)
+    links = _link_targets(model)
+    if not links:
+        raise FaultPlanError("model has no physical links to churn")
+    excluded = set(exclude_hosts)
+    crashable = [h for h in model.host_ids if h not in excluded]
+    actions: List[FaultAction] = []
+    for _ in range(events):
+        time = round(rng.uniform(0.0, duration * 0.8), 3)
+        roll = rng.random()
+        if roll < crash_fraction and crashable:
+            host = rng.choice(crashable)
+            outage = round(rng.uniform(duration * 0.05, duration * 0.15), 3)
+            actions.append(FaultAction(time, "host_crash", (host,),
+                                       {"duration": outage}))
+        elif roll < crash_fraction + (1.0 - crash_fraction) / 2.0:
+            link = rng.choice(links)
+            period = round(rng.uniform(1.0, 4.0), 3)
+            count = rng.randint(2, 5)
+            actions.append(FaultAction(time, "flap", link,
+                                       {"period": period, "count": count}))
+        else:
+            link = rng.choice(links)
+            value = round(rng.uniform(0.0, 0.3), 3)
+            burst = round(rng.uniform(duration * 0.05, duration * 0.2), 3)
+            actions.append(FaultAction(time, "loss_burst", link,
+                                       {"value": value, "duration": burst}))
+    return FaultPlan(name=f"random-churn-s{seed}", duration=duration,
+                     actions=actions)
+
+
+def rolling_partitions(model: DeploymentModel, duration: float,
+                       group_size: int = 1,
+                       hold: Optional[float] = None,
+                       gap: Optional[float] = None,
+                       exclude_hosts: Iterable[str] = ()) -> FaultPlan:
+    """Partition one host group after another across the campaign.
+
+    Groups of *group_size* hosts (in host-id order, skipping
+    *exclude_hosts*) are isolated in sequence; each partition holds for
+    *hold* seconds and the next begins *gap* seconds after the previous
+    heals.  Defaults spread the rolling cut evenly over *duration*.
+    """
+    hosts = [h for h in model.host_ids if h not in set(exclude_hosts)]
+    if group_size < 1:
+        raise FaultPlanError("group_size must be >= 1")
+    groups = [tuple(hosts[i:i + group_size])
+              for i in range(0, len(hosts), group_size)]
+    # Isolating *every* host is just a full outage; drop a trailing group
+    # that would leave nothing on the other side of the cut.
+    groups = [g for g in groups if len(g) < len(model.host_ids)]
+    if not groups:
+        raise FaultPlanError("no host groups to partition")
+    slot = duration / len(groups)
+    if hold is None:
+        hold = slot * 0.6
+    if gap is None:
+        gap = slot - hold
+    if hold <= 0 or hold + max(gap, 0.0) > slot + 1e-9:
+        raise FaultPlanError(
+            f"hold {hold:g} + gap {gap:g} does not fit the "
+            f"{slot:g} s slot per group")
+    actions = [FaultAction(round(i * slot, 6), "partition", group,
+                           {"duration": round(hold, 6)})
+               for i, group in enumerate(groups)]
+    return FaultPlan(name=f"rolling-partitions-g{group_size}",
+                     duration=duration, actions=actions)
+
+
+def targeted_attack(model: DeploymentModel, duration: float,
+                    strikes: int = 2,
+                    exclude_hosts: Sequence[str] = (),
+                    victim: Optional[str] = None) -> FaultPlan:
+    """Crash the highest-traffic host repeatedly for most of the campaign.
+
+    The victim is derived from the model via :func:`worst_host` unless
+    given explicitly.  *strikes* crashes are spread over the campaign,
+    each holding the victim down for ~60% of its slot — long enough that
+    only redeployment (not patience) recovers the lost availability.
+    """
+    if strikes < 1:
+        raise FaultPlanError("strikes must be >= 1")
+    target = victim if victim is not None \
+        else worst_host(model, exclude=exclude_hosts)
+    if not model.has_host(target):
+        raise FaultPlanError(f"unknown victim host {target!r}")
+    slot = duration / strikes
+    actions = [FaultAction(round(i * slot + slot * 0.1, 6), "host_crash",
+                           (target,), {"duration": round(slot * 0.6, 6)})
+               for i in range(strikes)]
+    return FaultPlan(name=f"targeted-attack-{target}", duration=duration,
+                     actions=actions)
+
+
+#: Registry for the CLI's ``faults generate`` verb.
+CAMPAIGNS = {
+    "random-churn": random_churn,
+    "rolling-partitions": rolling_partitions,
+    "targeted-attack": targeted_attack,
+}
+
+
+def generate_campaign(name: str, model: DeploymentModel, duration: float,
+                      seed: int = 0, **kwargs) -> FaultPlan:
+    """Build the named campaign for *model* (CLI entry point).
+
+    Only :func:`random_churn` is stochastic; the seed is ignored by the
+    deterministic generators.
+    """
+    try:
+        factory = CAMPAIGNS[name]
+    except KeyError:
+        raise FaultPlanError(
+            f"unknown campaign {name!r}; expected one of "
+            f"{', '.join(sorted(CAMPAIGNS))}") from None
+    if factory is random_churn:
+        return factory(model, duration, seed, **kwargs)
+    return factory(model, duration, **kwargs)

@@ -1,0 +1,355 @@
+"""Declarative fault-injection plans.
+
+The paper's premise is that "network disconnections during system
+execution", bandwidth fluctuation, and unreliable links are the *normal*
+operating regime (Section 1) — yet a reproduction that can only wait for
+:mod:`repro.sim.fluctuation` to roll bad dice cannot script the paper's
+failure scenarios on demand, let alone reproduce them bit-for-bit.  A
+:class:`FaultPlan` fixes that: an ordered list of timed
+:class:`FaultAction` s (host crash/restart, link partition/heal,
+reliability/bandwidth degradation, link flapping, correlated loss bursts)
+that :class:`~repro.faults.injector.FaultInjector` schedules on the
+:class:`~repro.sim.clock.SimClock`, so a campaign is a pure function of
+(plan, seed).
+
+Plans are data, not code: they round-trip through JSON and through an
+xADL-adjacent XML form (``<faultPlan>``), can be produced by the campaign
+generators of :mod:`repro.faults.campaigns`, and are statically verified by
+the ``FP001``–``FP004`` lint rules before anything is armed.
+"""
+
+from __future__ import annotations
+
+import json
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from repro.core.errors import FaultPlanError
+from repro.core.model import DeploymentModel
+
+#: Action kinds targeting a single host.
+HOST_KINDS = frozenset({"host_crash", "host_restart"})
+#: Action kinds targeting one link (a pair of endpoints).
+LINK_KINDS = frozenset({"link_down", "link_up", "set_reliability",
+                        "set_bandwidth", "flap", "loss_burst"})
+#: Action kinds targeting a host group (one side of a cut).
+GROUP_KINDS = frozenset({"partition", "heal"})
+KINDS = HOST_KINDS | LINK_KINDS | GROUP_KINDS
+
+#: Parameter names with a duration/period meaning (must be non-negative).
+_TIMELIKE_PARAMS = ("duration", "period")
+
+
+def _freeze(params: Mapping[str, Any]) -> Tuple[Tuple[str, Any], ...]:
+    out = []
+    for key in sorted(params):
+        value = params[key]
+        if isinstance(value, (list, tuple)):
+            value = tuple(value)
+        out.append((key, value))
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One timed fault: *kind* applied to *target* at simulated *time*.
+
+    ``target`` is ``(host,)`` for host kinds, ``(end_a, end_b)`` for link
+    kinds, and the host group (one side of the cut) for ``partition`` /
+    ``heal``.  ``params`` carries kind-specific knobs:
+
+    * ``set_reliability`` / ``set_bandwidth`` — ``value``;
+    * ``loss_burst`` — ``value`` (degraded reliability) and ``duration``;
+    * ``flap`` — ``period`` (one full down+up cycle) and ``count``;
+    * ``partition`` — optional ``duration`` (auto-heal after it elapses);
+    * ``host_crash`` — optional ``duration`` (auto-restart).
+    """
+
+    time: float
+    kind: str
+    target: Tuple[str, ...] = ()
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def __init__(self, time: float, kind: str,
+                 target: Sequence[str] = (),
+                 params: Optional[Mapping[str, Any]] = None,
+                 **kwargs: Any):
+        object.__setattr__(self, "time", float(time))
+        object.__setattr__(self, "kind", kind)
+        object.__setattr__(self, "target", tuple(target))
+        merged = dict(params or {})
+        merged.update(kwargs)
+        object.__setattr__(self, "params", _freeze(merged))
+
+    @property
+    def param_map(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    def param(self, name: str, default: Any = None) -> Any:
+        return self.param_map.get(name, default)
+
+    @property
+    def end_time(self) -> float:
+        """When the action's *effect* ends (start time for instant kinds)."""
+        extent = 0.0
+        params = self.param_map
+        duration = params.get("duration")
+        if duration is not None:
+            extent = max(extent, float(duration))
+        if self.kind == "flap":
+            extent = max(extent, float(params.get("period", 1.0))
+                         * int(params.get("count", 1)))
+        return self.time + extent
+
+    def problems(self) -> Tuple[str, ...]:
+        """Structural problems with this action alone (no model needed)."""
+        out = []
+        if self.kind not in KINDS:
+            out.append(f"unknown action kind {self.kind!r}")
+            return tuple(out)
+        if self.time < 0:
+            out.append(f"negative action time {self.time:g}")
+        if self.kind in HOST_KINDS and len(self.target) != 1:
+            out.append(f"{self.kind} needs exactly one target host, "
+                       f"got {list(self.target)!r}")
+        if self.kind in LINK_KINDS and len(self.target) != 2:
+            out.append(f"{self.kind} needs a (host, host) link target, "
+                       f"got {list(self.target)!r}")
+        if self.kind in GROUP_KINDS and not self.target:
+            out.append(f"{self.kind} needs a non-empty host group")
+        params = self.param_map
+        for name in _TIMELIKE_PARAMS:
+            value = params.get(name)
+            if value is not None and float(value) < 0:
+                out.append(f"negative {name} {float(value):g}")
+        if self.kind in ("set_reliability", "set_bandwidth", "loss_burst") \
+                and "value" not in params:
+            out.append(f"{self.kind} requires a 'value' parameter")
+        if self.kind == "loss_burst" and "duration" not in params:
+            out.append("loss_burst requires a 'duration' parameter")
+        if self.kind == "flap":
+            if float(params.get("period", 1.0)) <= 0:
+                out.append("flap period must be positive")
+            if int(params.get("count", 1)) < 1:
+                out.append("flap count must be >= 1")
+        return tuple(out)
+
+    def as_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"time": self.time, "kind": self.kind,
+                               "target": list(self.target)}
+        if self.params:
+            out["params"] = {k: (list(v) if isinstance(v, tuple) else v)
+                             for k, v in self.params}
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultAction":
+        try:
+            return cls(time=data["time"], kind=data["kind"],
+                       target=data.get("target") or (),
+                       params=data.get("params") or {})
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FaultPlanError(f"malformed fault action {data!r}: {exc}") \
+                from exc
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, bounded campaign of fault actions.
+
+    Construction is lenient (so the lint rules can report *every* problem
+    of a loaded plan at once); :meth:`validate` is the strict gate the
+    injector runs before arming.
+    """
+
+    name: str
+    duration: float
+    actions: Tuple[FaultAction, ...] = field(default_factory=tuple)
+
+    def __init__(self, name: str, duration: float,
+                 actions: Iterable[FaultAction] = ()):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "duration", float(duration))
+        object.__setattr__(self, "actions", tuple(
+            sorted(actions, key=lambda a: (a.time, a.kind, a.target))))
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+    def __iter__(self):
+        return iter(self.actions)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.actions
+
+    def problems(self, model: Optional[DeploymentModel] = None,
+                 ) -> Tuple[str, ...]:
+        """Every structural problem in the plan (and, given *model*,
+        every dangling host/link reference)."""
+        out = []
+        if self.duration < 0:
+            out.append(f"negative campaign duration {self.duration:g}")
+        for action in self.actions:
+            prefix = f"t={action.time:g} {action.kind}: "
+            out.extend(prefix + p for p in action.problems())
+            if action.time > self.duration:
+                out.append(prefix + "scheduled after the campaign end "
+                           f"({self.duration:g})")
+            if model is not None:
+                out.extend(prefix + p
+                           for p in reference_problems(action, model))
+        return tuple(out)
+
+    def validate(self, model: Optional[DeploymentModel] = None) -> None:
+        """Raise :class:`FaultPlanError` listing every problem found."""
+        problems = self.problems(model)
+        if problems:
+            shown = "; ".join(problems[:5])
+            more = len(problems) - 5
+            if more > 0:
+                shown += f"; ... and {more} more"
+            raise FaultPlanError(
+                f"fault plan {self.name!r} is invalid: {shown}")
+
+    # -- serialization ----------------------------------------------------
+    def as_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "duration": self.duration,
+                "actions": [a.as_dict() for a in self.actions]}
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        try:
+            name = data["name"]
+            duration = data["duration"]
+        except KeyError as exc:
+            raise FaultPlanError(
+                f"fault plan is missing required key {exc.args[0]!r}") \
+                from exc
+        actions = [FaultAction.from_dict(item)
+                   for item in data.get("actions") or ()]
+        return cls(name=name, duration=duration, actions=actions)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultPlanError(f"fault plan is not valid JSON: {exc}") \
+                from exc
+        if not isinstance(data, Mapping):
+            raise FaultPlanError("fault plan JSON must be an object")
+        return cls.from_dict(data)
+
+    # -- xADL-adjacent XML ------------------------------------------------
+    def to_xml(self) -> str:
+        root = ET.Element("faultPlan",
+                          {"name": self.name,
+                           "duration": repr(self.duration)})
+        for action in self.actions:
+            attrs = {"time": repr(action.time), "kind": action.kind,
+                     "target": ",".join(action.target)}
+            for key, value in action.params:
+                if isinstance(value, tuple):
+                    value = ",".join(str(v) for v in value)
+                attrs[key] = str(value)
+            ET.SubElement(root, "action", attrs)
+        ET.indent(root)
+        return ET.tostring(root, encoding="unicode")
+
+    @classmethod
+    def from_xml(cls, text: str) -> "FaultPlan":
+        try:
+            root = ET.fromstring(text)
+        except ET.ParseError as exc:
+            raise FaultPlanError(f"fault plan is not well-formed XML: {exc}") \
+                from exc
+        if root.tag != "faultPlan":
+            raise FaultPlanError(
+                f"expected a <faultPlan> root, got <{root.tag}>")
+        if "name" not in root.attrib or "duration" not in root.attrib:
+            raise FaultPlanError(
+                "<faultPlan> requires 'name' and 'duration' attributes")
+        actions = []
+        for element in root:
+            if element.tag != "action":
+                continue
+            attrs = dict(element.attrib)
+            try:
+                time = float(attrs.pop("time"))
+                kind = attrs.pop("kind")
+            except KeyError as exc:
+                raise FaultPlanError(
+                    f"<action> is missing attribute {exc.args[0]!r}") \
+                    from exc
+            target = tuple(t for t in attrs.pop("target", "").split(",") if t)
+            params: Dict[str, Any] = {}
+            for key, raw in attrs.items():
+                params[key] = _parse_xml_value(key, raw)
+            actions.append(FaultAction(time=time, kind=kind, target=target,
+                                       params=params))
+        try:
+            duration = float(root.attrib["duration"])
+        except ValueError as exc:
+            raise FaultPlanError(f"bad campaign duration: {exc}") from exc
+        return cls(name=root.attrib["name"], duration=duration,
+                   actions=actions)
+
+
+def _parse_xml_value(key: str, raw: str) -> Any:
+    if key == "count":
+        try:
+            return int(raw)
+        except ValueError as exc:
+            raise FaultPlanError(f"bad integer for {key!r}: {raw!r}") from exc
+    try:
+        return float(raw)
+    except ValueError:
+        return raw
+
+
+def reference_problems(action: FaultAction,
+                       model: DeploymentModel) -> Tuple[str, ...]:
+    """Dangling host/link references of *action* against *model*."""
+    out = []
+    if action.kind in HOST_KINDS or action.kind in GROUP_KINDS:
+        for host in action.target:
+            if not model.has_host(host):
+                out.append(f"unknown host {host!r}")
+    elif action.kind in LINK_KINDS and len(action.target) == 2:
+        a, b = action.target
+        for host in (a, b):
+            if not model.has_host(host):
+                out.append(f"unknown host {host!r}")
+        if (model.has_host(a) and model.has_host(b)
+                and model.physical_link(a, b) is None):
+            out.append(f"no physical link {a!r}<->{b!r} in the model")
+    return tuple(out)
+
+
+def load_plan(path: str) -> FaultPlan:
+    """Load a plan from a ``.json`` or ``.xml`` file (by extension, with a
+    content sniff fallback)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    lower = path.lower()
+    if lower.endswith(".xml"):
+        return FaultPlan.from_xml(text)
+    if lower.endswith(".json"):
+        return FaultPlan.from_json(text)
+    stripped = text.lstrip()
+    if stripped.startswith("<"):
+        return FaultPlan.from_xml(text)
+    return FaultPlan.from_json(text)
+
+
+def save_plan(plan: FaultPlan, path: str) -> None:
+    """Write *plan* as JSON or XML depending on the file extension."""
+    document = plan.to_xml() if path.lower().endswith(".xml") \
+        else plan.to_json()
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(document + "\n")

@@ -1,0 +1,283 @@
+"""Resilience scoring: run a fault campaign against a live system.
+
+:func:`run_campaign` is the end-to-end harness behind
+``python -m repro faults run``: it builds a scenario system, arms a
+:class:`~repro.faults.injector.FaultInjector` with the given plan,
+drives the interaction workload (and, unless disabled, the closed
+improvement loop with its hardened effector), and distills the run into
+a :class:`ResilienceReport`:
+
+* **delivered availability** — the ground-truth fraction of application
+  events that arrived, against the **model-predicted** availability of
+  the final deployment over the final link parameters (the paper's
+  central number, Section 4's availability function);
+* **migration health** — redeployments attempted/succeeded, total
+  effector retries and rollbacks, middleware-level retransmissions and
+  source-side restores;
+* **mean time to recover** — the average injected-outage duration
+  actually experienced (auto-heals, heals, restarts), plus the average
+  simulated duration of successful redeployments.
+
+Reports are deterministic: the same (plan, seed) renders byte-identical
+JSON (wall-clock timing is excluded unless asked for), which the
+reproducibility test asserts and the CI smoke job archives.
+"""
+
+from __future__ import annotations
+
+import json
+import time as _time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.core import AvailabilityObjective
+from repro.core.errors import FaultPlanError
+from repro.core.framework import CentralizedFramework
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.middleware.runtime import AppComponent, DistributedSystem
+from repro.scenarios import (
+    CrisisConfig, build_client_server, build_crisis_scenario,
+    build_sensor_field,
+)
+from repro.sim import InteractionWorkload, SimClock
+
+#: Scenario builders usable by the harness and the CLI's ``faults`` verb.
+#: Each returns an object with ``model``/``constraints`` (and optionally
+#: ``user_input`` and a master-host attribute such as ``hq``).
+SCENARIOS: Dict[str, Callable[[Optional[int]], Any]] = {
+    "crisis": lambda seed: build_crisis_scenario(CrisisConfig(seed=seed)),
+    "sensorfield": lambda seed: build_sensor_field(seed=seed),
+    "clientserver": lambda seed: build_client_server(seed=seed),
+}
+
+
+@dataclass
+class ResilienceReport:
+    """What a fault campaign did to the system, and how it coped."""
+
+    plan_name: str
+    scenario: str
+    seed: int
+    duration: float
+    improvement_loop: bool
+    # Availability.
+    events_sent: int
+    events_received: int
+    emissions_skipped: int
+    delivered_availability: float
+    modeled_availability: float
+    # Fault pressure.
+    faults_injected: int
+    faults_by_kind: Dict[str, int]
+    outages: int
+    mean_outage_duration: float
+    # Migration health.
+    migrations_attempted: int
+    migrations_succeeded: int
+    migration_success_rate: float
+    effector_retries: int
+    rollbacks: int
+    retransmissions: int
+    restores: int
+    mean_recovery_time: float
+    # Wall-clock cost (timing; excluded from canonical renders).
+    wall_seconds: float = 0.0
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def availability_gap(self) -> float:
+        """Delivered minus modeled: negative when reality underperforms
+        the model's prediction."""
+        return self.delivered_availability - self.modeled_availability
+
+    def as_dict(self, include_timing: bool = False) -> Dict[str, Any]:
+        out = {
+            "plan": self.plan_name,
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "duration": self.duration,
+            "improvement_loop": self.improvement_loop,
+            "availability": {
+                "events_sent": self.events_sent,
+                "events_received": self.events_received,
+                "emissions_skipped": self.emissions_skipped,
+                "delivered": round(self.delivered_availability, 9),
+                "modeled": round(self.modeled_availability, 9),
+                "gap": round(self.availability_gap, 9),
+            },
+            "faults": {
+                "injected": self.faults_injected,
+                "by_kind": dict(sorted(self.faults_by_kind.items())),
+                "outages": self.outages,
+                "mean_outage_duration": round(self.mean_outage_duration, 9),
+            },
+            "migrations": {
+                "attempted": self.migrations_attempted,
+                "succeeded": self.migrations_succeeded,
+                "success_rate": round(self.migration_success_rate, 9),
+                "effector_retries": self.effector_retries,
+                "rollbacks": self.rollbacks,
+                "retransmissions": self.retransmissions,
+                "restores": self.restores,
+                "mean_recovery_time": round(self.mean_recovery_time, 9),
+            },
+        }
+        if self.detail:
+            out["detail"] = self.detail
+        if include_timing:
+            out["timing"] = {"wall_seconds": self.wall_seconds}
+        return out
+
+    def render(self, include_timing: bool = False, indent: int = 2) -> str:
+        """Canonical JSON; byte-identical across runs of the same
+        (plan, seed) when timing is excluded (the default)."""
+        return json.dumps(self.as_dict(include_timing=include_timing),
+                          indent=indent, sort_keys=True)
+
+    def summary(self) -> str:
+        return (f"{self.plan_name} on {self.scenario} (seed {self.seed}): "
+                f"delivered {self.delivered_availability:.3f} vs modeled "
+                f"{self.modeled_availability:.3f}; "
+                f"{self.migrations_succeeded}/{self.migrations_attempted} "
+                f"migrations, {self.effector_retries} retries, "
+                f"{self.rollbacks} rollbacks")
+
+
+def _delivery_counts(system: DistributedSystem) -> Dict[str, int]:
+    sent = received = 0
+    for architecture in system.architectures.values():
+        for component in architecture.components:
+            if isinstance(component, AppComponent):
+                sent += component.sent_count
+                received += component.received_count
+    return {"sent": sent, "received": received}
+
+
+def run_campaign(plan: FaultPlan, seed: int = 0, scenario: str = "crisis",
+                 duration: Optional[float] = None, improve: bool = True,
+                 monitor_interval: float = 2.0,
+                 cycles_per_analysis: int = 2,
+                 system_factory: Optional[
+                     Callable[[SimClock, int], DistributedSystem]] = None,
+                 ) -> ResilienceReport:
+    """Execute *plan* against a freshly built scenario system.
+
+    Args:
+        plan: The fault campaign (validated against the scenario model
+            before arming).
+        seed: Master seed: network loss trials, workload phases, analyzer
+            and effector jitter all derive from it, so the report is a
+            pure function of (plan, seed).
+        scenario: One of :data:`SCENARIOS` (ignored with
+            *system_factory*).
+        duration: Simulated seconds to run; defaults to the plan's.
+        improve: Run the closed improvement loop (monitoring, analysis,
+            redeployment).  With ``False`` the system only endures —
+            the baseline for the with/without-redeployment experiment.
+        system_factory: Optional ``(clock, seed) -> DistributedSystem``
+            override for custom topologies (tests use tiny ones).
+    """
+    started_wall = _time.perf_counter()
+    run_for = plan.duration if duration is None else float(duration)
+    clock = SimClock()
+    framework: Optional[CentralizedFramework] = None
+    objective = AvailabilityObjective()
+    if system_factory is not None:
+        system = system_factory(clock, seed)
+        scenario_name = "custom"
+        model = system.model
+    else:
+        try:
+            built = SCENARIOS[scenario](seed)
+        except KeyError:
+            raise FaultPlanError(
+                f"unknown scenario {scenario!r}; expected one of "
+                f"{', '.join(sorted(SCENARIOS))}") from None
+        scenario_name = scenario
+        model = built.model
+        master = getattr(built, "hq", None)
+        system = DistributedSystem(model, clock, master_host=master,
+                                   seed=seed)
+        if improve:
+            framework = CentralizedFramework(
+                system, objective, built.constraints,
+                user_input=getattr(built, "user_input", None),
+                monitor_interval=monitor_interval, seed=seed)
+    if improve and framework is None and system_factory is not None \
+            and system.deployer is not None:
+        framework = CentralizedFramework(
+            system, objective, monitor_interval=monitor_interval, seed=seed)
+
+    injector = FaultInjector(system.network, plan, model=model)
+    injector.arm()
+    workload = InteractionWorkload(model, clock, system.emit,
+                                   seed=seed + 1).start()
+    if framework is not None:
+        framework.start(cycles_per_analysis=cycles_per_analysis)
+
+    clock.run(run_for)
+
+    workload.stop()
+    if framework is not None:
+        framework.stop()
+    injector.disarm()
+
+    counts = _delivery_counts(system)
+    delivered = (counts["received"] / counts["sent"]
+                 if counts["sent"] else 1.0)
+    system.network.apply_to_model(model)
+    final_deployment = system.actual_deployment()
+    modeled = objective.evaluate(model, final_deployment)
+    # Post-campaign sanity: whatever the faults did, the system must end
+    # statically valid — every component on exactly one live host.
+    from repro.lint.model_rules import verify_deployment
+    post_lint = verify_deployment(model, final_deployment)
+
+    faults_by_kind: Dict[str, int] = {}
+    for entry in injector.log:
+        faults_by_kind[entry["kind"]] = \
+            faults_by_kind.get(entry["kind"], 0) + 1
+    outage_durations = [end - start
+                        for __, __, start, end in injector.outages]
+    outage_durations += [clock.now - start
+                         for __, __, start in injector.open_outages()]
+    mean_outage = (sum(outage_durations) / len(outage_durations)
+                   if outage_durations else 0.0)
+
+    history = framework.effector.history if framework is not None else []
+    attempted = len(history)
+    succeeded = sum(1 for r in history if r.succeeded)
+    recovery_times = [r.sim_duration for r in history
+                      if r.succeeded and r.moves_executed]
+    retransmissions = sum(a.retransmissions for a in system.admins.values())
+    restores = sum(a.restores for a in system.admins.values())
+
+    wall = _time.perf_counter() - started_wall
+    return ResilienceReport(
+        plan_name=plan.name,
+        scenario=scenario_name,
+        seed=seed,
+        duration=run_for,
+        improvement_loop=framework is not None,
+        events_sent=counts["sent"],
+        events_received=counts["received"],
+        emissions_skipped=system.emissions_skipped,
+        delivered_availability=delivered,
+        modeled_availability=modeled,
+        faults_injected=injector.actions_applied,
+        faults_by_kind=faults_by_kind,
+        outages=len(outage_durations),
+        mean_outage_duration=mean_outage,
+        migrations_attempted=attempted,
+        migrations_succeeded=succeeded,
+        migration_success_rate=(succeeded / attempted if attempted else 1.0),
+        effector_retries=sum(r.retries for r in history),
+        rollbacks=sum(1 for r in history if r.rolled_back),
+        retransmissions=retransmissions,
+        restores=restores,
+        mean_recovery_time=(sum(recovery_times) / len(recovery_times)
+                            if recovery_times else 0.0),
+        wall_seconds=wall,
+        detail={"post_lint_errors": len(post_lint.errors)},
+    )

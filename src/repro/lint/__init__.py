@@ -22,6 +22,10 @@ from repro.lint.core import (
     Finding, LintReport, Rule, RuleRegistry, Severity, render_json,
     render_text,
 )
+from repro.lint.fault_rules import (
+    FAULT_RULES, FaultPlanLintContext, FaultPlanRule, fault_rule_registry,
+    verify_fault_plan,
+)
 from repro.lint.model_rules import (
     MODEL_RULES, ModelLintContext, ModelRule, default_objectives,
     model_rule_registry, verify_deployment, verify_model,
@@ -35,6 +39,9 @@ __all__ = [
     "CodeLintContext",
     "CodeRule",
     "DOCUMENT_RULES",
+    "FAULT_RULES",
+    "FaultPlanLintContext",
+    "FaultPlanRule",
     "Finding",
     "LintReport",
     "MODEL_RULES",
@@ -47,11 +54,13 @@ __all__ = [
     "analyze_source",
     "code_rule_registry",
     "default_objectives",
+    "fault_rule_registry",
     "iter_python_files",
     "model_rule_registry",
     "render_json",
     "render_text",
     "verify_deployment",
+    "verify_fault_plan",
     "verify_model",
     "verify_xadl_file",
     "verify_xadl_source",

@@ -1,0 +1,151 @@
+"""Pillar 1b — the fault-plan verifier: static rules over fault campaigns.
+
+A :class:`~repro.faults.plan.FaultPlan` is an architecture-adjacent
+document just like a deployment model, and it deserves the same
+discipline: verify it *before* arming an injector, not by watching a
+campaign misbehave.  These rules (``FP001``–``FP004``) run through the
+same engine as the model verifier, so they compose with custom
+registries, text/JSON rendering, and severity thresholds.
+
+Division of labor with :meth:`FaultPlan.validate`: ``validate`` is the
+strict all-or-nothing gate the injector calls (it raises on *any*
+structural problem); the lint rules are the reporting surface — they
+classify problems by rule id and severity so a CLI/CI run can list every
+issue in every plan at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple, Type
+
+from repro.core.model import DeploymentModel
+from repro.faults.plan import FaultPlan, reference_problems
+from repro.lint.core import (
+    Finding, LintReport, Rule, RuleRegistry, Severity,
+)
+
+
+@dataclass
+class FaultPlanLintContext:
+    """A plan, optionally paired with the model it will run against."""
+
+    plan: FaultPlan
+    model: Optional[DeploymentModel] = None
+
+
+class FaultPlanRule(Rule):
+    """Base class for rules over :class:`FaultPlanLintContext`."""
+
+    def check(self, context: FaultPlanLintContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+def _subject(context: FaultPlanLintContext, action) -> str:
+    return (f"plan {context.plan.name!r} t={action.time:g} "
+            f"{action.kind}({', '.join(action.target)})")
+
+
+class UnknownFaultTargetRule(FaultPlanRule):
+    rule_id = "FP001"
+    severity = Severity.ERROR
+    description = ("Fault actions must reference hosts and physical links "
+                   "that exist in the model; a dangling target makes the "
+                   "injector refuse to arm (only runs with a model).")
+
+    def check(self, context: FaultPlanLintContext) -> Iterable[Finding]:
+        if context.model is None:
+            return
+        for action in context.plan.actions:
+            for problem in reference_problems(action, context.model):
+                yield self.finding(problem,
+                                   subject=_subject(context, action))
+
+
+class OverlappingPartitionsRule(FaultPlanRule):
+    rule_id = "FP002"
+    severity = Severity.WARNING
+    description = ("Partitions whose active intervals overlap interfere: "
+                   "the second cut snapshots links the first already "
+                   "severed, so heals can restore a state that never "
+                   "existed.  Stagger them or merge the groups.")
+
+    def check(self, context: FaultPlanLintContext) -> Iterable[Finding]:
+        plan = context.plan
+        intervals: List[Tuple[float, float, object]] = []
+        for action in plan.actions:
+            if action.kind != "partition":
+                continue
+            duration = action.param("duration")
+            end = (action.time + float(duration) if duration is not None
+                   else plan.duration)
+            intervals.append((action.time, end, action))
+        intervals.sort(key=lambda item: item[0])
+        for (start_a, end_a, act_a), (start_b, end_b, act_b) in zip(
+                intervals, intervals[1:]):
+            if start_b < end_a:
+                yield self.finding(
+                    f"overlaps the partition of {act_a.target} active "
+                    f"[{start_a:g}, {end_a:g})",
+                    subject=_subject(context, act_b))
+
+
+class NegativeTimeRule(FaultPlanRule):
+    rule_id = "FP003"
+    severity = Severity.ERROR
+    description = ("Action times, durations, and flap periods must be "
+                   "non-negative; the clock cannot schedule into the past.")
+
+    def check(self, context: FaultPlanLintContext) -> Iterable[Finding]:
+        if context.plan.duration < 0:
+            yield self.finding(
+                f"negative campaign duration {context.plan.duration:g}",
+                subject=f"plan {context.plan.name!r}")
+        for action in context.plan.actions:
+            for problem in action.problems():
+                if "negative" in problem:
+                    yield self.finding(problem,
+                                       subject=_subject(context, action))
+
+
+class ActionAfterCampaignEndRule(FaultPlanRule):
+    rule_id = "FP004"
+    severity = Severity.WARNING
+    description = ("Actions scheduled (or still in effect) past the "
+                   "campaign's duration never run to completion in the "
+                   "harness — dead weight or an off-by-one in a generator.")
+
+    def check(self, context: FaultPlanLintContext) -> Iterable[Finding]:
+        plan = context.plan
+        for action in plan.actions:
+            if action.time > plan.duration:
+                yield self.finding(
+                    f"starts after the campaign ends ({plan.duration:g})",
+                    subject=_subject(context, action))
+            elif action.end_time > plan.duration:
+                yield self.finding(
+                    f"effect extends to {action.end_time:g}, past the "
+                    f"campaign end ({plan.duration:g}); it will never be "
+                    "restored in-run", subject=_subject(context, action))
+
+
+FAULT_RULES: Tuple[Type[FaultPlanRule], ...] = (
+    UnknownFaultTargetRule,
+    OverlappingPartitionsRule,
+    NegativeTimeRule,
+    ActionAfterCampaignEndRule,
+)
+
+
+def fault_rule_registry() -> RuleRegistry:
+    """A fresh registry holding the built-in fault-plan rules."""
+    return RuleRegistry(cls() for cls in FAULT_RULES)
+
+
+def verify_fault_plan(plan: FaultPlan,
+                      model: Optional[DeploymentModel] = None,
+                      registry: Optional[RuleRegistry] = None) -> LintReport:
+    """Run the fault-plan verifier over *plan* (and *model*, when given)."""
+    context = FaultPlanLintContext(plan, model=model)
+    active = registry if registry is not None else fault_rule_registry()
+    return active.run(context)

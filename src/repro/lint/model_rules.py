@@ -285,6 +285,32 @@ class NegativeResourceRule(ModelRule):
                                        subject=subject)
 
 
+class PerfectlyReliableHostRule(ModelRule):
+    rule_id = "MV017"
+    severity = Severity.INFO
+    description = ("A host whose every physical link has reliability 1.0 is "
+                   "modeled as failure-proof: availability objectives cannot "
+                   "rank placements on it and fault campaigns degrade "
+                   "nothing — usually unmeasured links, not a perfect "
+                   "network.")
+    tags = frozenset({PARAMETERS})
+
+    def check(self, context: ModelLintContext) -> Iterable[Finding]:
+        links_by_host: Dict[str, List] = {}
+        for link in context.model.physical_links:
+            for host_id in link.hosts:
+                links_by_host.setdefault(host_id, []).append(link)
+        for host_id in context.model.host_ids:
+            links = links_by_host.get(host_id)
+            if links and all(link.params.get("reliability") == 1.0
+                             for link in links):
+                yield self.finding(
+                    f"all {len(links)} physical links of this host have "
+                    "reliability 1.0; fault campaigns and availability "
+                    "ranking will be no-ops around it",
+                    subject=f"host {host_id!r}", links=len(links))
+
+
 # ---------------------------------------------------------------------------
 # Topology and constraint-set rules
 # ---------------------------------------------------------------------------
@@ -505,6 +531,7 @@ MODEL_RULES: Tuple[Type[ModelRule], ...] = (
     EmptyModelRule,
     CompiledEngineAdvisoryRule,
     DeltaContractRule,
+    PerfectlyReliableHostRule,
 )
 
 

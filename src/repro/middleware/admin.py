@@ -65,6 +65,14 @@ class AdminComponent(ExtensibleComponent):
     route through the architecture's distribution connector.
     """
 
+    #: Simulated seconds between transfer retransmissions while the
+    #: receiver's acknowledging location update is outstanding.
+    RETRANSMIT_INTERVAL = 2.0
+    #: Retransmission attempts before an un-acked migrant is restored to
+    #: its source host (the single-migration rollback that guarantees a
+    #: component is never stranded in limbo by a lost transfer).
+    MAX_RETRANSMITS = 5
+
     def __init__(self, component_id: str, host: str,
                  deployer_id: Optional[str] = None):
         super().__init__(component_id)
@@ -78,6 +86,14 @@ class AdminComponent(ExtensibleComponent):
         #: (component, destination host) transfers we have sent out.
         self.transfers_out: List[Tuple[str, str]] = []
         self.transfers_in: List[str] = []
+        #: Un-acknowledged outbound transfers: component id -> wire copy,
+        #: destination, retransmit count, and the pending timer handle.
+        #: The serialized copy is kept until the receiver's location update
+        #: (the ack) arrives, so a transfer lost mid-flight can be re-sent
+        #: — and receivers treat duplicate transfers idempotently.
+        self.transfers_pending: Dict[str, Dict[str, Any]] = {}
+        self.retransmissions = 0
+        self.restores = 0
         self.reports_sent = 0
 
     # ------------------------------------------------------------------
@@ -249,13 +265,86 @@ class AdminComponent(ExtensibleComponent):
         architecture.remove_component(component_id)
         wire = serialize_component(component)
         self.transfers_out.append((component_id, destination_host))
+        self.transfers_pending[component_id] = {
+            "wire": wire, "destination": destination_host,
+            "retransmits": 0, "handle": None,
+        }
+        self._send_transfer(component_id)
+
+    # -- transfer reliability (ack / retransmit / restore) ---------------
+    @property
+    def _clock(self) -> SimClock:
+        return self.connector.network.clock
+
+    def _send_transfer(self, component_id: str) -> None:
+        pending = self.transfers_pending.get(component_id)
+        if pending is None:
+            return
+        wire = pending["wire"]
         self._send_admin(
-            admin_id(destination_host), "admin.component_transfer",
+            admin_id(pending["destination"]), "admin.component_transfer",
             {"component": wire, "source_host": self.host},
             size_kb=wire["size_kb"])
+        pending["handle"] = self._clock.schedule(
+            self.RETRANSMIT_INTERVAL, self._check_transfer, component_id)
+
+    def _check_transfer(self, component_id: str) -> None:
+        pending = self.transfers_pending.get(component_id)
+        if pending is None:
+            return  # acknowledged in the meantime
+        pending["retransmits"] += 1
+        if pending["retransmits"] > self.MAX_RETRANSMITS:
+            self._restore_local(component_id)
+            return
+        self.retransmissions += 1
+        self._send_transfer(component_id)
+
+    def _restore_local(self, component_id: str) -> None:
+        """Give up on an un-acked transfer: reconstitute the migrant here.
+
+        This is the per-migration rollback path — the serialized copy kept
+        in :attr:`transfers_pending` goes back into the local architecture,
+        buffered traffic is flushed locally, and the restored location is
+        announced so every location table (and the Deployer's pending-move
+        ledger) reconverges on reality.
+        """
+        pending = self.transfers_pending.pop(component_id, None)
+        if pending is None:
+            return
+        if pending["handle"] is not None:
+            pending["handle"].cancel()
+        architecture = self.local_architecture
+        if not architecture.has_component(component_id):
+            component = deserialize_component(pending["wire"])
+            architecture.add_component(component)
+            for connector in self._app_connectors():
+                connector.weld(component)
+            if self.frequency_monitor is not None:
+                component.attach_monitor(self.frequency_monitor)
+        self.restores += 1
+        self.connector.end_buffering(component_id, self.host)
+        self._announce_location(component_id, None)
+
+    def cancel_transfers(self) -> int:
+        """Abort every outstanding un-acked transfer, restoring the
+        migrants locally; returns how many were restored.  Used by the
+        effector before rolling back a failed plan."""
+        count = 0
+        for component_id in sorted(self.transfers_pending):
+            self._restore_local(component_id)
+            count += 1
+        return count
 
     def _on_component_transfer(self, event: Event) -> None:
         wire = event.payload["component"]
+        if self.local_architecture.has_component(wire["id"]):
+            # Duplicate transfer (the source retransmitted because our
+            # acknowledging location update was lost): discard the copy and
+            # re-announce so the source gets its ack after all.
+            self.connector.set_location(wire["id"], self.host)
+            self._announce_location(wire["id"],
+                                    event.payload.get("source_host"))
+            return
         component = deserialize_component(wire)
         architecture = self.local_architecture
         architecture.add_component(component)
@@ -287,10 +376,34 @@ class AdminComponent(ExtensibleComponent):
     def _on_location_update(self, event: Event) -> None:
         component_id = event.payload["component"]
         new_host = event.payload["host"]
+        # The receiver's announcement doubles as the transfer ack: stop
+        # retransmitting and drop the kept serialized copy.
+        pending = self.transfers_pending.get(component_id)
+        if pending is not None and new_host == pending["destination"]:
+            if pending["handle"] is not None:
+                pending["handle"].cancel()
+            del self.transfers_pending[component_id]
+        # Duplicate resolution: an *authoritative* update naming another
+        # host while we hold the component attached means our copy is the
+        # stale one (a restore raced a late delivery) — drop it.  Only the
+        # Deployer's word removes live components; a direct peer ack never
+        # does, so a stale ack cannot strand the component nowhere.
+        if (new_host != self.host
+                and self._update_is_authoritative(event)
+                and self.architecture is not None
+                and self.local_architecture.has_component(component_id)
+                and not component_id.startswith(("admin@", "agent@"))):
+            self.local_architecture.remove_component(component_id)
         if component_id in self.connector.buffering:
             self.connector.end_buffering(component_id, new_host)
         else:
             self.connector.set_location(component_id, new_host)
+
+    def _update_is_authoritative(self, event: Event) -> bool:
+        if isinstance(self, DeployerComponent):
+            return True
+        return (self.deployer_id is not None
+                and event.source == self.deployer_id)
 
 
 class DeployerComponent(AdminComponent):

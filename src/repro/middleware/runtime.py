@@ -15,7 +15,9 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
-from repro.core.errors import EffectorError, MiddlewareError, UnknownEntityError
+from repro.core.errors import (
+    EffectorError, MiddlewareError, MigrationTimeoutError, UnknownEntityError,
+)
 from repro.core.model import DeploymentModel
 from repro.middleware.admin import AdminComponent, DeployerComponent, admin_id
 from repro.middleware.bricks import Architecture, Component, Connector
@@ -258,9 +260,10 @@ class DistributedSystem:
                 break
         duration = self.clock.now - start_time
         if self.deployer.pending_moves:
-            raise EffectorError(
-                f"redeployment did not converge: pending "
-                f"{dict(self.deployer.pending_moves)}")
+            raise MigrationTimeoutError(
+                f"redeployment did not converge within {max_wait:g} s: "
+                f"pending {dict(self.deployer.pending_moves)}",
+                pending=self.deployer.pending_moves)
         # Let location-update rebroadcasts settle too.
         self.scaffold.drain()
         actual = self.actual_deployment()
@@ -278,6 +281,30 @@ class DistributedSystem:
             "sim_duration": duration,
             "kb_transferred": self.network.stats.kb_sent - kb_before,
         }
+
+    def reset_redeployment(self, settle: float = 5.0) -> int:
+        """Abandon an in-progress (failed) redeployment.
+
+        Cancels every admin's un-acked transfers — restoring the migrants
+        to their source hosts — lets control traffic settle for *settle*
+        simulated seconds, then re-syncs the deployer's authoritative view
+        and pending-move ledger to ground truth.  Returns the number of
+        restored components.  This is the precondition for the effector's
+        transactional rollback: after it, :meth:`actual_deployment` is a
+        complete mapping again (no component is in limbo).
+        """
+        restored = 0
+        for admin in self.admins.values():
+            restored += admin.cancel_transfers()
+            admin.awaiting.clear()
+        self.scaffold.drain()
+        if settle > 0:
+            self.clock.run(settle)
+            self.scaffold.drain()
+        if self.deployer is not None:
+            self.deployer.pending_moves.clear()
+            self.deployer.register_deployment(self.actual_deployment())
+        return restored
 
     def __repr__(self) -> str:
         return (f"DistributedSystem(hosts={len(self.architectures)}, "

@@ -27,6 +27,24 @@ from repro.sim.clock import SimClock
 from repro.sim.network import SimulatedNetwork
 
 
+def _set_link_attribute(network: SimulatedNetwork, link, attribute: str,
+                        value) -> None:
+    """Mutate a link through the network's unified setters when one exists.
+
+    Routing through the setters (rather than ``setattr`` on the link) keeps
+    the fluctuation engine, the fault injector, and manual overrides
+    observable through the same change-notification path.
+    """
+    if attribute == "reliability":
+        network.set_reliability(*link.ends, value)
+    elif attribute == "bandwidth":
+        network.set_bandwidth(*link.ends, value)
+    elif attribute == "connected":
+        network.set_connected(*link.ends, connected=bool(value))
+    else:
+        setattr(link, attribute, value)
+
+
 class FluctuationProcess:
     """Base class: a started/stoppable process bound to one network link."""
 
@@ -93,7 +111,7 @@ class RandomWalkFluctuation(FluctuationProcess):
         value = getattr(self.link, self.attribute)
         value += self.rng.uniform(-self.step, self.step)
         value = max(low, min(high, value))
-        setattr(self.link, self.attribute, value)
+        _set_link_attribute(self.network, self.link, self.attribute, value)
         self.perturbations += 1
 
 
@@ -157,9 +175,6 @@ class StepChange(FluctuationProcess):
         return self.clock.schedule_at(self.at, self._apply)
 
     def _apply(self) -> None:
-        if self.attribute == "connected":
-            self.network.set_connected(*self.link.ends,
-                                       connected=bool(self.value))
-        else:
-            setattr(self.link, self.attribute, self.value)
+        _set_link_attribute(self.network, self.link, self.attribute,
+                            self.value)
         self.applied = True

@@ -169,23 +169,44 @@ class SimulatedNetwork:
     # ------------------------------------------------------------------
     # Link dynamics
     # ------------------------------------------------------------------
+    # Every runtime mutation of link state — manual overrides, the
+    # fluctuation engine, the fault injector — goes through these three
+    # setters: inputs are clamped to their legal range and observers are
+    # notified of actual changes, so no two mutation sources can silently
+    # diverge on what the link looks like.
+
+    def _notify(self, event: str, payload: Dict[str, Any]) -> None:
+        for observer in tuple(self.observers):
+            observer(event, payload)
+
     def set_connected(self, end_a: str, end_b: str, connected: bool) -> None:
         link = self.require_link(end_a, end_b)
         if link.connected != connected:
             link.connected = connected
-            event = "link_up" if connected else "link_down"
-            for observer in tuple(self.observers):
-                observer(event, {"ends": link.ends})
+            self._notify("link_up" if connected else "link_down",
+                         {"ends": link.ends})
 
     def set_reliability(self, end_a: str, end_b: str, value: float) -> None:
-        if not 0.0 <= value <= 1.0:
-            raise NetworkError(f"reliability must be in [0,1], got {value}")
-        self.require_link(end_a, end_b).reliability = value
+        if value != value:  # NaN
+            raise NetworkError("reliability must be a number, got NaN")
+        link = self.require_link(end_a, end_b)
+        value = max(0.0, min(1.0, value))
+        if link.reliability != value:
+            old = link.reliability
+            link.reliability = value
+            self._notify("reliability_changed",
+                         {"ends": link.ends, "old": old, "new": value})
 
     def set_bandwidth(self, end_a: str, end_b: str, value: float) -> None:
-        if value < 0:
-            raise NetworkError(f"bandwidth must be >= 0, got {value}")
-        self.require_link(end_a, end_b).bandwidth = value
+        if value != value:  # NaN
+            raise NetworkError("bandwidth must be a number, got NaN")
+        link = self.require_link(end_a, end_b)
+        value = max(0.0, value)
+        if link.bandwidth != value:
+            old = link.bandwidth
+            link.bandwidth = value
+            self._notify("bandwidth_changed",
+                         {"ends": link.ends, "old": old, "new": value})
 
     # ------------------------------------------------------------------
     # Transmission

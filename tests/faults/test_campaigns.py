@@ -1,0 +1,84 @@
+"""Unit tests for the model-derived campaign generators."""
+
+import pytest
+
+from repro.core.errors import FaultPlanError
+from repro.faults import (
+    generate_campaign, host_traffic, random_churn, rolling_partitions,
+    targeted_attack, worst_host,
+)
+from repro.scenarios import CrisisConfig, build_crisis_scenario
+
+
+@pytest.fixture
+def crisis_model():
+    return build_crisis_scenario(CrisisConfig(seed=3)).model
+
+
+class TestWorstHost:
+    def test_traffic_attributes_logical_links_to_hosts(self, tiny_model):
+        traffic = host_traffic(tiny_model)
+        # c1--c2 (4 * 2) is internal to hA; c2--c3 (1 * 1) spans both.
+        assert traffic["hA"] == pytest.approx(9.0)
+        assert traffic["hB"] == pytest.approx(1.0)
+
+    def test_worst_host_is_traffic_maximum(self, tiny_model):
+        assert worst_host(tiny_model) == "hA"
+        assert worst_host(tiny_model, exclude=("hA",)) == "hB"
+        with pytest.raises(FaultPlanError, match="no candidate"):
+            worst_host(tiny_model, exclude=("hA", "hB"))
+
+    def test_crisis_worst_host_is_hq(self, crisis_model):
+        # Everything funnels into the HQ services in the crisis scenario.
+        assert worst_host(crisis_model) == "hq"
+
+
+class TestGenerators:
+    def test_random_churn_is_seed_deterministic(self, crisis_model):
+        a = random_churn(crisis_model, 60.0, seed=7)
+        b = random_churn(crisis_model, 60.0, seed=7)
+        c = random_churn(crisis_model, 60.0, seed=8)
+        assert a.to_json() == b.to_json()
+        assert a.to_json() != c.to_json()
+
+    def test_random_churn_validates_and_respects_exclusions(
+            self, crisis_model):
+        plan = random_churn(crisis_model, 60.0, seed=7,
+                            exclude_hosts=("hq",))
+        plan.validate(crisis_model)
+        crashed = {action.target[0] for action in plan
+                   if action.kind == "host_crash"}
+        assert "hq" not in crashed
+
+    def test_rolling_partitions_cover_hosts_in_sequence(self, crisis_model):
+        plan = rolling_partitions(crisis_model, 90.0, group_size=2,
+                                  exclude_hosts=("hq",))
+        plan.validate(crisis_model)
+        partitioned = [action.target for action in plan]
+        flattened = [h for group in partitioned for h in group]
+        assert "hq" not in flattened
+        assert len(flattened) == len(set(flattened))  # each host once
+        times = [action.time for action in plan]
+        assert times == sorted(times)
+
+    def test_rolling_partitions_reject_impossible_slots(self, crisis_model):
+        with pytest.raises(FaultPlanError, match="slot"):
+            rolling_partitions(crisis_model, 10.0, hold=100.0)
+
+    def test_targeted_attack_hits_derived_worst_host(self, crisis_model):
+        plan = targeted_attack(crisis_model, 60.0, strikes=3)
+        plan.validate(crisis_model)
+        assert all(action.target == ("hq",) for action in plan)
+        assert len(plan) == 3
+
+    def test_targeted_attack_explicit_victim(self, crisis_model):
+        plan = targeted_attack(crisis_model, 60.0, victim="cmd0")
+        assert all(action.target == ("cmd0",) for action in plan)
+        with pytest.raises(FaultPlanError, match="unknown victim"):
+            targeted_attack(crisis_model, 60.0, victim="ghost")
+
+    def test_generate_campaign_registry(self, crisis_model):
+        plan = generate_campaign("targeted-attack", crisis_model, 30.0)
+        assert plan.name.startswith("targeted-attack")
+        with pytest.raises(FaultPlanError, match="unknown campaign"):
+            generate_campaign("nope", crisis_model, 30.0)

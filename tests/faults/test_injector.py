@@ -1,0 +1,182 @@
+"""Unit tests for the FaultInjector: scheduling, state save/restore."""
+
+import pytest
+
+from repro.core.errors import FaultPlanError
+from repro.faults import FaultAction, FaultInjector, FaultPlan
+from repro.sim import SimClock, SimulatedNetwork
+
+
+def star_network(seed=1):
+    """hub linked to s1..s3; s1-s2 also linked (redundant path)."""
+    clock = SimClock()
+    network = SimulatedNetwork(clock, seed=seed)
+    for name in ("hub", "s1", "s2", "s3"):
+        network.add_endpoint(name)
+    for spoke in ("s1", "s2", "s3"):
+        network.add_link("hub", spoke, reliability=0.9, bandwidth=100.0)
+    network.add_link("s1", "s2", reliability=0.8, bandwidth=50.0)
+    return clock, network
+
+
+def run_plan(network, plan):
+    injector = FaultInjector(network, plan)
+    injector.arm()
+    network.clock.run(plan.duration)
+    return injector
+
+
+class TestArming:
+    def test_arm_schedules_and_disarm_cancels(self):
+        clock, network = star_network()
+        plan = FaultPlan(name="p", duration=10.0, actions=[
+            FaultAction(2.0, "link_down", ("hub", "s1")),
+            FaultAction(4.0, "link_up", ("hub", "s1")),
+        ])
+        injector = FaultInjector(network, plan)
+        assert injector.arm() == 2
+        assert injector.disarm() == 2
+        clock.run(10.0)
+        assert injector.actions_applied == 0
+        assert network.link("hub", "s1").connected
+
+    def test_arm_twice_rejected(self):
+        clock, network = star_network()
+        injector = FaultInjector(network, FaultPlan("p", 1.0))
+        injector.arm()
+        with pytest.raises(FaultPlanError, match="already armed"):
+            injector.arm()
+
+    def test_arm_rejects_unknown_endpoint(self):
+        clock, network = star_network()
+        plan = FaultPlan(name="p", duration=5.0, actions=[
+            FaultAction(1.0, "host_crash", ("ghost",)),
+        ])
+        with pytest.raises(FaultPlanError, match="ghost"):
+            FaultInjector(network, plan).arm()
+
+
+class TestHostCrash:
+    def test_crash_severs_all_links_and_restart_restores(self):
+        clock, network = star_network()
+        network.set_connected("s1", "s2", False)  # pre-existing outage
+        plan = FaultPlan(name="crash", duration=10.0, actions=[
+            FaultAction(2.0, "host_crash", ("s1",), {"duration": 3.0}),
+        ])
+        injector = FaultInjector(network, plan)
+        injector.arm()
+        clock.run(3.0)  # crash applied
+        assert not network.link("hub", "s1").connected
+        assert not network.link("s1", "s2").connected
+        clock.run(10.0)  # auto-restart at t=5
+        assert network.link("hub", "s1").connected
+        # The link that was already down before the crash stays down.
+        assert not network.link("s1", "s2").connected
+        assert injector.outages and injector.outages[0][3] == 5.0
+
+    def test_duplicate_crash_keeps_first_snapshot(self):
+        clock, network = star_network()
+        plan = FaultPlan(name="dup", duration=10.0, actions=[
+            FaultAction(1.0, "host_crash", ("s3",)),
+            FaultAction(2.0, "host_crash", ("s3",)),
+            FaultAction(3.0, "host_restart", ("s3",)),
+        ])
+        injector = run_plan(network, plan)
+        assert network.link("hub", "s3").connected
+        duplicates = [e for e in injector.log
+                      if e["detail"].get("duplicate")]
+        assert len(duplicates) == 1
+
+    def test_restart_without_crash_is_noop(self):
+        clock, network = star_network()
+        plan = FaultPlan(name="p", duration=5.0, actions=[
+            FaultAction(1.0, "host_restart", ("s1",)),
+        ])
+        injector = run_plan(network, plan)
+        assert injector.log[0]["detail"].get("not_crashed")
+
+
+class TestPartition:
+    def test_partition_cuts_only_crossing_links(self):
+        clock, network = star_network()
+        plan = FaultPlan(name="cut", duration=10.0, actions=[
+            FaultAction(2.0, "partition", ("s1", "s2"), {"duration": 4.0}),
+        ])
+        injector = FaultInjector(network, plan)
+        injector.arm()
+        clock.run(3.0)
+        # Links crossing the {s1, s2} cut are down ...
+        assert not network.link("hub", "s1").connected
+        assert not network.link("hub", "s2").connected
+        # ... the internal link is untouched.
+        assert network.link("s1", "s2").connected
+        clock.run(10.0)  # auto-heal at t=6
+        assert network.link("hub", "s1").connected
+        assert network.link("hub", "s2").connected
+
+    def test_open_outage_reported_when_never_healed(self):
+        clock, network = star_network()
+        plan = FaultPlan(name="open", duration=10.0, actions=[
+            FaultAction(2.0, "partition", ("s3",)),
+        ])
+        injector = run_plan(network, plan)
+        assert injector.outages == []
+        assert injector.open_outages() == (("partition", ("s3",), 2.0),)
+
+
+class TestLinkDynamics:
+    def test_loss_burst_restores_previous_reliability(self):
+        clock, network = star_network()
+        plan = FaultPlan(name="burst", duration=10.0, actions=[
+            FaultAction(2.0, "loss_burst", ("hub", "s1"),
+                        {"value": 0.05, "duration": 3.0}),
+        ])
+        injector = FaultInjector(network, plan)
+        injector.arm()
+        clock.run(2.5)
+        assert network.link("hub", "s1").reliability == 0.05
+        clock.run(10.0)
+        assert network.link("hub", "s1").reliability == 0.9
+
+    def test_set_reliability_and_bandwidth_clamped_via_network(self):
+        clock, network = star_network()
+        plan = FaultPlan(name="deg", duration=5.0, actions=[
+            FaultAction(1.0, "set_reliability", ("hub", "s2"),
+                        {"value": 1.7}),
+            FaultAction(2.0, "set_bandwidth", ("hub", "s2"),
+                        {"value": -5.0}),
+        ])
+        run_plan(network, plan)
+        assert network.link("hub", "s2").reliability == 1.0
+        assert network.link("hub", "s2").bandwidth == 0.0
+
+    def test_flap_produces_alternating_transitions(self):
+        clock, network = star_network()
+        transitions = []
+        network.observers.append(
+            lambda name, payload: transitions.append(
+                (round(clock.now, 3), name))
+            if name in ("link_up", "link_down") else None)
+        plan = FaultPlan(name="flap", duration=20.0, actions=[
+            FaultAction(2.0, "flap", ("hub", "s1"),
+                        {"period": 2.0, "count": 3}),
+        ])
+        run_plan(network, plan)
+        assert transitions == [
+            (2.0, "link_down"), (3.0, "link_up"),
+            (4.0, "link_down"), (5.0, "link_up"),
+            (6.0, "link_down"), (7.0, "link_up"),
+        ]
+        assert network.link("hub", "s1").connected
+
+    def test_injection_log_is_chronological(self):
+        clock, network = star_network()
+        plan = FaultPlan(name="log", duration=10.0, actions=[
+            FaultAction(1.0, "link_down", ("hub", "s1")),
+            FaultAction(3.0, "link_up", ("hub", "s1")),
+            FaultAction(5.0, "host_crash", ("s2",), {"duration": 2.0}),
+        ])
+        injector = run_plan(network, plan)
+        times = [entry["time"] for entry in injector.log]
+        assert times == sorted(times)
+        assert injector.actions_applied == len(injector.log) == 4

@@ -1,0 +1,117 @@
+"""Unit tests for FaultAction / FaultPlan: validation and serialization."""
+
+import pytest
+
+from repro.core.errors import FaultPlanError
+from repro.faults import FaultAction, FaultPlan, load_plan, save_plan
+
+
+def sample_plan():
+    return FaultPlan(name="sample", duration=30.0, actions=[
+        FaultAction(5.0, "host_crash", ("hB",), {"duration": 4.0}),
+        FaultAction(1.0, "link_down", ("hA", "hB")),
+        FaultAction(2.0, "link_up", ("hA", "hB")),
+        FaultAction(10.0, "loss_burst", ("hA", "hB"),
+                    {"value": 0.1, "duration": 3.0}),
+        FaultAction(15.0, "flap", ("hA", "hB"), {"period": 2.0, "count": 3}),
+        FaultAction(22.0, "partition", ("hB",), {"duration": 2.0}),
+        FaultAction(26.0, "set_reliability", ("hA", "hB"), {"value": 0.7}),
+    ])
+
+
+class TestStructure:
+    def test_actions_sorted_by_time(self):
+        plan = sample_plan()
+        times = [action.time for action in plan]
+        assert times == sorted(times)
+
+    def test_lenient_construction_strict_validate(self):
+        plan = FaultPlan(name="bad", duration=10.0, actions=[
+            FaultAction(-1.0, "host_crash", ("hA",)),
+            FaultAction(2.0, "bogus_kind", ("hA",)),
+            FaultAction(3.0, "link_down", ("hA",)),  # needs two ends
+            FaultAction(4.0, "loss_burst", ("hA", "hB")),  # missing params
+            FaultAction(99.0, "host_crash", ("hA",)),  # past the end
+        ])
+        assert len(plan) == 5  # constructor accepted everything
+        problems = plan.problems()
+        assert any("negative action time" in p for p in problems)
+        assert any("unknown action kind" in p for p in problems)
+        assert any("(host, host) link target" in p for p in problems)
+        assert any("'value' parameter" in p for p in problems)
+        assert any("after the campaign end" in p for p in problems)
+        with pytest.raises(FaultPlanError, match="invalid"):
+            plan.validate()
+
+    def test_validate_against_model_catches_dangling_refs(self, tiny_model):
+        plan = FaultPlan(name="refs", duration=10.0, actions=[
+            FaultAction(1.0, "host_crash", ("ghost",)),
+            FaultAction(2.0, "link_down", ("hA", "hB")),
+        ])
+        assert plan.problems() == ()  # structurally fine
+        with pytest.raises(FaultPlanError, match="ghost"):
+            plan.validate(tiny_model)
+
+    def test_link_action_requires_physical_link(self, tiny_model):
+        tiny_model.add_host("hC", memory=10.0)
+        plan = FaultPlan(name="nolink", duration=5.0, actions=[
+            FaultAction(1.0, "link_down", ("hA", "hC")),
+        ])
+        with pytest.raises(FaultPlanError, match="no physical link"):
+            plan.validate(tiny_model)
+
+    def test_end_time_covers_durations_and_flaps(self):
+        burst = FaultAction(10.0, "loss_burst", ("a", "b"),
+                            {"value": 0.1, "duration": 3.0})
+        assert burst.end_time == 13.0
+        flap = FaultAction(5.0, "flap", ("a", "b"),
+                           {"period": 2.0, "count": 3})
+        assert flap.end_time == 11.0
+        instant = FaultAction(4.0, "link_down", ("a", "b"))
+        assert instant.end_time == 4.0
+
+
+class TestSerialization:
+    def test_json_round_trip(self):
+        plan = sample_plan()
+        assert FaultPlan.from_json(plan.to_json()).to_json() == plan.to_json()
+
+    def test_xml_round_trip(self):
+        plan = sample_plan()
+        assert FaultPlan.from_xml(plan.to_xml()).to_json() == plan.to_json()
+
+    def test_load_plan_dispatches_on_extension(self, tmp_path):
+        plan = sample_plan()
+        for name in ("plan.json", "plan.xml"):
+            path = tmp_path / name
+            save_plan(plan, str(path))
+            loaded = load_plan(str(path))
+            assert loaded.to_json() == plan.to_json()
+
+    def test_load_plan_sniffs_content_without_extension(self, tmp_path):
+        plan = sample_plan()
+        path = tmp_path / "noext"
+        path.write_text(plan.to_xml(), encoding="utf-8")
+        assert load_plan(str(path)).name == "sample"
+
+    def test_malformed_documents_raise(self):
+        with pytest.raises(FaultPlanError, match="JSON"):
+            FaultPlan.from_json("{nope")
+        with pytest.raises(FaultPlanError, match="XML"):
+            FaultPlan.from_xml("<faultPlan")
+        with pytest.raises(FaultPlanError, match="root"):
+            FaultPlan.from_xml("<notAPlan/>")
+        with pytest.raises(FaultPlanError, match="missing required key"):
+            FaultPlan.from_dict({"name": "x"})
+        with pytest.raises(FaultPlanError, match="malformed fault action"):
+            FaultPlan.from_dict({"name": "x", "duration": 5,
+                                 "actions": [{"kind": "link_down"}]})
+
+    def test_xml_parses_count_as_int(self):
+        plan = FaultPlan.from_xml(
+            '<faultPlan name="p" duration="10">'
+            '<action time="1" kind="flap" target="a,b" '
+            'period="2.0" count="3"/></faultPlan>')
+        action = plan.actions[0]
+        assert action.param("count") == 3
+        assert isinstance(action.param("count"), int)

@@ -1,0 +1,62 @@
+"""CI smoke test for the faults subsystem.
+
+Always runs a tiny deterministic campaign and asserts the hardened
+retry path actually fires.  When ``FAULTS_SMOKE=1`` (the CI job sets
+it), additionally writes the :class:`ResilienceReport` JSON to the path
+in ``FAULTS_SMOKE_REPORT`` (default ``resilience-report.json``) so the
+workflow can upload it as an artifact."""
+
+import json
+import os
+from pathlib import Path
+
+from repro.core.effector import MiddlewareEffector, plan_redeployment
+from repro.core.model import DeploymentModel
+from repro.faults import (
+    FaultAction, FaultInjector, FaultPlan, rolling_partitions, run_campaign,
+)
+from repro.middleware import DistributedSystem
+from repro.scenarios import CrisisConfig, build_crisis_scenario
+from repro.sim import SimClock
+
+
+def test_retry_path_fires_under_partition():
+    """A partition severing the slave mid-migration heals inside the
+    effector's backoff window; the migration must complete via retry."""
+    model = DeploymentModel()
+    model.add_host("a", memory=100.0)
+    model.add_host("b", memory=100.0)
+    model.connect_hosts("a", "b", reliability=1.0, bandwidth=100.0,
+                        delay=0.01)
+    model.add_component("x", memory=5.0)
+    model.deploy("x", "a")
+    clock = SimClock()
+    system = DistributedSystem(model, clock, master_host="a", seed=1)
+    campaign = FaultPlan(name="smoke-sever", duration=10.0, actions=[
+        FaultAction(0.005, "partition", ("b",), {"duration": 4.995}),
+    ])
+    FaultInjector(system.network, campaign, model=model).arm()
+    effector = MiddlewareEffector(system, max_wait=3.0, max_retries=3,
+                                  backoff_base=1.0, jitter=0.0)
+    report = effector.effect(plan_redeployment(model, {"x": "b"}))
+    assert report.succeeded
+    assert report.retries >= 1
+    assert system.actual_deployment() == {"x": "b"}
+
+
+def test_smoke_campaign_writes_report_artifact(tmp_path):
+    """End-to-end campaign; under FAULTS_SMOKE=1 the report JSON is
+    written where CI expects to find it."""
+    scenario = build_crisis_scenario(CrisisConfig(seed=3))
+    plan = rolling_partitions(scenario.model, 20.0, exclude_hosts=("hq",))
+    report = run_campaign(plan, seed=11, duration=20.0)
+    data = json.loads(report.render())
+    assert data["faults"]["injected"] > 0
+    assert data["detail"]["post_lint_errors"] == 0
+    if os.environ.get("FAULTS_SMOKE") == "1":
+        target = Path(os.environ.get("FAULTS_SMOKE_REPORT",
+                                     "resilience-report.json"))
+    else:
+        target = tmp_path / "resilience-report.json"
+    target.write_text(report.render() + "\n", encoding="utf-8")
+    assert json.loads(target.read_text(encoding="utf-8")) == data

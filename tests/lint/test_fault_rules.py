@@ -1,0 +1,115 @@
+"""Unit tests for the fault-plan lint rules (FP001-FP004) and MV017."""
+
+from repro.faults import FaultAction, FaultPlan
+from repro.lint import Severity, verify_fault_plan, verify_model
+from repro.lint.fault_rules import FAULT_RULES, fault_rule_registry
+
+
+def rules_of(report):
+    return {finding.rule for finding in report}
+
+
+def clean_plan():
+    return FaultPlan(name="clean", duration=20.0, actions=[
+        FaultAction(1.0, "link_down", ("hA", "hB")),
+        FaultAction(3.0, "link_up", ("hA", "hB")),
+        FaultAction(5.0, "partition", ("hB",), {"duration": 2.0}),
+        FaultAction(10.0, "partition", ("hA",), {"duration": 2.0}),
+    ])
+
+
+class TestRegistry:
+    def test_all_rules_registered_with_docs(self):
+        registry = fault_rule_registry()
+        assert len(registry) == len(FAULT_RULES) == 4
+        for rule in registry:
+            assert rule.rule_id.startswith("FP")
+            assert rule.description
+
+    def test_clean_plan_is_clean(self, tiny_model):
+        report = verify_fault_plan(clean_plan(), model=tiny_model)
+        assert len(report) == 0
+
+
+class TestFP001UnknownTargets:
+    def test_dangling_host_and_link_flagged_with_model(self, tiny_model):
+        tiny_model.add_host("hC", memory=10.0)  # host exists, no link
+        plan = FaultPlan(name="refs", duration=10.0, actions=[
+            FaultAction(1.0, "host_crash", ("ghost",)),
+            FaultAction(2.0, "link_down", ("hA", "hC")),
+        ])
+        report = verify_fault_plan(plan, model=tiny_model)
+        fp001 = [f for f in report if f.rule == "FP001"]
+        assert len(fp001) == 2
+        assert all(f.severity == Severity.ERROR for f in fp001)
+
+    def test_silent_without_model(self):
+        plan = FaultPlan(name="refs", duration=10.0, actions=[
+            FaultAction(1.0, "host_crash", ("ghost",)),
+        ])
+        assert "FP001" not in rules_of(verify_fault_plan(plan))
+
+
+class TestFP002OverlappingPartitions:
+    def test_overlap_flagged(self):
+        plan = FaultPlan(name="overlap", duration=20.0, actions=[
+            FaultAction(2.0, "partition", ("a",), {"duration": 6.0}),
+            FaultAction(5.0, "partition", ("b",), {"duration": 2.0}),
+        ])
+        report = verify_fault_plan(plan)
+        assert "FP002" in rules_of(report)
+        assert report.findings[0].severity == Severity.WARNING \
+            or not report.has_errors
+
+    def test_unterminated_partition_overlaps_everything_later(self):
+        plan = FaultPlan(name="open", duration=20.0, actions=[
+            FaultAction(2.0, "partition", ("a",)),  # active to plan end
+            FaultAction(10.0, "partition", ("b",), {"duration": 1.0}),
+        ])
+        assert "FP002" in rules_of(verify_fault_plan(plan))
+
+    def test_staggered_partitions_pass(self):
+        assert "FP002" not in rules_of(verify_fault_plan(clean_plan()))
+
+
+class TestFP003NegativeTimes:
+    def test_negative_time_duration_and_campaign_length(self):
+        plan = FaultPlan(name="neg", duration=-5.0, actions=[
+            FaultAction(-1.0, "link_down", ("a", "b")),
+            FaultAction(2.0, "host_crash", ("a",), {"duration": -3.0}),
+        ])
+        fp003 = [f for f in verify_fault_plan(plan) if f.rule == "FP003"]
+        assert len(fp003) == 3
+        assert all(f.severity == Severity.ERROR for f in fp003)
+
+
+class TestFP004ActionsPastCampaignEnd:
+    def test_late_start_and_overhanging_effect(self):
+        plan = FaultPlan(name="late", duration=10.0, actions=[
+            FaultAction(12.0, "link_down", ("a", "b")),
+            FaultAction(8.0, "loss_burst", ("a", "b"),
+                        {"value": 0.1, "duration": 5.0}),
+        ])
+        fp004 = [f for f in verify_fault_plan(plan) if f.rule == "FP004"]
+        assert len(fp004) == 2
+        assert {f.severity for f in fp004} == {Severity.WARNING}
+
+
+class TestMV017PerfectlyReliableHost:
+    def test_all_perfect_links_flagged(self, tiny_model):
+        tiny_model.set_physical_link_param("hA", "hB", "reliability", 1.0)
+        report = verify_model(tiny_model)
+        mv017 = [f for f in report if f.rule == "MV017"]
+        assert len(mv017) == 2  # both endpoints are all-perfect
+        assert all(f.severity == Severity.INFO for f in mv017)
+
+    def test_one_imperfect_link_clears_the_host(self, tiny_model):
+        # tiny_model's single link has reliability 0.5.
+        assert not [f for f in verify_model(tiny_model)
+                    if f.rule == "MV017"]
+
+    def test_hosts_without_links_not_flagged(self, tiny_model):
+        tiny_model.add_host("lonely", memory=5.0)
+        report = verify_model(tiny_model)
+        assert not any(f.rule == "MV017" and "lonely" in f.subject
+                       for f in report)

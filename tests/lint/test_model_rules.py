@@ -228,5 +228,5 @@ class TestContextAndRegistry:
 
     def test_registry_lists_all_builtin_rules(self):
         registry = model_rule_registry()
-        assert len(registry) == 16
-        assert "MV001" in registry and "MV016" in registry
+        assert len(registry) == 17
+        assert "MV001" in registry and "MV017" in registry

@@ -38,10 +38,18 @@ class TestTopology:
         network.add_endpoint("c")
         with pytest.raises(NetworkError):
             network.add_link("a", "c", reliability=1.5)
+        # Runtime setters clamp instead of raising: the injector and the
+        # fluctuation engine may push values past the edge of the range.
+        network.set_reliability("a", "b", -0.1)
+        assert network.link("a", "b").reliability == 0.0
+        network.set_reliability("a", "b", 1.7)
+        assert network.link("a", "b").reliability == 1.0
+        network.set_bandwidth("a", "b", -1.0)
+        assert network.link("a", "b").bandwidth == 0.0
         with pytest.raises(NetworkError):
-            network.set_reliability("a", "b", -0.1)
+            network.set_reliability("a", "b", float("nan"))
         with pytest.raises(NetworkError):
-            network.set_bandwidth("a", "b", -1.0)
+            network.set_bandwidth("a", "b", float("nan"))
 
     def test_neighbors_reflect_link_state(self):
         clock, network = two_host_network()

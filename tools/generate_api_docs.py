@@ -15,7 +15,7 @@ MODULES = [
     "repro.core.effector", "repro.core.user_input", "repro.core.utility",
     "repro.core.framework", "repro.core.errors", "repro.core.registry",
     "repro.lint.core", "repro.lint.model_rules", "repro.lint.xadl_rules",
-    "repro.lint.code",
+    "repro.lint.fault_rules", "repro.lint.code",
     "repro.algorithms.base", "repro.algorithms.engine",
     "repro.algorithms.compiled",
     "repro.algorithms.exact",
@@ -39,6 +39,8 @@ MODULES = [
     "repro.decentralized.agent",
     "repro.scenarios.crisis", "repro.scenarios.clientserver",
     "repro.scenarios.sensorfield",
+    "repro.faults.plan", "repro.faults.injector", "repro.faults.campaigns",
+    "repro.faults.report",
     "repro.cli",
 ]
 
@@ -133,6 +135,22 @@ objective has one, all with incremental `move_delta`, and
 objectives or un-encodable deployments.  `docs/PERFORMANCE.md` covers
 the lifecycle and the measured speedups (`BENCH_compiled.json`);
 lint rule MV016 advises when model size demands the compiled path.
+""",
+    "repro.faults.plan": """\
+## Fault injection (`repro.faults`)
+
+Deterministic fault-injection campaigns over the simulated network:
+declarative `FaultPlan`s of timed `FaultAction`s (host crashes/restarts,
+partitions/heals, link flapping, loss bursts, parameter degradation),
+executed by a `FaultInjector` that schedules everything on the
+`SimClock` up front — no hot-path hooks, so disabled injection is free.
+Campaign generators derive plans from the model (`random_churn`,
+`rolling_partitions`, `targeted_attack` on the traffic-derived
+`worst_host`), and `run_campaign` scores a run into a seed-reproducible
+`ResilienceReport` (delivered vs modeled availability, migration
+success, retries, rollbacks, mean time to recover).  CLI:
+`python -m repro faults run|generate|lint`; rules FP001–FP004 lint
+plans.  See `docs/FAULTS.md`.
 """,
 }
 
