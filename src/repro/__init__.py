@@ -31,7 +31,7 @@ Quickstart::
     model = Generator(GeneratorConfig(hosts=6, components=20), seed=1).generate()
     objective = AvailabilityObjective()
     result = AvalaAlgorithm(objective, ConstraintSet([MemoryConstraint()])).run(model)
-    print(result.summary())
+    print(result.summary_line())
 """
 
 __version__ = "1.0.0"
@@ -41,7 +41,9 @@ from repro.core import (
     LatencyObjective, MemoryConstraint,
 )
 from repro.core.framework import CentralizedFramework
+from repro.core.report import Report
 from repro.decentralized import DecentralizedFramework
+from repro.obs import Observability, observe
 
 __all__ = [
     "AvailabilityObjective",
@@ -52,5 +54,8 @@ __all__ = [
     "DeploymentModel",
     "LatencyObjective",
     "MemoryConstraint",
+    "Observability",
+    "Report",
+    "observe",
     "__version__",
 ]

@@ -31,13 +31,14 @@ from repro.core.errors import (
 )
 from repro.core.model import Deployment, DeploymentModel
 from repro.core.objectives import Objective
+from repro.core.report import ReportBase, deprecated_alias
 
 if TYPE_CHECKING:  # engine imports base; keep the runtime import lazy
     from repro.algorithms.engine import EvaluationEngine
 
 
 @dataclass
-class AlgorithmResult:
+class AlgorithmResult(ReportBase):
     """Outcome of one algorithm run (DeSi's AlgoResultData record)."""
 
     algorithm: str
@@ -53,11 +54,32 @@ class AlgorithmResult:
     moves_from_initial: int
     extra: Dict[str, Any] = field(default_factory=dict)
 
-    def summary(self) -> str:
+    def summary_line(self) -> str:
         return (f"{self.algorithm}: {self.objective}={self.value:.4f} "
                 f"({'valid' if self.valid else 'INVALID'}, "
                 f"{self.elapsed * 1000:.1f} ms, {self.evaluations} evals, "
                 f"{self.moves_from_initial} moves)")
+
+    def to_dict(self, include_timing: bool = True,
+                **opts: Any) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "algorithm": self.algorithm,
+            "deployment": self.deployment.as_dict(),
+            "value": self.value,
+            "objective": self.objective,
+            "valid": self.valid,
+            "evaluations": self.evaluations,
+            "moves_from_initial": self.moves_from_initial,
+            "extra": dict(self.extra),
+        }
+        if include_timing:
+            payload["elapsed"] = self.elapsed
+        return payload
+
+    def render(self, **opts: Any) -> str:
+        return self.summary_line()
+
+    summary = deprecated_alias("summary_line", "summary")
 
 
 class DeploymentAlgorithm(ABC):

@@ -41,6 +41,7 @@ from repro.core.constraints import ConstraintSet
 from repro.core.errors import AlgorithmError, EvaluationBudgetExceeded
 from repro.core.model import DEPLOYMENT_CHANGED, Deployment, DeploymentModel
 from repro.core.objectives import Objective
+from repro.core.report import ReportBase, deprecated_alias
 
 AlgorithmFactory = Callable[[], "Any"]
 
@@ -382,7 +383,7 @@ class PortfolioOutcome:
 
 
 @dataclass
-class PortfolioReport:
+class PortfolioReport(ReportBase):
     """All outcomes of one portfolio run, in submission order."""
 
     outcomes: List[PortfolioOutcome] = field(default_factory=list)
@@ -418,9 +419,39 @@ class PortfolioReport:
                 totals[key] += int(engine.get(key, 0))
         return totals
 
-    def summary(self) -> str:
+    def summary_line(self) -> str:
         parts = [f"{o.name}:{o.status}" for o in self.outcomes]
         return f"portfolio[{', '.join(parts)}] in {self.elapsed * 1000:.1f} ms"
+
+    def to_dict(self, include_timing: bool = True,
+                **opts: Any) -> Dict[str, Any]:
+        outcomes = []
+        for o in self.outcomes:
+            entry: Dict[str, Any] = {"name": o.name, "status": o.status,
+                                     "error": o.error}
+            if o.result is not None:
+                entry["result"] = o.result.to_dict(
+                    include_timing=include_timing)
+            if include_timing:
+                entry["elapsed"] = o.elapsed
+            outcomes.append(entry)
+        payload: Dict[str, Any] = {"outcomes": outcomes,
+                                   "counters": self.counters()}
+        if include_timing:
+            payload["elapsed"] = self.elapsed
+        return payload
+
+    def render(self, **opts: Any) -> str:
+        lines = [self.summary_line()]
+        for o in self.outcomes:
+            if o.result is not None:
+                lines.append(f"  {o.result.summary_line()}")
+            else:
+                lines.append(f"  {o.name}: {o.status}"
+                             + (f" ({o.error})" if o.error else ""))
+        return "\n".join(lines)
+
+    summary = deprecated_alias("summary_line", "summary")
 
 
 class PortfolioRunner:

@@ -14,7 +14,14 @@ Commands:
 * ``sweep``    — batch-compare algorithms over generated families;
 * ``lint``     — statically verify models/xADL documents (or, with
   ``--code``, this repository's middleware conventions) before anything
-  searches or enacts them.
+  searches or enacts them;
+* ``faults``   — fault-injection campaigns and resilience reports;
+* ``obs``      — record, render, and diff observability captures
+  (metrics + span trees) of instrumented runs.
+
+Every verb that produces a :class:`repro.core.report.Report` accepts the
+shared ``--json`` (canonical ``Report.to_json``) and ``--quiet``
+(``Report.summary_line``) output flags.
 """
 
 from __future__ import annotations
@@ -34,7 +41,7 @@ from repro.core import (
     DurabilityObjective, LatencyObjective, MemoryConstraint,
     SecurityObjective, ThroughputObjective,
 )
-from repro.core.errors import FaultPlanError
+from repro.core.errors import FaultPlanError, ReproError
 from repro.core.framework import CentralizedFramework
 from repro.core.objectives import Objective
 from repro.decentralized import DecentralizedFramework
@@ -47,10 +54,12 @@ from repro.desi import (
     TableView, xadl,
 )
 from repro.lint import (
-    LintReport, Severity, analyze_paths, render_json, render_text,
-    verify_fault_plan, verify_model, verify_xadl_file,
+    Severity, analyze_paths, verify_fault_plan, verify_model,
+    verify_xadl_file,
 )
 from repro.middleware import DistributedSystem
+from repro.obs import Observability
+from repro.obs.capture import Capture
 from repro.scenarios import (
     CrisisConfig, build_client_server, build_crisis_scenario,
     build_sensor_field,
@@ -82,6 +91,26 @@ ALGORITHM_BUILDERS = {
 
 def _objective(name: str) -> Objective:
     return OBJECTIVES[name]()
+
+
+def add_output_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared Report output flags every reporting verb carries."""
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("--json", action="store_true",
+                       help="machine-readable output (Report.to_json)")
+    group.add_argument("--quiet", action="store_true",
+                       help="one-line summary only (Report.summary_line)")
+
+
+def emit(report, args: argparse.Namespace, **opts) -> None:
+    """Print *report* through the Report protocol, honouring the shared
+    ``--json``/``--quiet`` flags."""
+    if getattr(args, "json", False):
+        print(report.to_json(**opts))
+    elif getattr(args, "quiet", False):
+        print(report.summary_line())
+    else:
+        print(report.render(**opts))
 
 
 # ---------------------------------------------------------------------------
@@ -128,20 +157,31 @@ def cmd_improve(args: argparse.Namespace) -> int:
     for constraint in model.constraints:
         constraints.add(constraint)
     initial = objective.evaluate(model, model.deployment)
-    print(f"initial {objective.name}: {initial:.4f}")
+    quiet, as_json = args.quiet, args.json
+    if not (quiet or as_json):
+        print(f"initial {objective.name}: {initial:.4f}")
     best = None
+    results = []
     for name in args.algorithms:
         algorithm = ALGORITHM_BUILDERS[name](objective, constraints,
                                              args.seed)
         result = algorithm.run(model)
-        print(f"  {result.summary()}")
+        results.append(result)
+        if not (quiet or as_json):
+            print(f"  {result.summary_line()}")
         if result.valid and (best is None
                              or objective.is_better(result.value,
                                                     best.value)):
             best = result
+    if as_json:
+        payload = [r.to_dict() for r in results]
+        import json as _json
+        print(_json.dumps(payload, indent=2, sort_keys=True))
     if best is None:
         print("no algorithm produced a valid deployment", file=sys.stderr)
         return 1
+    if quiet:
+        print(best.summary_line())
     if args.apply:
         model.set_deployment(best.deployment)
         output = args.output or args.file
@@ -195,7 +235,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     if framework is not None:
         framework.stop()
         for cycle in framework.cycles:
-            print(f"  {cycle.summary()}")
+            print(f"  {cycle.summary_line()}")
     return 0
 
 
@@ -221,11 +261,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     runner = ExperimentRunner(objective, algorithms,
                               replicates=args.replicates, seed=args.seed)
     report = runner.run(families)
-    print(report.render())
-    for family in families:
-        best = report.best_algorithm(
-            family, direction=objective.direction)
-        print(f"best for {family}: {best}")
+    emit(report, args)
+    if not (args.json or args.quiet):
+        for family in families:
+            best = report.best_algorithm(
+                family, direction=objective.direction)
+            print(f"best for {family}: {best}")
     return 0
 
 
@@ -238,22 +279,28 @@ def _load_or_generate_plan(args: argparse.Namespace):
 
 
 def cmd_faults_run(args: argparse.Namespace) -> int:
+    obs = Observability() if args.capture else None
     try:
         plan = _load_or_generate_plan(args)
         report = run_campaign(plan, seed=args.seed, scenario=args.scenario,
                               duration=args.duration,
-                              improve=not args.no_improve)
+                              improve=not args.no_improve, obs=obs)
     except FaultPlanError as exc:
         print(f"fault plan rejected: {exc}", file=sys.stderr)
         return 2
-    document = report.render(include_timing=args.timing)
+    if obs is not None:
+        capture = obs.capture(label=f"faults {plan.name} seed={args.seed}")
+        capture.save(args.capture)
+        print(f"wrote observability capture to {args.capture}",
+              file=sys.stderr)
     if args.output:
+        document = report.render(include_timing=args.timing)
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(document + "\n")
-        print(report.summary())
+        print(report.summary_line())
         print(f"wrote resilience report to {args.output}")
     else:
-        print(document)
+        emit(report, args, include_timing=args.timing)
     return 0
 
 
@@ -285,8 +332,7 @@ def cmd_faults_lint(args: argparse.Namespace) -> int:
     model = (FAULT_SCENARIOS[args.scenario](args.seed).model
              if args.scenario else None)
     report = verify_fault_plan(plan, model=model)
-    render = render_json if args.json else render_text
-    print(render(report, f"fault plan {plan.name}"))
+    emit(report, args, title=f"fault plan {plan.name}")
     return report.exit_code(Severity.parse(args.fail_on))
 
 
@@ -295,6 +341,65 @@ SCENARIO_BUILDERS = {
     "sensorfield": lambda: build_sensor_field(),
     "clientserver": lambda: build_client_server(),
 }
+
+
+def cmd_obs_record(args: argparse.Namespace) -> int:
+    """Run the instrumented crisis improvement loop and save a capture."""
+    obs = Observability()
+    objective = AvailabilityObjective()
+    scenario = build_crisis_scenario(CrisisConfig(seed=args.seed))
+    model = scenario.model
+    clock = SimClock()
+    obs.bind_clock(clock)
+    system = DistributedSystem(model, clock, master_host=scenario.hq,
+                               seed=args.seed, obs=obs)
+    framework = CentralizedFramework(
+        system, objective, scenario.constraints,
+        user_input=scenario.user_input, monitor_interval=2.0,
+        seed=args.seed, obs=obs)
+    framework.start(cycles_per_analysis=2)
+    if args.degrade_at is not None:
+        StepChange(system.network, scenario.hq, scenario.commanders[0],
+                   at=args.degrade_at, attribute="reliability",
+                   value=0.3).start()
+    workload = InteractionWorkload(model, clock, system.emit,
+                                   seed=args.seed + 1).start()
+    clock.run(args.duration)
+    workload.stop()
+    framework.stop()
+    capture = obs.capture(label=f"crisis seed={args.seed} "
+                                f"t={args.duration:g}")
+    capture.save(args.output)
+    print(f"recorded {len(capture.spans)} root spans and "
+          f"{len(capture.metrics)} instruments over "
+          f"{len(capture.subsystems())} subsystems "
+          f"({', '.join(capture.subsystems())}) -> {args.output}")
+    return 0
+
+
+def cmd_obs_report(args: argparse.Namespace) -> int:
+    try:
+        capture = Capture.load(args.capture)
+    except (OSError, ReproError) as exc:
+        print(f"cannot read capture: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(capture.dumps(), end="")
+    else:
+        print(capture.render(show_spans=not args.metrics_only,
+                             show_metrics=not args.spans_only))
+    return 0
+
+
+def cmd_obs_diff(args: argparse.Namespace) -> int:
+    try:
+        old = Capture.load(args.old)
+        new = Capture.load(args.new)
+    except (OSError, ReproError) as exc:
+        print(f"cannot read capture: {exc}", file=sys.stderr)
+        return 2
+    print(old.diff(new))
+    return 0
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -319,8 +424,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
                 return 2
     exit_code = 0
     for title, report in reports:
-        render = render_json if args.json else render_text
-        print(render(report, title))
+        emit(report, args, title=title)
         exit_code = max(exit_code, report.exit_code(fail_on))
     if exit_code and args.force:
         print("findings at or above the failure threshold ignored (--force)",
@@ -373,6 +477,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the best deployment back to the file")
     p.add_argument("-o", "--output",
                    help="write the improved xADL here instead of in place")
+    add_output_flags(p)
     p.set_defaults(func=cmd_improve)
 
     p = sub.add_parser("simulate", help="run a closed-loop scenario")
@@ -394,6 +499,7 @@ def build_parser() -> argparse.ArgumentParser:
                    default="availability")
     p.add_argument("--replicates", type=int, default=3)
     p.add_argument("--seed", type=int, default=0)
+    add_output_flags(p)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser(
@@ -418,6 +524,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "(breaks byte-for-byte reproducibility)")
     f.add_argument("-o", "--output",
                    help="write the ResilienceReport JSON here")
+    f.add_argument("--capture",
+                   help="record an observability capture (metrics + spans) "
+                        "of the campaign to this JSON-lines file")
+    add_output_flags(f)
     f.set_defaults(func=cmd_faults_run)
 
     f = fsub.add_parser("generate", help="emit a campaign as a plan file")
@@ -439,7 +549,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also check host/link references against this "
                         "scenario's model")
     f.add_argument("--seed", type=int, default=0)
-    f.add_argument("--json", action="store_true")
+    add_output_flags(f)
     f.add_argument("--fail-on", choices=["error", "warning", "info"],
                    default="error")
     f.set_defaults(func=cmd_faults_lint)
@@ -454,21 +564,55 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--code", action="store_true",
                    help="run the AST code analyzer instead of the model "
                         "verifier")
-    p.add_argument("--json", action="store_true",
-                   help="machine-readable report")
+    add_output_flags(p)
     p.add_argument("--fail-on", choices=["error", "warning", "info"],
                    default="error",
                    help="lowest severity that makes the exit code non-zero")
     p.add_argument("--force", action="store_true",
                    help="report findings but exit zero anyway")
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "obs", help="record, render, and diff observability captures")
+    osub = p.add_subparsers(dest="obs_command", required=True)
+
+    o = osub.add_parser(
+        "record", help="run the instrumented crisis loop, save a capture")
+    o.add_argument("-o", "--output", required=True,
+                   help="capture output path (JSON lines)")
+    o.add_argument("--duration", type=float, default=60.0)
+    o.add_argument("--degrade-at", type=float, default=30.0,
+                   help="time of the mid-run link degradation")
+    o.add_argument("--seed", type=int, default=0)
+    o.set_defaults(func=cmd_obs_record)
+
+    o = osub.add_parser("report", help="render a saved capture")
+    o.add_argument("capture", help="JSON-lines capture file")
+    o.add_argument("--json", action="store_true",
+                   help="re-emit the canonical JSON-lines form")
+    o.add_argument("--spans-only", action="store_true",
+                   help="only the span tree")
+    o.add_argument("--metrics-only", action="store_true",
+                   help="only the metrics table")
+    o.set_defaults(func=cmd_obs_report)
+
+    o = osub.add_parser("diff", help="diff two captures")
+    o.add_argument("old")
+    o.add_argument("new")
+    o.set_defaults(func=cmd_obs_diff)
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that exited early — not an error.
+        # Point stdout at devnull so the interpreter's exit flush is quiet.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

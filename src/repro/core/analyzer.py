@@ -41,6 +41,7 @@ from repro.core.effector import RedeploymentPlan, plan_redeployment
 from repro.core.model import Deployment, DeploymentModel
 from repro.core.objectives import Objective
 from repro.core.registry import AlgorithmRegistry
+from repro.obs import Observability, get_observability
 
 
 class ObjectiveHistory:
@@ -98,8 +99,20 @@ class Decision:
     def summary(self) -> str:
         head = f"{self.action} ({self.reason})"
         if self.selected is not None:
-            head += f"; best={self.selected.summary()}"
+            head += f"; best={self.selected.summary_line()}"
         return head
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "action": self.action,
+            "reason": self.reason,
+            "current_value": self.current_value,
+            "selected": (None if self.selected is None
+                         else self.selected.to_dict()),
+            "plan": (None if self.plan is None else self.plan.summary()),
+            "algorithms_run": list(self.algorithms_run),
+            "guard_values": dict(self.guard_values),
+        }
 
 
 AlgorithmFactory = Callable[[], DeploymentAlgorithm]
@@ -151,7 +164,9 @@ class Analyzer:
                  parallel: bool = True,
                  algorithm_timeout: Optional[float] = None,
                  evaluation_budget: Optional[int] = None,
-                 max_workers: Optional[int] = None):
+                 max_workers: Optional[int] = None,
+                 obs: Optional[Observability] = None):
+        self.obs = obs if obs is not None else get_observability()
         self.objective = objective
         self.constraints = constraints if constraints is not None else ConstraintSet()
         self.latency_guard = latency_guard
@@ -281,21 +296,38 @@ class Analyzer:
         crashes, or times out degrades to a skipped outcome (recorded in
         ``decision.portfolio``) — it never aborts the cycle.
         """
-        current = model.deployment
-        current_value = self._engine.evaluate(model, current, charge=False)
-        self.history.record(now, current_value)
+        obs = self.obs
+        with obs.span("analyzer.cycle") as cycle_span:
+            current = model.deployment
+            current_value = self._engine.evaluate(model, current,
+                                                  charge=False)
+            self.history.record(now, current_value)
 
-        names = self.select_algorithms(model)
-        factories = {name: self.registry.get(name)
-                     for name in names if name in self.registry}
-        report = self._portfolio.run(model, factories, initial=current)
-        candidates = [outcome.result for outcome in report.outcomes
-                      if outcome.ok and outcome.result.valid]
+            names = self.select_algorithms(model)
+            factories = {name: self.registry.get(name)
+                         for name in names if name in self.registry}
+            with obs.span("analyzer.portfolio",
+                          algorithms=names) as portfolio_span:
+                report = self._portfolio.run(model, factories,
+                                             initial=current)
+                portfolio_span.set(outcomes=len(report.outcomes))
+            candidates = [outcome.result for outcome in report.outcomes
+                          if outcome.ok and outcome.result.valid]
 
-        decision = self._decide(model, current, current_value, candidates)
-        decision.algorithms_run = names
-        decision.portfolio = report
-        self.decisions.append(decision)
+            decision = self._decide(model, current, current_value,
+                                    candidates)
+            decision.algorithms_run = names
+            decision.portfolio = report
+            self.decisions.append(decision)
+            cycle_span.set(action=decision.action,
+                           current_value=current_value)
+            obs.counter("algorithms.portfolio_runs").inc()
+            obs.counter("analyzer.decisions", action=decision.action).inc()
+            # Promote the portfolio's memo/kernel accounting into the
+            # metrics registry — the engine hot path itself stays obs-free.
+            for key, value in report.counters().items():
+                if value:
+                    obs.counter(f"algorithms.engine.{key}").inc(value)
         return decision
 
     def _decide(self, model: DeploymentModel, current, current_value: float,

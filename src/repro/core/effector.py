@@ -29,6 +29,8 @@ from repro.core.errors import (
     EffectorError, MigrationTimeoutError, PreflightError,
 )
 from repro.core.model import Deployment, DeploymentModel, Move
+from repro.core.report import ReportBase
+from repro.obs import Observability, get_observability
 
 
 @dataclass
@@ -112,7 +114,7 @@ def plan_redeployment(model: DeploymentModel,
 
 
 @dataclass
-class EffectReport:
+class EffectReport(ReportBase):
     """What actually happened when a plan was effected."""
 
     plan: RedeploymentPlan
@@ -125,6 +127,33 @@ class EffectReport:
     retries: int = 0
     #: Whether a failed plan was rolled back to the pre-plan deployment.
     rolled_back: bool = False
+
+    def summary_line(self) -> str:
+        outcome = "succeeded" if self.succeeded else "FAILED"
+        line = (f"{self.plan.summary()} {outcome}: "
+                f"{self.moves_executed} moves, "
+                f"{self.kb_transferred:.1f} KB in {self.sim_duration:.3f}s")
+        if self.retries:
+            line += f", {self.retries} retries"
+        if self.rolled_back:
+            line += ", rolled back"
+        return line
+
+    def to_dict(self, **opts: Any) -> Dict[str, Any]:
+        return {
+            "plan": {
+                "moves": len(self.plan.moves),
+                "estimated_kb": self.plan.estimated_kb,
+                "estimated_time": self.plan.estimated_time,
+            },
+            "succeeded": self.succeeded,
+            "moves_executed": self.moves_executed,
+            "sim_duration": self.sim_duration,
+            "kb_transferred": self.kb_transferred,
+            "retries": self.retries,
+            "rolled_back": self.rolled_back,
+            "detail": dict(self.detail),
+        }
 
 
 class Effector(ABC):
@@ -222,7 +251,8 @@ class MiddlewareEffector(Effector):
                  verify: bool = True, max_retries: int = 3,
                  backoff_base: float = 0.5, backoff_factor: float = 2.0,
                  backoff_max: float = 30.0, jitter: float = 0.1,
-                 transactional: bool = True, seed: Optional[int] = None):
+                 transactional: bool = True, seed: Optional[int] = None,
+                 obs: Optional[Observability] = None):
         self.system = system
         self.max_wait = max_wait
         self.verify = verify
@@ -234,6 +264,17 @@ class MiddlewareEffector(Effector):
         self.transactional = transactional
         self._rng = random.Random(seed)
         self.history: list = []
+        self.obs = obs if obs is not None else get_observability()
+        # Resolve instruments once; with a null registry these are shared
+        # no-ops, with a live one they pre-register the effector's metrics
+        # so captures always show the subsystem (even at zero activity).
+        self._c_migrations = self.obs.counter("effector.migrations")
+        self._c_moves = self.obs.counter("effector.moves")
+        self._c_retries = self.obs.counter("effector.retries")
+        self._c_rollbacks = self.obs.counter("effector.rollbacks")
+        self._c_failures = self.obs.counter("effector.failures")
+        self._h_kb = self.obs.histogram("effector.kb_moved")
+        self._h_duration = self.obs.histogram("effector.sim_duration")
 
     def _backoff(self, retry_index: int) -> float:
         delay = min(self.backoff_base * self.backoff_factor ** retry_index,
@@ -248,7 +289,17 @@ class MiddlewareEffector(Effector):
             report = EffectReport(plan, True, 0)
             self.history.append(report)
             return report
+        with self.obs.span("effector.effect",
+                           moves=len(plan.moves)) as span:
+            report = self._effect(plan, force)
+            span.set(succeeded=report.succeeded, retries=report.retries,
+                     kb=report.kb_transferred)
+        return report
+
+    def _effect(self, plan: RedeploymentPlan,
+                force: bool = False) -> EffectReport:
         self.preflight(self.system.model, plan, force=force)
+        self._c_migrations.inc()
         clock = self.system.clock
         started = clock.now
         pre_state = dict(self.system.actual_deployment())
@@ -265,6 +316,7 @@ class MiddlewareEffector(Effector):
                     break
                 delay = self._backoff(retries)
                 retries += 1
+                self._c_retries.inc()
                 backoffs.append(delay)
                 clock.run(delay)  # heal window: partitions may come back
                 continue
@@ -276,6 +328,9 @@ class MiddlewareEffector(Effector):
                 detail={"backoffs": tuple(backoffs)} if backoffs else {},
             )
             self.history.append(report)
+            self._c_moves.inc(report.moves_executed)
+            self._h_kb.observe(report.kb_transferred)
+            self._h_duration.observe(report.sim_duration)
             return report
         # Retries exhausted: roll back to the pre-plan deployment.
         detail: Dict[str, Any] = {"error": str(last_error),
@@ -293,6 +348,9 @@ class MiddlewareEffector(Effector):
             plan, False, 0, sim_duration=clock.now - started,
             retries=retries, rolled_back=rolled_back, detail=detail)
         self.history.append(report)
+        self._c_failures.inc()
+        if rolled_back:
+            self._c_rollbacks.inc()
         raise MigrationTimeoutError(
             f"{plan.summary()} failed after {retries} retr"
             f"{'y' if retries == 1 else 'ies'}"

@@ -34,13 +34,15 @@ from repro.core.errors import EffectorError
 from repro.core.model import DeploymentModel
 from repro.core.monitoring import MonitoringHub
 from repro.core.objectives import Objective
+from repro.core.report import ReportBase, deprecated_alias
 from repro.core.user_input import UserInput
 from repro.middleware.runtime import AppComponent, DistributedSystem
+from repro.obs import Observability, get_observability
 from repro.sim.clock import SimClock
 
 
 @dataclass
-class CycleReport:
+class CycleReport(ReportBase):
     """What one improvement cycle observed and did."""
 
     time: float
@@ -48,13 +50,33 @@ class CycleReport:
     decision: Decision
     effect: Optional[EffectReport] = None
 
-    def summary(self) -> str:
+    def summary_line(self) -> str:
         line = (f"t={self.time:.1f}: {self.monitoring_updates} model "
                 f"updates; {self.decision.summary()}")
         if self.effect is not None:
             line += (f"; effected {self.effect.moves_executed} moves in "
                      f"{self.effect.sim_duration:.3f}s")
         return line
+
+    def to_dict(self, **opts: Any) -> Dict[str, Any]:
+        return {
+            "time": self.time,
+            "monitoring_updates": self.monitoring_updates,
+            "decision": self.decision.to_dict(),
+            "effect": (None if self.effect is None
+                       else self.effect.to_dict(**opts)),
+        }
+
+    def render(self, **opts: Any) -> str:
+        lines = [self.summary_line()]
+        if self.decision.algorithms_run:
+            lines.append(
+                "  algorithms: " + ", ".join(self.decision.algorithms_run))
+        for result in self.decision.candidates:
+            lines.append(f"  candidate {result.summary_line()}")
+        return "\n".join(lines)
+
+    summary = deprecated_alias("summary_line", "summary")
 
 
 class CentralizedFramework:
@@ -80,23 +102,27 @@ class CentralizedFramework:
                  monitor_interval: float = 1.0,
                  epsilon: float = 0.05, stability_window: int = 3,
                  analyzer: Optional[Analyzer] = None,
-                 seed: Optional[int] = None):
+                 seed: Optional[int] = None,
+                 obs: Optional[Observability] = None):
         self.system = system
         self.model = system.model
         self.clock: SimClock = system.clock
         self.objective = objective
         self.constraints = constraints if constraints is not None else ConstraintSet()
+        self.obs = obs if obs is not None else get_observability()
+        if self.obs.enabled:
+            self.obs.bind_clock(self.clock)
         if user_input is not None:
             user_input.apply(self.model)
             for constraint in user_input.constraints:
                 if constraint not in self.constraints.constraints:
                     self.constraints.add(constraint)
         self.hub = MonitoringHub(self.model, epsilon=epsilon,
-                                 window=stability_window)
+                                 window=stability_window, obs=self.obs)
         self.analyzer = analyzer if analyzer is not None else Analyzer(
             objective, self.constraints, latency_guard=latency_guard,
-            seed=seed)
-        self.effector = MiddlewareEffector(system, seed=seed)
+            seed=seed, obs=self.obs)
+        self.effector = MiddlewareEffector(system, seed=seed, obs=self.obs)
         self.monitor_interval = monitor_interval
         self.cycles: List[CycleReport] = []
         self._cycle_task = None
@@ -153,16 +179,20 @@ class CentralizedFramework:
     def _on_window(self) -> None:
         # The master host's own monitors are collected directly (Figure 2's
         # Master Monitor observes the master's platform itself).
-        master_admin = self.system.deployer
-        self.hub.ingest(self.system.master_host,
-                        master_admin.collect_report())
-        updates = self.hub.process_interval()
-        self._windows_since_analysis += 1
-        if self._windows_since_analysis >= self._cycles_per_analysis:
-            self._windows_since_analysis = 0
-            report = self.improvement_cycle(len(updates))
-            if self._adaptive_schedule:
-                self._adapt_schedule(report)
+        with self.obs.span("framework.window") as window_span:
+            master_admin = self.system.deployer
+            self.hub.ingest(self.system.master_host,
+                            master_admin.collect_report())
+            updates = self.hub.process_interval()
+            self._windows_since_analysis += 1
+            analyzed = (self._windows_since_analysis
+                        >= self._cycles_per_analysis)
+            window_span.set(updates=len(updates), analyzed=analyzed)
+            if analyzed:
+                self._windows_since_analysis = 0
+                report = self.improvement_cycle(len(updates))
+                if self._adaptive_schedule:
+                    self._adapt_schedule(report)
 
     def _adapt_schedule(self, report: "CycleReport") -> None:
         stable = self.analyzer.history.is_stable(
@@ -187,6 +217,9 @@ class CentralizedFramework:
         report = CycleReport(self.clock.now, monitoring_updates, decision,
                              effect)
         self.cycles.append(report)
+        self.obs.counter("framework.cycles").inc()
+        if effect is not None:
+            self.obs.counter("framework.redeployments").inc()
         return report
 
     # ------------------------------------------------------------------

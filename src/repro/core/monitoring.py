@@ -29,6 +29,7 @@ from typing import Any, Deque, Dict, Iterable, List, Optional, Tuple
 
 from repro.core import parameters as P
 from repro.core.model import DeploymentModel
+from repro.obs import Observability, get_observability
 
 
 class StabilityDetector:
@@ -111,7 +112,8 @@ class MonitoringHub:
 
     def __init__(self, model: DeploymentModel, epsilon: float = 0.05,
                  window: int = 3,
-                 frequency_epsilon: Optional[float] = None):
+                 frequency_epsilon: Optional[float] = None,
+                 obs: Optional[Observability] = None):
         self.model = model
         self.epsilon = epsilon
         self.window = window
@@ -124,6 +126,10 @@ class MonitoringHub:
         self._current_reports: Dict[str, Dict[str, Any]] = {}
         self.updates_applied: List[MonitoringUpdate] = []
         self.intervals_processed = 0
+        self.obs = obs if obs is not None else get_observability()
+        self._c_windows = self.obs.counter("monitoring.windows")
+        self._c_stabilized = self.obs.counter("monitoring.series_stabilized")
+        self._c_rejections = self.obs.counter("monitoring.eps_rejections")
 
     # ------------------------------------------------------------------
     def ingest(self, host: str, report: Dict[str, Any]) -> None:
@@ -188,18 +194,25 @@ class MonitoringHub:
         Returns the updates written to the model this interval.
         """
         applied: List[MonitoringUpdate] = []
-        for key, value in sorted(self._interval_values().items(),
-                                 key=lambda kv: repr(kv[0])):
-            detector = self._detector_for(key)
-            if detector.update(value):
-                stable = detector.stable_value()
-                assert stable is not None
-                update = MonitoringUpdate(key[0], key[1], key[2], stable)
-                self._apply(update)
-                applied.append(update)
-        self._current_reports.clear()
-        self.intervals_processed += 1
-        self.updates_applied.extend(applied)
+        with self.obs.span("monitoring.interval") as span:
+            for key, value in sorted(self._interval_values().items(),
+                                     key=lambda kv: repr(kv[0])):
+                detector = self._detector_for(key)
+                if detector.update(value):
+                    stable = detector.stable_value()
+                    assert stable is not None
+                    update = MonitoringUpdate(key[0], key[1], key[2], stable)
+                    self._apply(update)
+                    applied.append(update)
+                    self._c_stabilized.inc()
+                else:
+                    # The ε-rule held this series back this interval.
+                    self._c_rejections.inc()
+            self._current_reports.clear()
+            self.intervals_processed += 1
+            self.updates_applied.extend(applied)
+            self._c_windows.inc()
+            span.set(applied=len(applied))
         return applied
 
     def _apply(self, update: MonitoringUpdate) -> None:

@@ -26,6 +26,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.core.errors import MiddlewareError
 from repro.core.model import DeploymentModel
 from repro.core.objectives import AvailabilityObjective, Objective
+from repro.core.report import ReportBase, deprecated_alias
 from repro.decentralized.auction import AuctionAgentComponent, agent_id
 from repro.decentralized.awareness import AwarenessGraph, from_connectivity
 from repro.decentralized.sync import KnowledgeBase, ModelSynchronizer
@@ -98,7 +99,7 @@ class DecentralizedAnalyzer(Voter):
 
 
 @dataclass
-class RoundReport:
+class RoundReport(ReportBase):
     """What one decentralized improvement round did."""
 
     index: int
@@ -110,11 +111,28 @@ class RoundReport:
     availability_before: float
     availability_after: float
 
-    def summary(self) -> str:
+    def summary_line(self) -> str:
         return (f"round {self.index} t={self.time:.1f}: {self.decision}; "
                 f"{self.auctions} auctions, {self.moves} moves; "
                 f"availability {self.availability_before:.4f} -> "
                 f"{self.availability_after:.4f}")
+
+    def to_dict(self, **opts: Any) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "time": self.time,
+            "facts_synced": self.facts_synced,
+            "decision": self.decision,
+            "auctions": self.auctions,
+            "moves": self.moves,
+            "availability_before": self.availability_before,
+            "availability_after": self.availability_after,
+        }
+
+    def render(self, **opts: Any) -> str:
+        return self.summary_line()
+
+    summary = deprecated_alias("summary_line", "summary")
 
 
 class DecentralizedFramework:

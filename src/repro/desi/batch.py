@@ -15,16 +15,19 @@ import pickle
 import statistics
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.algorithms.base import DeploymentAlgorithm
 from repro.algorithms.engine import EvaluationEngine
 from repro.core.errors import AlgorithmError, LintError, ReproError
 from repro.core.model import DeploymentModel
 from repro.core.objectives import Objective
+from repro.core.report import ReportBase
 from repro.desi.generator import Generator, GeneratorConfig
 from repro.desi.xadl import from_xml, to_xml
 from repro.lint.model_rules import verify_deployment
+from repro.obs import Observability, get_observability
+from repro.obs.metrics import MetricsRegistry
 
 AlgorithmFactory = Callable[[], DeploymentAlgorithm]
 
@@ -53,6 +56,13 @@ class CellResult:
     #: successful runs.
     mean_kernel_evaluations: float = 0.0
     truncated_runs: int = 0
+    #: Engine counters *summed* over successful runs, every key the engine
+    #: reports (full_evaluations, cache_hits, cache_misses,
+    #: delta_evaluations, delta_fallbacks, kernel_evaluations,
+    #: kernel_deltas).  Unlike the ``mean_*`` convenience columns above,
+    #: nothing is conflated or dropped — serial and ``workers=N`` sweeps
+    #: must agree on these exactly.
+    engine_counters: Dict[str, int] = field(default_factory=dict)
 
     @property
     def mean_improvement(self) -> Optional[float]:
@@ -62,7 +72,7 @@ class CellResult:
 
 
 @dataclass
-class ExperimentReport:
+class ExperimentReport(ReportBase):
     """All cells of one sweep, with table rendering."""
 
     objective_name: str
@@ -124,6 +134,48 @@ class ExperimentReport:
                   for row in formatted]
         return "\n".join(lines)
 
+    def engine_counters(self) -> Dict[str, int]:
+        """Engine counters summed across every cell of the sweep."""
+        totals: Dict[str, int] = {}
+        for cell in self.cells:
+            for key, value in cell.engine_counters.items():
+                totals[key] = totals.get(key, 0) + value
+        return dict(sorted(totals.items()))
+
+    def summary_line(self) -> str:
+        families = sorted({c.family for c in self.cells})
+        algorithms = sorted({c.algorithm for c in self.cells})
+        failures = sum(c.failures for c in self.cells)
+        return (f"{self.objective_name} sweep: {len(families)} families x "
+                f"{len(algorithms)} algorithms, {len(self.cells)} cells, "
+                f"{failures} failed runs")
+
+    def to_dict(self, include_timing: bool = True,
+                **opts: Any) -> Dict[str, Any]:
+        cells = []
+        for cell in self.cells:
+            entry: Dict[str, Any] = {
+                "family": cell.family,
+                "algorithm": cell.algorithm,
+                "runs": cell.runs,
+                "failures": cell.failures,
+                "mean_value": cell.mean_value,
+                "stdev_value": cell.stdev_value,
+                "mean_initial": cell.mean_initial,
+                "mean_moves": cell.mean_moves,
+                "truncated_runs": cell.truncated_runs,
+                "engine_counters": dict(sorted(
+                    cell.engine_counters.items())),
+            }
+            if include_timing:
+                entry["mean_elapsed"] = cell.mean_elapsed
+            cells.append(entry)
+        return {
+            "objective": self.objective_name,
+            "cells": cells,
+            "engine_counters": self.engine_counters(),
+        }
+
 
 class ExperimentRunner:
     """Sweep architecture families against an algorithm suite.
@@ -152,6 +204,12 @@ class ExperimentRunner:
             timing — compare with ``report.render(include_timing=False)``.
             Algorithm factories must be picklable (module-level functions
             or ``functools.partial``, not lambdas).
+        obs: Observability bundle the sweep reports into.  Defaults to the
+            process-wide bundle.  In serial mode cells are instrumented
+            in-process; in workers mode each worker records into a private
+            registry that is shipped back (as metric lines) and merged into
+            this bundle, so serial and parallel sweeps report identical
+            counters.  Disabled bundles cost nothing and change nothing.
     """
 
     def __init__(self, objective: Objective,
@@ -160,7 +218,8 @@ class ExperimentRunner:
                  max_evaluations: Optional[int] = None,
                  max_seconds: Optional[float] = None,
                  preflight: bool = True,
-                 workers: Optional[int] = None):
+                 workers: Optional[int] = None,
+                 obs: Optional[Observability] = None):
         if not algorithms:
             raise ReproError("need at least one algorithm")
         if replicates < 1:
@@ -175,6 +234,7 @@ class ExperimentRunner:
         self.max_seconds = max_seconds
         self.preflight = preflight
         self.workers = workers
+        self.obs = obs if obs is not None else get_observability()
 
     def verify_models(self, models: Sequence[DeploymentModel]) -> None:
         """Raise :class:`LintError` if any model fails the deployment rules."""
@@ -199,6 +259,12 @@ class ExperimentRunner:
 
     def run(self, families: Dict[str, GeneratorConfig]) -> ExperimentReport:
         """Execute the sweep; returns per-cell aggregates."""
+        with self.obs.span("desi.sweep", families=len(families),
+                           algorithms=len(self.algorithms),
+                           workers=self.workers or 1):
+            return self._run(families)
+
+    def _run(self, families: Dict[str, GeneratorConfig]) -> ExperimentReport:
         report = ExperimentReport(self.objective.name)
         # Generate + verify + score initials in-process, then freeze every
         # family to xADL: serial and worker cells both reconstruct models
@@ -218,30 +284,55 @@ class ExperimentRunner:
                         for m in models]
             prepared.append((family, tuple(to_xml(m) for m in models),
                              initials))
+        observed = self.obs.metrics.enabled
         jobs = [
             (family, algorithm_name, self.algorithms[algorithm_name],
-             model_xmls, initials, self.max_evaluations, self.max_seconds)
+             model_xmls, initials, self.max_evaluations, self.max_seconds,
+             observed)
             for family, model_xmls, initials in prepared
             for algorithm_name in sorted(self.algorithms)
         ]
         if self.workers is not None and self.workers > 1:
             self._check_picklable()
             with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                report.cells.extend(pool.map(_run_cell_job, jobs))
+                outcomes = list(pool.map(_run_cell_job, jobs))
         else:
-            report.cells.extend(_run_cell_job(job) for job in jobs)
+            outcomes = [_run_cell_job(job) for job in jobs]
+        for cell, metric_lines in outcomes:
+            report.cells.append(cell)
+            self._absorb(cell, metric_lines)
         return report
 
+    def _absorb(self, cell: CellResult, metric_lines: Optional[list]) -> None:
+        """Merge one cell's worker-side metrics into the sweep's bundle
+        and mirror the cell as a span (parent-side, so workers-mode sweeps
+        still produce one span per cell)."""
+        if not self.obs.enabled:
+            return
+        if metric_lines:
+            shipped = MetricsRegistry()
+            for line in metric_lines:
+                shipped.load_line(line)
+            self.obs.metrics.merge(shipped)
+        with self.obs.span("desi.cell", family=cell.family,
+                           algorithm=cell.algorithm) as span:
+            span.set(runs=cell.runs, failures=cell.failures,
+                     truncated=cell.truncated_runs)
 
-def _run_cell_job(job: Tuple) -> CellResult:
+
+def _run_cell_job(job: Tuple) -> Tuple[CellResult, Optional[list]]:
     """One (family, algorithm) cell; module-level so process pools can
     pickle it.  Models arrive as xADL strings and are rebuilt here, in the
-    worker (or inline in serial mode)."""
+    worker (or inline in serial mode).  Returns the cell plus (when the
+    sweep is observed) the worker's metric lines for parent-side merging —
+    registries themselves never cross the process boundary."""
     (family, algorithm_name, factory, model_xmls, initials,
-     max_evaluations, max_seconds) = job
+     max_evaluations, max_seconds, observed) = job
     models = [from_xml(text) for text in model_xmls]
-    return _execute_cell(family, algorithm_name, factory, models, initials,
-                         max_evaluations, max_seconds)
+    registry = MetricsRegistry() if observed else None
+    cell = _execute_cell(family, algorithm_name, factory, models, initials,
+                         max_evaluations, max_seconds, registry)
+    return cell, (registry.to_lines() if registry is not None else None)
 
 
 def _execute_cell(family: str, algorithm_name: str,
@@ -249,7 +340,8 @@ def _execute_cell(family: str, algorithm_name: str,
                   models: Sequence[DeploymentModel],
                   initials: Sequence[float],
                   max_evaluations: Optional[int],
-                  max_seconds: Optional[float]) -> CellResult:
+                  max_seconds: Optional[float],
+                  registry: Optional[MetricsRegistry] = None) -> CellResult:
     values: List[float] = []
     elapsed: List[float] = []
     moves: List[float] = []
@@ -257,6 +349,7 @@ def _execute_cell(family: str, algorithm_name: str,
     cache_hits: List[float] = []
     delta_evals: List[float] = []
     kernel_evals: List[float] = []
+    engine_totals: Dict[str, int] = {}
     truncated = 0
     failures = 0
     for model in models:
@@ -282,9 +375,13 @@ def _execute_cell(family: str, algorithm_name: str,
         delta_evals.append(counters.get("delta_evaluations", 0))
         kernel_evals.append(counters.get("kernel_evaluations", 0)
                             + counters.get("kernel_deltas", 0))
+        for key, value in counters.items():
+            if isinstance(value, bool) or not isinstance(value, int):
+                continue
+            engine_totals[key] = engine_totals.get(key, 0) + value
         if counters.get("truncated"):
             truncated += 1
-    return CellResult(
+    cell = CellResult(
         family=family,
         algorithm=algorithm_name,
         runs=len(models),
@@ -304,4 +401,13 @@ def _execute_cell(family: str, algorithm_name: str,
         mean_kernel_evaluations=(statistics.mean(kernel_evals)
                                  if kernel_evals else 0.0),
         truncated_runs=truncated,
+        engine_counters=dict(sorted(engine_totals.items())),
     )
+    if registry is not None:
+        labels = {"family": family, "algorithm": algorithm_name}
+        registry.counter("desi.runs", **labels).inc(len(models))
+        registry.counter("desi.failures", **labels).inc(failures)
+        registry.counter("desi.truncated", **labels).inc(truncated)
+        for key, value in engine_totals.items():
+            registry.counter(f"algorithms.engine.{key}", **labels).inc(value)
+    return cell

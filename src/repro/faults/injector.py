@@ -30,6 +30,7 @@ from typing import Any, Dict, FrozenSet, List, Optional, Tuple
 from repro.core.errors import FaultPlanError
 from repro.core.model import DeploymentModel
 from repro.faults.plan import FaultAction, FaultPlan
+from repro.obs import Observability, get_observability
 from repro.sim.network import SimulatedNetwork
 
 
@@ -44,7 +45,9 @@ class FaultInjector:
     """
 
     def __init__(self, network: SimulatedNetwork, plan: FaultPlan,
-                 model: Optional[DeploymentModel] = None):
+                 model: Optional[DeploymentModel] = None,
+                 obs: Optional[Observability] = None):
+        self.obs = obs if obs is not None else get_observability()
         self.network = network
         self.plan = plan
         self.model = model
@@ -115,6 +118,7 @@ class FaultInjector:
               params: Dict[str, Any]) -> None:
         detail = getattr(self, f"_do_{kind}")(target, params)
         self.actions_applied += 1
+        self.obs.counter("faults.actions", kind=kind).inc()
         self.log.append({"time": self.clock.now, "kind": kind,
                          "target": list(target), "detail": detail})
 

@@ -33,9 +33,11 @@ from typing import Any, Callable, Dict, Optional
 from repro.core import AvailabilityObjective
 from repro.core.errors import FaultPlanError
 from repro.core.framework import CentralizedFramework
+from repro.core.report import ReportBase, deprecated_alias
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.middleware.runtime import AppComponent, DistributedSystem
+from repro.obs import Observability, get_observability
 from repro.scenarios import (
     CrisisConfig, build_client_server, build_crisis_scenario,
     build_sensor_field,
@@ -53,7 +55,7 @@ SCENARIOS: Dict[str, Callable[[Optional[int]], Any]] = {
 
 
 @dataclass
-class ResilienceReport:
+class ResilienceReport(ReportBase):
     """What a fault campaign did to the system, and how it coped."""
 
     plan_name: str
@@ -91,7 +93,8 @@ class ResilienceReport:
         the model's prediction."""
         return self.delivered_availability - self.modeled_availability
 
-    def as_dict(self, include_timing: bool = False) -> Dict[str, Any]:
+    def to_dict(self, include_timing: bool = False,
+                **opts: Any) -> Dict[str, Any]:
         out = {
             "plan": self.plan_name,
             "scenario": self.scenario,
@@ -129,19 +132,23 @@ class ResilienceReport:
             out["timing"] = {"wall_seconds": self.wall_seconds}
         return out
 
-    def render(self, include_timing: bool = False, indent: int = 2) -> str:
+    def render(self, include_timing: bool = False, indent: int = 2,
+               **opts: Any) -> str:
         """Canonical JSON; byte-identical across runs of the same
         (plan, seed) when timing is excluded (the default)."""
-        return json.dumps(self.as_dict(include_timing=include_timing),
+        return json.dumps(self.to_dict(include_timing=include_timing),
                           indent=indent, sort_keys=True)
 
-    def summary(self) -> str:
+    def summary_line(self) -> str:
         return (f"{self.plan_name} on {self.scenario} (seed {self.seed}): "
                 f"delivered {self.delivered_availability:.3f} vs modeled "
                 f"{self.modeled_availability:.3f}; "
                 f"{self.migrations_succeeded}/{self.migrations_attempted} "
                 f"migrations, {self.effector_retries} retries, "
                 f"{self.rollbacks} rollbacks")
+
+    as_dict = deprecated_alias("to_dict", "as_dict")
+    summary = deprecated_alias("summary_line", "summary")
 
 
 def _delivery_counts(system: DistributedSystem) -> Dict[str, int]:
@@ -160,6 +167,7 @@ def run_campaign(plan: FaultPlan, seed: int = 0, scenario: str = "crisis",
                  cycles_per_analysis: int = 2,
                  system_factory: Optional[
                      Callable[[SimClock, int], DistributedSystem]] = None,
+                 obs: Optional[Observability] = None,
                  ) -> ResilienceReport:
     """Execute *plan* against a freshly built scenario system.
 
@@ -177,10 +185,17 @@ def run_campaign(plan: FaultPlan, seed: int = 0, scenario: str = "crisis",
             the baseline for the with/without-redeployment experiment.
         system_factory: Optional ``(clock, seed) -> DistributedSystem``
             override for custom topologies (tests use tiny ones).
+        obs: Observability bundle instrumenting the run.  Defaults to the
+            process-wide bundle (a no-op unless one was installed); pass an
+            enabled bundle to capture per-subsystem metrics and spans for
+            ``python -m repro obs report``.
     """
     started_wall = _time.perf_counter()
     run_for = plan.duration if duration is None else float(duration)
     clock = SimClock()
+    obs = obs if obs is not None else get_observability()
+    if obs.enabled:
+        obs.bind_clock(clock)
     framework: Optional[CentralizedFramework] = None
     objective = AvailabilityObjective()
     if system_factory is not None:
@@ -198,18 +213,19 @@ def run_campaign(plan: FaultPlan, seed: int = 0, scenario: str = "crisis",
         model = built.model
         master = getattr(built, "hq", None)
         system = DistributedSystem(model, clock, master_host=master,
-                                   seed=seed)
+                                   seed=seed, obs=obs)
         if improve:
             framework = CentralizedFramework(
                 system, objective, built.constraints,
                 user_input=getattr(built, "user_input", None),
-                monitor_interval=monitor_interval, seed=seed)
+                monitor_interval=monitor_interval, seed=seed, obs=obs)
     if improve and framework is None and system_factory is not None \
             and system.deployer is not None:
         framework = CentralizedFramework(
-            system, objective, monitor_interval=monitor_interval, seed=seed)
+            system, objective, monitor_interval=monitor_interval,
+            seed=seed, obs=obs)
 
-    injector = FaultInjector(system.network, plan, model=model)
+    injector = FaultInjector(system.network, plan, model=model, obs=obs)
     injector.arm()
     workload = InteractionWorkload(model, clock, system.emit,
                                    seed=seed + 1).start()

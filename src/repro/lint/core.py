@@ -28,6 +28,7 @@ from typing import (
 )
 
 from repro.core.errors import ReproError
+from repro.core.report import ReportBase
 
 
 class Severity(enum.IntEnum):
@@ -129,7 +130,7 @@ class Rule:
 
 
 @dataclass
-class LintReport:
+class LintReport(ReportBase):
     """All findings of one verification run."""
 
     findings: List[Finding] = field(default_factory=list)
@@ -180,6 +181,26 @@ class LintReport:
             self.findings,
             key=lambda f: (-f.severity, f.rule, f.file or "", f.line or 0,
                            f.subject)))
+
+    # -- Report protocol (delegates to the module-level reporters) -----
+    def to_dict(self, title: str = "", **opts: Any) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "findings": [f.as_dict() for f in self.sorted()],
+            "summary": self.counts(),
+        }
+        if title:
+            payload["target"] = title
+        return payload
+
+    def render(self, title: str = "", **opts: Any) -> str:
+        return render_text(self, title=title)
+
+    def summary_line(self) -> str:
+        counts = self.counts()
+        parts = ", ".join(f"{counts[s.label]} {s.label}(s)"
+                          for s in sorted(Severity, reverse=True)
+                          if counts[s.label])
+        return parts if parts else "clean"
 
 
 class RuleRegistry:

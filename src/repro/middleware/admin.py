@@ -40,6 +40,7 @@ from repro.middleware.connectors import DistributionConnector
 from repro.middleware.events import Event
 from repro.middleware.monitors import EvtFrequencyMonitor, NetworkReliabilityMonitor
 from repro.middleware.serialization import deserialize_component, serialize_component
+from repro.obs import get_observability
 from repro.sim.clock import SimClock
 
 
@@ -95,6 +96,10 @@ class AdminComponent(ExtensibleComponent):
         self.retransmissions = 0
         self.restores = 0
         self.reports_sent = 0
+        obs = get_observability()
+        self._c_retransmissions = obs.counter(
+            "middleware.admin.retransmissions")
+        self._c_restores = obs.counter("middleware.admin.restores")
 
     # ------------------------------------------------------------------
     @property
@@ -297,6 +302,7 @@ class AdminComponent(ExtensibleComponent):
             self._restore_local(component_id)
             return
         self.retransmissions += 1
+        self._c_retransmissions.inc()
         self._send_transfer(component_id)
 
     def _restore_local(self, component_id: str) -> None:
@@ -322,6 +328,7 @@ class AdminComponent(ExtensibleComponent):
             if self.frequency_monitor is not None:
                 component.attach_monitor(self.frequency_monitor)
         self.restores += 1
+        self._c_restores.inc()
         self.connector.end_buffering(component_id, self.host)
         self._announce_location(component_id, None)
 

@@ -32,6 +32,7 @@ from typing import Any, Dict, Optional, Tuple
 from repro.core.errors import MiddlewareError
 from repro.middleware.bricks import Connector
 from repro.middleware.events import Event
+from repro.obs import Observability, get_observability
 from repro.sim.network import SimulatedNetwork
 
 
@@ -43,8 +44,19 @@ class DistributionConnector(Connector):
     def __init__(self, connector_id: str, network: SimulatedNetwork,
                  host: str, deployer_host: Optional[str] = None,
                  queue_when_disconnected: bool = False,
-                 offline_queue_limit: int = 1000):
+                 offline_queue_limit: int = 1000,
+                 obs: Optional[Observability] = None):
         super().__init__(connector_id)
+        obs = obs if obs is not None else get_observability()
+        self._c_sent = obs.counter("middleware.connector.sent_remote")
+        self._c_received = obs.counter(
+            "middleware.connector.received_remote")
+        self._c_relayed = obs.counter("middleware.connector.relayed")
+        self._c_flushed = obs.counter(
+            "middleware.connector.offline_flushed")
+        self._c_undeliverable = obs.counter(
+            "middleware.connector.undeliverable")
+        self._g_offline = obs.gauge("middleware.connector.offline_queue")
         self.network = network
         self.host = host
         self.deployer_host = deployer_host
@@ -144,6 +156,7 @@ class DistributionConnector(Connector):
             destination = self.deployer_host
         if destination is None or destination == self.host:
             self.undeliverable.append(event)
+            self._c_undeliverable.inc()
             return
         self._transmit(destination, event)
 
@@ -169,6 +182,7 @@ class DistributionConnector(Connector):
             ttl = event.headers.get("ttl", self.MAX_RELAY_HOPS)
             if ttl <= 0:
                 self.undeliverable.append(event)
+                self._c_undeliverable.inc()
                 return
             event.headers["ttl"] = ttl - 1
             event.headers["relay_to"] = destination
@@ -185,6 +199,7 @@ class DistributionConnector(Connector):
             event.headers["seq_link"] = self.host
         wire = event.to_wire()
         self.sent_remote += 1
+        self._c_sent.inc()
         self.network.send(self.host, destination, wire,
                           size_kb=event.size_kb,
                           reliable=event.is_admin)
@@ -199,8 +214,10 @@ class DistributionConnector(Connector):
         if self.queue_when_disconnected \
                 and len(self.offline_queue) < self.offline_queue_limit:
             self.offline_queue.append((destination, event))
+            self._g_offline.set(len(self.offline_queue))
         else:
             self.undeliverable.append(event)
+            self._c_undeliverable.inc()
 
     def _on_network_event(self, name: str, payload: Any) -> None:
         """A link came up: retry everything waiting for connectivity."""
@@ -214,6 +231,8 @@ class DistributionConnector(Connector):
             after = len(self.offline_queue) + len(self.undeliverable)
             if after == before:
                 self.offline_flushed += 1
+                self._c_flushed.inc()
+        self._g_offline.set(len(self.offline_queue))
 
     def _pick_relay(self, destination: str,
                     my_neighbors: Tuple[str, ...]) -> Optional[str]:
@@ -232,6 +251,7 @@ class DistributionConnector(Connector):
                             size_kb: float) -> None:
         event = Event.from_wire(payload)
         self.received_remote += 1
+        self._c_received.inc()
         event.headers["arrived_from"] = source
         # Network arrivals bypass the scaffold, so probe the monitors here
         # (reliability piggyback, reply hoarding) before routing.
@@ -240,6 +260,7 @@ class DistributionConnector(Connector):
         if relay_to is not None and relay_to != self.host:
             # We are the mediator: pass it along toward the true target.
             self.relayed += 1
+            self._c_relayed.inc()
             self._transmit(relay_to, event)
             return
         if (self.architecture is not None and event.target is not None
@@ -258,6 +279,7 @@ class DistributionConnector(Connector):
                 self._transmit(known, event)
                 return
         self.undeliverable.append(event)
+        self._c_undeliverable.inc()
 
     # ------------------------------------------------------------------
     def neighbors(self) -> Tuple[str, ...]:

@@ -25,6 +25,7 @@ from repro.middleware.connectors import DistributionConnector
 from repro.middleware.events import Event
 from repro.middleware.scaffold import SimScaffold
 from repro.middleware.serialization import register_component_class
+from repro.obs import Observability, get_observability, set_observability
 from repro.sim.clock import SimClock
 from repro.sim.network import SimulatedNetwork
 
@@ -86,14 +87,19 @@ class DistributedSystem:
                  component_factory: Optional[ComponentFactory] = None,
                  seed: Optional[int] = None,
                  decentralized: bool = False,
-                 queue_when_disconnected: bool = False):
+                 queue_when_disconnected: bool = False,
+                 obs: Optional[Observability] = None):
         model.validate_deployment()
         self.model = model
         self.clock = clock
         self.decentralized = decentralized
         self.queue_when_disconnected = queue_when_disconnected
+        self.obs = obs if obs is not None else get_observability()
+        if self.obs.enabled:
+            self.obs.bind_clock(clock)
         self.network = network if network is not None \
-            else SimulatedNetwork.from_model(model, clock, seed=seed)
+            else SimulatedNetwork.from_model(model, clock, seed=seed,
+                                             obs=self.obs)
         if decentralized:
             if master_host is not None:
                 raise MiddlewareError(
@@ -106,12 +112,20 @@ class DistributedSystem:
                 raise UnknownEntityError("host", self.master_host)
         factory = component_factory if component_factory is not None \
             else AppComponent
-        self.scaffold = SimScaffold(clock)
+        self.scaffold = SimScaffold(clock, obs=self.obs)
         self.architectures: Dict[str, Architecture] = {}
         self.admins: Dict[str, AdminComponent] = {}
         self.deployer: DeployerComponent = None  # set in _build
         self.emissions_skipped = 0
-        self._build(factory)
+        # Admins (and any custom components) resolve their instruments from
+        # the process default at construction; scope the injected bundle
+        # over the build so injection reaches them too.
+        previous = set_observability(self.obs) if self.obs.enabled else None
+        try:
+            self._build(factory)
+        finally:
+            if previous is not None:
+                set_observability(previous)
 
     # ------------------------------------------------------------------
     def _build(self, factory: ComponentFactory) -> None:
@@ -125,7 +139,8 @@ class DistributedSystem:
             dist = DistributionConnector(
                 f"dist@{host}", self.network, host,
                 deployer_host=self.master_host,
-                queue_when_disconnected=self.queue_when_disconnected)
+                queue_when_disconnected=self.queue_when_disconnected,
+                obs=self.obs)
             architecture.add_connector(dist)
             if host == self.master_host:
                 agent: AdminComponent = DeployerComponent(

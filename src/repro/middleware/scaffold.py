@@ -32,6 +32,7 @@ from abc import ABC, abstractmethod
 from typing import Any, Optional
 
 from repro.middleware.events import Event
+from repro.obs import Observability, get_observability
 from repro.sim.clock import SimClock
 
 
@@ -66,13 +67,27 @@ class SimScaffold(Scaffold):
     when the clock is stepped.
     """
 
-    def __init__(self, clock: SimClock):
+    def __init__(self, clock: SimClock,
+                 obs: Optional[Observability] = None):
         self.clock = clock
         self.dispatched = 0
+        obs = obs if obs is not None else get_observability()
+        # Resolved once: the dispatch hot path pays one no-op call per
+        # event when observability is disabled, and queue-depth tracking
+        # (an extra callback hop per delivery) is wired only when on.
+        self._c_dispatched = obs.counter("middleware.scaffold.dispatched")
+        self._g_queue = obs.gauge("middleware.scaffold.queue_depth")
+        self._deliver = self._observed_invoke if obs.enabled else self._invoke
 
     def dispatch(self, brick: Any, event: Event) -> None:
         self.dispatched += 1
-        self.clock.schedule(0.0, self._invoke, brick, event)
+        self._c_dispatched.inc()
+        self._g_queue.add(1)
+        self.clock.schedule(0.0, self._deliver, brick, event)
+
+    def _observed_invoke(self, brick: Any, event: Event) -> None:
+        self._g_queue.add(-1)
+        self._invoke(brick, event)
 
     def drain(self) -> None:
         """Run the clock at the current instant until quiescent."""

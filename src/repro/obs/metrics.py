@@ -1,0 +1,367 @@
+"""Metric instruments and the registry that owns them.
+
+Three instrument kinds cover every measurement the framework takes of
+itself:
+
+* :class:`Counter` — monotonically increasing totals (events dispatched,
+  messages dropped, migrations attempted);
+* :class:`Gauge` — point-in-time levels with a high-water mark (scaffold
+  queue depth, messages in flight on a link);
+* :class:`Histogram` — distributions over **fixed** bucket boundaries
+  (migration sim-durations, kilobytes moved).  Boundaries are declared at
+  creation and never adapt, so two captures of the same run are always
+  bucket-compatible and merging is a plain element-wise sum.
+
+Nothing here reads the wall clock: values are whatever the instrumented
+code reports, and any timestamps come from the simulation's
+:class:`~repro.sim.clock.SimClock`.  That keeps captures byte-identical
+across machines for the same seed — the same determinism contract the
+rest of the reproduction honours.
+
+Every instrument also has a null twin (:data:`NULL_METRICS` hands them
+out) whose mutators are empty methods, so instrumented hot paths cost a
+single no-op call when observability is off.  The
+``benchmarks/test_bench_obs.py`` microbenchmark pins that cost.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.errors import ReproError
+
+#: Default histogram bucket boundaries.  Spans decades: sim-times and
+#: kilobyte counts in the scenarios shipped with the repo both fall
+#: comfortably inside, and anything larger lands in the overflow bucket.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1000.0)
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _freeze_labels(labels: Mapping[str, Any]) -> LabelKey:
+    """Canonicalize labels: string values, sorted keys, hashable."""
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelKey):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ReproError(f"counter {self.name}: cannot decrease")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}{dict(self.labels)}={self.value:g})"
+
+
+class Gauge:
+    """A point-in-time level plus its high-water mark."""
+
+    __slots__ = ("name", "labels", "value", "high")
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelKey):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+        self.high = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.high:
+            self.high = value
+
+    def add(self, delta: float) -> None:
+        self.set(self.value + delta)
+
+    def __repr__(self) -> str:
+        return (f"Gauge({self.name}{dict(self.labels)}="
+                f"{self.value:g} high={self.high:g})")
+
+
+class Histogram:
+    """A distribution over fixed bucket boundaries.
+
+    ``counts[i]`` counts observations ``<= boundaries[i]``; the final
+    slot is the overflow bucket.  Fixed boundaries make histograms from
+    different processes (or campaign workers) mergeable by summation.
+    """
+
+    __slots__ = ("name", "labels", "boundaries", "counts",
+                 "sum", "count", "min", "max")
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: LabelKey,
+                 boundaries: Sequence[float] = DEFAULT_BUCKETS):
+        bounds = tuple(float(b) for b in boundaries)
+        if not bounds or any(b >= c for b, c in zip(bounds, bounds[1:])):
+            raise ReproError(
+                f"histogram {name}: boundaries must be strictly increasing")
+        self.name = name
+        self.labels = labels
+        self.boundaries = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        for i, bound in enumerate(self.boundaries):
+            if value <= bound:
+                self.counts[i] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.sum += value
+        self.count += 1
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def __repr__(self) -> str:
+        return (f"Histogram({self.name}{dict(self.labels)} "
+                f"n={self.count} sum={self.sum:g})")
+
+
+class _NullCounter:
+    """Shared do-nothing counter; one instance serves every call site."""
+
+    __slots__ = ()
+    kind = "counter"
+    name = ""
+    labels: LabelKey = ()
+    value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+    kind = "gauge"
+    name = ""
+    labels: LabelKey = ()
+    value = 0.0
+    high = 0.0
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, delta: float) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+    kind = "histogram"
+    name = ""
+    labels: LabelKey = ()
+    boundaries = DEFAULT_BUCKETS
+    counts: List[int] = []
+    sum = 0.0
+    count = 0
+    min = None
+    max = None
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+Instrument = Any  # Counter | Gauge | Histogram (or their null twins)
+
+
+class MetricsRegistry:
+    """Owns every instrument, keyed by ``(name, frozen labels)``.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: repeated calls
+    with the same name and labels return the same instrument, so call
+    sites may either resolve once at construction (hot paths) or inline
+    at the point of use (cold paths).
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._instruments: Dict[Tuple[str, LabelKey], Instrument] = {}
+
+    # -- instrument factories -------------------------------------------
+    def _get(self, cls, name: str, labels: Mapping[str, Any],
+             **kwargs: Any) -> Instrument:
+        key = (name, _freeze_labels(labels))
+        found = self._instruments.get(key)
+        if found is None:
+            found = self._instruments[key] = cls(name, key[1], **kwargs)
+        elif not isinstance(found, cls):
+            raise ReproError(
+                f"metric {name!r} already registered as {found.kind}")
+        return found
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = DEFAULT_BUCKETS,
+                  **labels: Any) -> Histogram:
+        found = self._get(Histogram, name, labels, boundaries=buckets)
+        if found.boundaries != tuple(float(b) for b in buckets):
+            raise ReproError(
+                f"histogram {name!r} re-registered with different buckets")
+        return found
+
+    # -- introspection ---------------------------------------------------
+    def __iter__(self) -> Iterator[Instrument]:
+        """Instruments in deterministic (name, labels) order."""
+        for key in sorted(self._instruments):
+            yield self._instruments[key]
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def get(self, name: str, **labels: Any) -> Optional[Instrument]:
+        return self._instruments.get((name, _freeze_labels(labels)))
+
+    def value(self, name: str, **labels: Any) -> float:
+        """Convenience: current value of a counter/gauge (0 if absent)."""
+        found = self.get(name, **labels)
+        return 0.0 if found is None else found.value
+
+    # -- serialization ---------------------------------------------------
+    def to_lines(self) -> List[Dict[str, Any]]:
+        """One JSON-safe dict per instrument, deterministically ordered."""
+        lines: List[Dict[str, Any]] = []
+        for inst in self:
+            line: Dict[str, Any] = {
+                "type": inst.kind,
+                "name": inst.name,
+                "labels": dict(inst.labels),
+            }
+            if inst.kind == "counter":
+                line["value"] = inst.value
+            elif inst.kind == "gauge":
+                line["value"] = inst.value
+                line["high"] = inst.high
+            else:
+                line.update(buckets=list(inst.boundaries),
+                            counts=list(inst.counts), sum=inst.sum,
+                            count=inst.count, min=inst.min, max=inst.max)
+            lines.append(line)
+        return lines
+
+    def load_line(self, line: Mapping[str, Any]) -> Instrument:
+        """Recreate one instrument from a :meth:`to_lines` dict."""
+        kind = line["type"]
+        labels = dict(line.get("labels", {}))
+        if kind == "counter":
+            inst = self.counter(line["name"], **labels)
+            inst.value = float(line["value"])
+        elif kind == "gauge":
+            inst = self.gauge(line["name"], **labels)
+            inst.value = float(line["value"])
+            inst.high = float(line["high"])
+        elif kind == "histogram":
+            inst = self.histogram(line["name"],
+                                  buckets=line["buckets"], **labels)
+            inst.counts = [int(c) for c in line["counts"]]
+            inst.sum = float(line["sum"])
+            inst.count = int(line["count"])
+            inst.min = None if line["min"] is None else float(line["min"])
+            inst.max = None if line["max"] is None else float(line["max"])
+        else:
+            raise ReproError(f"unknown metric line type {kind!r}")
+        return inst
+
+    # -- merging ---------------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold *other*'s instruments into this registry.
+
+        Counters and histogram buckets add; gauges keep the maximum of
+        the two levels (the only aggregate that stays meaningful when
+        parallel campaign workers each report their own queue depths).
+        """
+        for inst in other:
+            labels = dict(inst.labels)
+            if inst.kind == "counter":
+                self.counter(inst.name, **labels).inc(inst.value)
+            elif inst.kind == "gauge":
+                mine = self.gauge(inst.name, **labels)
+                mine.value = max(mine.value, inst.value)
+                mine.high = max(mine.high, inst.high)
+            else:
+                mine = self.histogram(inst.name,
+                                      buckets=inst.boundaries, **labels)
+                mine.counts = [a + b
+                               for a, b in zip(mine.counts, inst.counts)]
+                mine.sum += inst.sum
+                mine.count += inst.count
+                for attr in ("min", "max"):
+                    theirs = getattr(inst, attr)
+                    if theirs is None:
+                        continue
+                    mine_v = getattr(mine, attr)
+                    pick = (min if attr == "min" else max)
+                    setattr(mine, attr,
+                            theirs if mine_v is None else pick(mine_v,
+                                                               theirs))
+
+
+class NullMetrics:
+    """Registry stand-in when observability is disabled.
+
+    Hands out shared null instruments whose mutators are empty methods —
+    the entire per-call cost of disabled instrumentation is one bound
+    no-op call, pinned <2% on the E1c benchmark path by
+    ``benchmarks/test_bench_obs.py``.
+    """
+
+    enabled = False
+
+    def counter(self, name: str, **labels: Any) -> _NullCounter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str, **labels: Any) -> _NullGauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = DEFAULT_BUCKETS,
+                  **labels: Any) -> _NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def __iter__(self) -> Iterator[Instrument]:
+        return iter(())
+
+    def __len__(self) -> int:
+        return 0
+
+    def get(self, name: str, **labels: Any) -> None:
+        return None
+
+    def value(self, name: str, **labels: Any) -> float:
+        return 0.0
+
+    def to_lines(self) -> List[Dict[str, Any]]:
+        return []
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        pass
+
+
+NULL_METRICS = NullMetrics()

@@ -27,6 +27,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.errors import NetworkError, UnknownEntityError
 from repro.core.model import DeploymentModel
+from repro.obs import Observability, get_observability
 from repro.sim.clock import SimClock
 
 _INF = float("inf")
@@ -71,6 +72,10 @@ class NetworkLink:
         self.delay = delay
         self.connected = connected
         self.stats = NetworkStats()
+        #: (delivered counter, dropped counter, in-flight gauge) resolved by
+        #: the owning network when observability is enabled; None keeps the
+        #: transmission hot path free of even no-op instrument calls.
+        self.obs_instruments: Optional[Tuple[Any, Any, Any]] = None
 
     def transmission_time(self, size_kb: float) -> float:
         if self.bandwidth == float("inf"):
@@ -100,7 +105,8 @@ class SimulatedNetwork:
     be mediated (which the Deployer component does at the middleware layer).
     """
 
-    def __init__(self, clock: SimClock, seed: Optional[int] = None):
+    def __init__(self, clock: SimClock, seed: Optional[int] = None,
+                 obs: Optional[Observability] = None):
         self.clock = clock
         self.rng = random.Random(seed)
         self._endpoints: Dict[str, Optional[MessageHandler]] = {}
@@ -108,6 +114,7 @@ class SimulatedNetwork:
         self.stats = NetworkStats()
         #: Observers called as (event, payload) for partition/heal events.
         self.observers: List[Callable[[str, Dict[str, Any]], None]] = []
+        self.obs = obs if obs is not None else get_observability()
 
     # ------------------------------------------------------------------
     # Topology
@@ -134,6 +141,13 @@ class SimulatedNetwork:
             raise NetworkError(f"link {key} already exists")
         link = NetworkLink(end_a, end_b, reliability, bandwidth, delay,
                            connected)
+        if self.obs.enabled:
+            name = f"{key[0]}|{key[1]}"
+            link.obs_instruments = (
+                self.obs.counter("sim.network.delivered", link=name),
+                self.obs.counter("sim.network.dropped", link=name),
+                self.obs.gauge("sim.network.in_flight", link=name),
+            )
         self._links[key] = link
         return link
 
@@ -246,6 +260,8 @@ class SimulatedNetwork:
                 link.stats.sent += 1
                 link.stats.dropped += 1
                 link.stats.kb_sent += size_kb
+                if link.obs_instruments is not None:
+                    link.obs_instruments[1].inc()
             if on_dropped is not None:
                 on_dropped(destination, payload)
             return False
@@ -254,10 +270,14 @@ class SimulatedNetwork:
         if not reliable and self.rng.random() > link.reliability:
             self.stats.dropped += 1
             link.stats.dropped += 1
+            if link.obs_instruments is not None:
+                link.obs_instruments[1].inc()
             if on_dropped is not None:
                 on_dropped(destination, payload)
             return True  # sent, but lost in flight
         travel = link.transmission_time(size_kb)
+        if link.obs_instruments is not None:
+            link.obs_instruments[2].add(1)
         self.clock.schedule(travel, self._deliver, source, destination,
                             payload, size_kb, link)
         return True
@@ -272,15 +292,22 @@ class SimulatedNetwork:
 
     def _deliver(self, source: str, destination: str, payload: Any,
                  size_kb: float, link: NetworkLink) -> None:
+        instruments = link.obs_instruments
+        if instruments is not None:
+            instruments[2].add(-1)
         # A link that went down while the message was in flight drops it.
         if not link.connected:
             self.stats.dropped += 1
             link.stats.dropped += 1
+            if instruments is not None:
+                instruments[1].inc()
             return
         self.stats.delivered += 1
         self.stats.kb_delivered += size_kb
         link.stats.delivered += 1
         link.stats.kb_delivered += size_kb
+        if instruments is not None:
+            instruments[0].inc()
         handler = self._endpoints[destination]
         if handler is not None:
             handler(source, payload, size_kb)
@@ -319,9 +346,10 @@ class SimulatedNetwork:
     # ------------------------------------------------------------------
     @classmethod
     def from_model(cls, model: DeploymentModel, clock: SimClock,
-                   seed: Optional[int] = None) -> "SimulatedNetwork":
+                   seed: Optional[int] = None,
+                   obs: Optional[Observability] = None) -> "SimulatedNetwork":
         """Build a network mirroring *model*'s hosts and physical links."""
-        network = cls(clock, seed)
+        network = cls(clock, seed, obs=obs)
         for host in model.host_ids:
             network.add_endpoint(host)
         for link in model.physical_links:

@@ -7,7 +7,7 @@ from repro.core import (
     AvailabilityObjective, ConstraintSet, MemoryConstraint,
 )
 from repro.core.errors import ReproError
-from repro.desi import ExperimentRunner, GeneratorConfig
+from repro.desi import ExperimentReport, ExperimentRunner, GeneratorConfig
 
 
 @pytest.fixture
@@ -167,11 +167,11 @@ class TestWorkersMode:
         "small": GeneratorConfig(hosts=4, components=8),
     }
 
-    def build(self, workers=None):
+    def build(self, workers=None, obs=None):
         return ExperimentRunner(
             AvailabilityObjective(),
             {"avala": _make_avala, "stochastic": _make_stochastic},
-            replicates=2, seed=7, workers=workers)
+            replicates=2, seed=7, workers=workers, obs=obs)
 
     def test_workers_validation(self):
         with pytest.raises(ReproError):
@@ -206,6 +206,14 @@ class TestWorkersMode:
             assert cell_a.mean_delta_evaluations == \
                 cell_b.mean_delta_evaluations
             assert cell_a.truncated_runs == cell_b.truncated_runs
+            # The *full* engine counter dicts must agree too — every key
+            # the engine reports (cache_misses, delta_fallbacks, kernel
+            # splits...), not just the rendered mean columns.
+            assert cell_a.engine_counters == cell_b.engine_counters
+            assert cell_a.engine_counters  # populated, not vacuously equal
+        assert serial.engine_counters() == parallel.engine_counters()
+        assert serial.to_json(include_timing=False) == \
+            parallel.to_json(include_timing=False)
 
     def test_workers_one_equals_serial_path(self):
         explicit = self.build(workers=1).run(self.FAMILIES)
@@ -224,3 +232,65 @@ class TestWorkersMode:
             {"tiny": GeneratorConfig(hosts=3, components=5)})
         assert "time (ms)" in report.render()
         assert "time (ms)" not in report.render(include_timing=False)
+
+
+class TestObservedSweeps:
+    """The obs= hook: worker registries merge into the sweep's bundle."""
+
+    FAMILIES = {"tiny": GeneratorConfig(hosts=3, components=5)}
+
+    def observed(self, workers=None):
+        from repro.obs import Observability
+        obs = Observability()
+        report = ExperimentRunner(
+            AvailabilityObjective(),
+            {"avala": _make_avala, "stochastic": _make_stochastic},
+            replicates=2, seed=7, workers=workers, obs=obs).run(self.FAMILIES)
+        return report, obs
+
+    def test_serial_and_parallel_sweeps_report_identical_metrics(self):
+        serial_report, serial_obs = self.observed(workers=None)
+        parallel_report, parallel_obs = self.observed(workers=2)
+        assert serial_obs.metrics.to_lines() == parallel_obs.metrics.to_lines()
+        assert serial_report.to_json(include_timing=False) == \
+            parallel_report.to_json(include_timing=False)
+
+    def test_metrics_match_report_counters(self):
+        report, obs = self.observed(workers=2)
+        for key, total in report.engine_counters().items():
+            observed = sum(
+                inst.value for inst in obs.metrics
+                if inst.name == f"algorithms.engine.{key}")
+            assert observed == total, key
+        runs = sum(inst.value for inst in obs.metrics
+                   if inst.name == "desi.runs")
+        assert runs == sum(cell.runs for cell in report.cells)
+
+    def test_sweep_records_one_span_per_cell(self):
+        report, obs = self.observed(workers=2)
+        roots = obs.tracer.roots
+        assert [r.name for r in roots] == ["desi.sweep"]
+        cells = [s for s in roots[0].children if s.name == "desi.cell"]
+        assert len(cells) == len(report.cells)
+        labelled = {(s.attributes["family"], s.attributes["algorithm"])
+                    for s in cells}
+        assert labelled == {(c.family, c.algorithm) for c in report.cells}
+
+    def test_disabled_obs_report_identical_to_no_obs(self):
+        from repro.obs import Observability
+        plain = ExperimentRunner(
+            AvailabilityObjective(),
+            {"avala": _make_avala}, replicates=2, seed=7).run(self.FAMILIES)
+        disabled = ExperimentRunner(
+            AvailabilityObjective(),
+            {"avala": _make_avala}, replicates=2, seed=7,
+            obs=Observability.disabled()).run(self.FAMILIES)
+        enabled_report, __ = self.observed(workers=None)
+        enabled = ExperimentReport(
+            enabled_report.objective_name,
+            [c for c in enabled_report.cells if c.algorithm == "avala"])
+        assert plain.to_json(include_timing=False) == \
+            disabled.to_json(include_timing=False)
+        # Observing must not perturb the experiment itself either.
+        assert plain.to_json(include_timing=False) == \
+            enabled.to_json(include_timing=False)

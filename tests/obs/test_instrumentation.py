@@ -1,0 +1,171 @@
+"""End-to-end instrumentation: the improvement loop fills a capture.
+
+Acceptance contract for the observability layer: one instrumented
+Analyzer improvement cycle must surface spans and metrics from at least
+five subsystems (middleware, sim, monitoring, algorithms, effector), the
+same seed must produce a byte-identical capture, and running with a
+disabled bundle must behave exactly like not passing one at all.
+"""
+
+from repro.core import AvailabilityObjective
+from repro.core.framework import CentralizedFramework
+from repro.faults import rolling_partitions, run_campaign
+from repro.middleware import DistributedSystem
+from repro.obs import (
+    NULL_OBS, Observability, get_observability, observe, set_observability,
+)
+from repro.scenarios import CrisisConfig, build_crisis_scenario
+from repro.sim import InteractionWorkload, SimClock
+
+
+def drive_crisis_loop(duration=12.0, seed=0, obs=None):
+    """One instrumented closed-loop run; returns (framework, capture)."""
+    obs = obs if obs is not None else Observability()
+    scenario = build_crisis_scenario(CrisisConfig(seed=seed))
+    clock = SimClock()
+    obs.bind_clock(clock)
+    system = DistributedSystem(scenario.model, clock,
+                               master_host=scenario.hq, seed=seed, obs=obs)
+    framework = CentralizedFramework(
+        system, AvailabilityObjective(), scenario.constraints,
+        user_input=scenario.user_input, monitor_interval=2.0,
+        seed=seed, obs=obs)
+    framework.start(cycles_per_analysis=2)
+    workload = InteractionWorkload(scenario.model, clock, system.emit,
+                                   seed=seed + 1).start()
+    clock.run(duration)
+    workload.stop()
+    framework.stop()
+    return framework, obs.capture(label="test")
+
+
+class TestImprovementCycleCapture:
+    def test_capture_spans_at_least_five_subsystems(self):
+        framework, capture = drive_crisis_loop()
+        assert framework.cycles, "loop must have analyzed at least once"
+        subsystems = set(capture.subsystems())
+        assert {"middleware", "sim", "monitoring", "algorithms",
+                "effector"} <= subsystems
+
+    def test_cycle_span_tree_shape(self):
+        __, capture = drive_crisis_loop()
+        rollup = capture.span_rollup()
+        assert ("framework.window",) in rollup
+        assert ("framework.window", "monitoring.interval") in rollup
+        assert ("framework.window", "analyzer.cycle") in rollup
+        assert ("framework.window", "analyzer.cycle",
+                "analyzer.portfolio") in rollup
+
+    def test_core_counters_populated(self):
+        framework, capture = drive_crisis_loop()
+        metrics = capture.metrics
+        assert metrics.value("framework.cycles") == len(framework.cycles)
+        assert metrics.value("monitoring.windows") > 0
+        assert metrics.value("middleware.scaffold.dispatched") > 0
+        assert metrics.value("algorithms.portfolio_runs") > 0
+        delivered = sum(inst.value for inst in metrics
+                        if inst.name == "sim.network.delivered")
+        assert delivered > 0
+
+    def test_same_seed_byte_identical_capture(self):
+        __, first = drive_crisis_loop(seed=3)
+        __, second = drive_crisis_loop(seed=3)
+        assert first.dumps() == second.dumps()
+
+    def test_render_mentions_spans_and_metrics(self):
+        __, capture = drive_crisis_loop()
+        text = capture.render()
+        assert "framework.window" in text
+        assert "middleware.scaffold.dispatched" in text
+        assert capture.render(show_spans=False).count("framework.window") == 0
+
+
+class TestDisabledBundle:
+    def test_disabled_is_the_shared_null_bundle(self):
+        assert Observability.disabled() is NULL_OBS
+        assert not NULL_OBS.enabled
+
+    def test_disabled_run_matches_unobserved_run(self):
+        plain, __ = drive_crisis_loop(seed=5, obs=NULL_OBS)
+        # Same run with no instrumentation wiring at all.
+        scenario = build_crisis_scenario(CrisisConfig(seed=5))
+        clock = SimClock()
+        system = DistributedSystem(scenario.model, clock,
+                                   master_host=scenario.hq, seed=5)
+        framework = CentralizedFramework(
+            system, AvailabilityObjective(), scenario.constraints,
+            user_input=scenario.user_input, monitor_interval=2.0, seed=5)
+        framework.start(cycles_per_analysis=2)
+        workload = InteractionWorkload(scenario.model, clock, system.emit,
+                                       seed=6).start()
+        clock.run(12.0)
+        workload.stop()
+        framework.stop()
+        def deterministic(cycle):
+            # Wall-clock elapsed varies run to run; compare what the loop
+            # actually decided and did.
+            return (cycle.time, cycle.monitoring_updates,
+                    cycle.decision.action,
+                    dict(cycle.decision.selected.deployment),
+                    None if cycle.effect is None
+                    else (cycle.effect.moves_executed,
+                          cycle.effect.sim_duration))
+
+        assert [deterministic(c) for c in plain.cycles] == \
+            [deterministic(c) for c in framework.cycles]
+
+    def test_disabled_capture_is_empty(self):
+        __, capture = drive_crisis_loop(seed=5, obs=NULL_OBS)
+        assert capture.subsystems() == []
+        assert capture.spans == []
+
+
+class TestProcessDefaultInjection:
+    def test_observe_contextmanager_scopes_the_default(self):
+        bundle = Observability()
+        assert get_observability() is NULL_OBS
+        with observe(bundle) as active:
+            assert active is bundle
+            assert get_observability() is bundle
+        assert get_observability() is NULL_OBS
+
+    def test_set_observability_returns_previous(self):
+        bundle = Observability()
+        previous = set_observability(bundle)
+        try:
+            assert previous is NULL_OBS
+            assert get_observability() is bundle
+        finally:
+            set_observability(None)
+        assert get_observability() is NULL_OBS
+
+    def test_system_constructed_under_observe_is_instrumented(self):
+        bundle = Observability()
+        scenario = build_crisis_scenario(CrisisConfig(seed=1))
+        clock = SimClock()
+        with observe(bundle):
+            system = DistributedSystem(scenario.model, clock,
+                                       master_host=scenario.hq, seed=1)
+        assert system.obs is bundle
+        workload = InteractionWorkload(scenario.model, clock, system.emit,
+                                       seed=2).start()
+        clock.run(2.0)
+        workload.stop()
+        assert bundle.metrics.value("middleware.scaffold.dispatched") > 0
+
+
+class TestFaultCampaignCapture:
+    def test_run_campaign_obs_hook(self):
+        scenario = build_crisis_scenario(CrisisConfig(seed=3))
+        plan = rolling_partitions(scenario.model, 15.0,
+                                  exclude_hosts=("hq",))
+        bundle = Observability()
+        observed = run_campaign(plan, seed=11, duration=15.0, obs=bundle)
+        unobserved = run_campaign(plan, seed=11, duration=15.0)
+        # Observation is read-only: the resilience report is unchanged.
+        assert observed.render() == unobserved.render()
+        capture = bundle.capture()
+        assert "faults" in capture.subsystems()
+        fired = sum(inst.value for inst in bundle.metrics
+                    if inst.name == "faults.actions")
+        assert fired == observed.faults_injected

@@ -1,0 +1,140 @@
+"""Unit tests for the metric instruments and registry."""
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS, MetricsRegistry, NULL_METRICS,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("a.hits")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("a.hits")
+        with pytest.raises(ReproError):
+            counter.inc(-1)
+
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a.hits", link="x") \
+            is registry.counter("a.hits", link="x")
+        assert registry.counter("a.hits", link="x") \
+            is not registry.counter("a.hits", link="y")
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("a.level")
+        with pytest.raises(ReproError):
+            registry.gauge("a.level")
+
+
+class TestGauge:
+    def test_set_tracks_high_water(self):
+        gauge = MetricsRegistry().gauge("q.depth")
+        gauge.set(3)
+        gauge.set(10)
+        gauge.set(2)
+        assert gauge.value == 2
+        assert gauge.high == 10
+
+    def test_add_is_relative(self):
+        gauge = MetricsRegistry().gauge("q.depth")
+        gauge.add(5)
+        gauge.add(-3)
+        assert gauge.value == 2
+        assert gauge.high == 5
+
+
+class TestHistogram:
+    def test_observe_buckets_and_stats(self):
+        hist = MetricsRegistry().histogram("h", buckets=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            hist.observe(value)
+        assert hist.counts == [1, 1, 1]  # <=1, <=10, overflow
+        assert hist.count == 3
+        assert hist.sum == 55.5
+        assert hist.min == 0.5
+        assert hist.max == 50.0
+
+    def test_boundaries_must_increase(self):
+        with pytest.raises(ReproError):
+            MetricsRegistry().histogram("h", buckets=(1.0, 1.0))
+
+    def test_bucket_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ReproError):
+            registry.histogram("h", buckets=(1.0, 3.0))
+
+    def test_default_buckets_cover_decades(self):
+        assert DEFAULT_BUCKETS[0] == 0.001
+        assert DEFAULT_BUCKETS[-1] == 1000.0
+        assert all(a < b for a, b in zip(DEFAULT_BUCKETS,
+                                         DEFAULT_BUCKETS[1:]))
+
+
+class TestRegistry:
+    def test_iteration_is_deterministic(self):
+        registry = MetricsRegistry()
+        registry.counter("b.second")
+        registry.counter("a.first", link="z")
+        registry.counter("a.first", link="a")
+        names = [(i.name, i.labels) for i in registry]
+        assert names == sorted(names)
+
+    def test_value_convenience(self):
+        registry = MetricsRegistry()
+        registry.counter("a.hits").inc(7)
+        assert registry.value("a.hits") == 7
+        assert registry.value("missing") == 0.0
+
+    def test_lines_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("c", link="x").inc(3)
+        gauge = registry.gauge("g")
+        gauge.set(9)
+        gauge.set(1)
+        hist = registry.histogram("h", buckets=(1.0, 10.0))
+        hist.observe(0.5)
+        hist.observe(99.0)
+        rebuilt = MetricsRegistry()
+        for line in registry.to_lines():
+            rebuilt.load_line(line)
+        assert rebuilt.to_lines() == registry.to_lines()
+
+    def test_merge_counters_add_gauges_max_histograms_sum(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(2)
+        b.counter("c").inc(3)
+        a.gauge("g").set(5)
+        b.gauge("g").set(4)
+        a.histogram("h", buckets=(1.0,)).observe(0.5)
+        b.histogram("h", buckets=(1.0,)).observe(2.0)
+        a.merge(b)
+        assert a.value("c") == 5
+        assert a.get("g").value == 5
+        hist = a.get("h")
+        assert hist.counts == [1, 1]
+        assert hist.count == 2
+        assert hist.min == 0.5
+        assert hist.max == 2.0
+
+
+class TestNullMetrics:
+    def test_null_instruments_are_shared_and_inert(self):
+        first = NULL_METRICS.counter("a", x=1)
+        second = NULL_METRICS.counter("b")
+        assert first is second
+        first.inc(100)
+        assert first.value == 0.0
+        NULL_METRICS.gauge("g").set(5)
+        NULL_METRICS.histogram("h").observe(1.0)
+        assert len(NULL_METRICS) == 0
+        assert not NULL_METRICS.enabled

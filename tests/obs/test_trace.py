@@ -1,0 +1,93 @@
+"""Unit tests for the span tracer."""
+
+from repro.obs.trace import NULL_SPAN, NULL_TRACER, Span, Tracer
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+
+class TestTracer:
+    def test_nesting_builds_parent_child_tree(self):
+        tracer = Tracer()
+        with tracer.span("parent"):
+            with tracer.span("child.a"):
+                pass
+            with tracer.span("child.b"):
+                pass
+        assert [r.name for r in tracer.roots] == ["parent"]
+        assert [c.name for c in tracer.roots[0].children] == \
+            ["child.a", "child.b"]
+
+    def test_durations_come_from_bound_time_source(self):
+        clock = FakeClock()
+        tracer = Tracer()
+        tracer.bind(lambda: clock.now)
+        with tracer.span("outer"):
+            clock.now = 2.0
+            with tracer.span("inner"):
+                clock.now = 5.0
+        outer = tracer.roots[0]
+        assert outer.start == 0.0 and outer.end == 5.0
+        assert outer.duration == 5.0
+        inner = outer.children[0]
+        assert inner.start == 2.0 and inner.end == 5.0
+
+    def test_attributes_via_kwargs_and_set(self):
+        tracer = Tracer()
+        with tracer.span("s", phase="x") as span:
+            span.set(moves=3, path=("a", "b"))
+        recorded = tracer.roots[0].attributes
+        assert recorded["phase"] == "x"
+        assert recorded["moves"] == 3
+        # Tuples are sanitized to lists at record time (JSON-safe).
+        assert recorded["path"] == ["a", "b"]
+
+    def test_exception_still_closes_span(self):
+        clock = FakeClock()
+        tracer = Tracer()
+        tracer.bind(lambda: clock.now)
+        try:
+            with tracer.span("failing"):
+                clock.now = 1.0
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert tracer.roots[0].end == 1.0
+        assert tracer.current() is None
+
+    def test_current_and_clear(self):
+        tracer = Tracer()
+        assert tracer.current() is None
+        with tracer.span("s"):
+            assert tracer.current().name == "s"
+        assert len(tracer.roots) == 1
+        tracer.clear()
+        assert tracer.roots == []
+
+    def test_walk_is_depth_first(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+            with tracer.span("d"):
+                pass
+        assert [s.name for s in tracer.walk()] == ["a", "b", "c", "d"]
+
+
+class TestNullTracer:
+    def test_null_span_is_shared_and_inert(self):
+        with NULL_TRACER.span("anything", x=1) as span:
+            assert span is NULL_SPAN
+            span.set(y=2)  # must not raise or record
+        assert list(NULL_TRACER.walk()) == []
+        assert NULL_TRACER.current() is None
+        assert not NULL_TRACER.enabled
+
+
+class TestSpan:
+    def test_duration_never_negative(self):
+        span = Span("s", start=5.0, end=3.0)
+        assert span.duration == 0.0

@@ -182,3 +182,115 @@ class TestLint:
 
     def test_generated_architecture_lints_clean(self, architecture_file):
         assert main(["lint", architecture_file]) == 0
+
+
+class TestObsVerb:
+    @pytest.fixture
+    def capture_file(self, tmp_path, capsys):
+        path = str(tmp_path / "capture.jsonl")
+        code = main(["obs", "record", "-o", path, "--duration", "12",
+                     "--seed", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "subsystems" in out
+        return path
+
+    def test_record_then_report(self, capture_file, capsys):
+        assert main(["obs", "report", capture_file]) == 0
+        out = capsys.readouterr().out
+        assert "spans (sim-time" in out
+        assert "metrics:" in out
+        # The required subsystems all show up in one rendered report.
+        for subsystem in ("middleware", "sim.network", "monitoring",
+                          "algorithms", "effector"):
+            assert subsystem in out, subsystem
+
+    def test_report_json_reemits_canonical_lines(self, capture_file,
+                                                 capsys):
+        assert main(["obs", "report", capture_file, "--json"]) == 0
+        out = capsys.readouterr().out
+        assert out == open(capture_file).read()
+
+    def test_report_sections_can_be_suppressed(self, capture_file, capsys):
+        main(["obs", "report", capture_file, "--metrics-only"])
+        assert "spans" not in capsys.readouterr().out
+        main(["obs", "report", capture_file, "--spans-only"])
+        assert "metrics" not in capsys.readouterr().out
+
+    def test_diff_of_identical_captures(self, capture_file, capsys):
+        assert main(["obs", "diff", capture_file, capture_file]) == 0
+        out = capsys.readouterr().out
+        assert "metrics: identical" in out
+        assert "spans: identical" in out
+
+    def test_report_on_missing_file_is_error(self, capsys):
+        assert main(["obs", "report", "/nonexistent/capture.jsonl"]) == 2
+        assert "cannot read capture" in capsys.readouterr().err
+
+    def test_report_on_garbage_is_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        assert main(["obs", "report", str(path)]) == 2
+        assert "cannot read capture" in capsys.readouterr().err
+
+
+class TestUnifiedOutputFlags:
+    FAMILY = ["--family", "f:3:5", "-a", "avala", "--replicates", "1"]
+
+    def test_sweep_json(self, capsys):
+        assert main(["sweep", *self.FAMILY, "--json"]) == 0
+        import json as _json
+        data = _json.loads(capsys.readouterr().out)
+        assert data["objective"] == "availability"
+        assert data["cells"][0]["algorithm"] == "avala"
+        assert "engine_counters" in data["cells"][0]
+
+    def test_sweep_quiet(self, capsys):
+        assert main(["sweep", *self.FAMILY, "--quiet"]) == 0
+        out = capsys.readouterr().out.strip()
+        assert out.count("\n") == 0
+        assert "sweep" in out
+
+    def test_improve_json(self, architecture_file, capsys):
+        assert main(["improve", architecture_file, "-a", "avala",
+                     "--json"]) == 0
+        import json as _json
+        data = _json.loads(capsys.readouterr().out)
+        assert data[0]["algorithm"] == "avala"
+        assert "deployment" in data[0]
+
+    def test_improve_quiet(self, architecture_file, capsys):
+        assert main(["improve", architecture_file, "-a", "avala",
+                     "--quiet"]) == 0
+        out = capsys.readouterr().out.strip()
+        assert out.count("\n") == 0
+        assert "avala" in out
+
+    def test_json_and_quiet_mutually_exclusive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", *self.FAMILY, "--json", "--quiet"])
+
+    def test_lint_quiet(self, capsys):
+        assert main(["lint", "crisis", "--quiet"]) == 0
+        out = capsys.readouterr().out.strip()
+        assert out == "clean" or "error" not in out
+
+    def test_faults_run_quiet_and_capture(self, tmp_path, capsys):
+        capture = str(tmp_path / "faults.jsonl")
+        assert main(["faults", "run", "--scenario", "clientserver",
+                     "--duration", "10", "--quiet",
+                     "--capture", capture]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.strip().count("\n") == 0
+        assert "delivered" in captured.out
+        assert "observability capture" in captured.err
+        from repro.obs.capture import Capture
+        loaded = Capture.load(capture)
+        assert "faults" in loaded.subsystems()
+
+    def test_faults_run_json(self, capsys):
+        assert main(["faults", "run", "--scenario", "clientserver",
+                     "--duration", "10", "--json"]) == 0
+        import json as _json
+        data = _json.loads(capsys.readouterr().out)
+        assert "availability" in data

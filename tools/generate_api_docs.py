@@ -14,6 +14,7 @@ MODULES = [
     "repro.core.constraints", "repro.core.monitoring", "repro.core.analyzer",
     "repro.core.effector", "repro.core.user_input", "repro.core.utility",
     "repro.core.framework", "repro.core.errors", "repro.core.registry",
+    "repro.core.report",
     "repro.lint.core", "repro.lint.model_rules", "repro.lint.xadl_rules",
     "repro.lint.fault_rules", "repro.lint.code",
     "repro.algorithms.base", "repro.algorithms.engine",
@@ -41,6 +42,8 @@ MODULES = [
     "repro.scenarios.sensorfield",
     "repro.faults.plan", "repro.faults.injector", "repro.faults.campaigns",
     "repro.faults.report",
+    "repro.obs", "repro.obs.metrics", "repro.obs.trace",
+    "repro.obs.capture",
     "repro.cli",
 ]
 
@@ -48,6 +51,25 @@ MODULES = [
 # Hand-written overview sections, emitted immediately before the named
 # module so regeneration never loses them.
 PROSE_BEFORE = {
+    "repro.core.report": """\
+## The common Report API (`repro.core.report`)
+
+Every artifact the framework produces about its own behaviour — cycle
+reports, effect reports, algorithm results, sweep reports, lint
+reports, resilience reports, decentralized round reports — implements
+the `Report` protocol (`to_dict` / `to_json` / `render` /
+`summary_line`).  The CLI's shared `--json`/`--quiet` flags route every
+verb through these methods.  See `docs/OBSERVABILITY.md`.
+""",
+    "repro.obs": """\
+## Observability (`repro.obs`)
+
+Process-wide but injectable metrics, tracing, and capture files across
+the monitor->model->algorithm->effector loop.  Disabled by default with
+a null-object bundle whose overhead is pinned by
+`benchmarks/test_bench_obs.py`; see `docs/OBSERVABILITY.md` for the
+full guide and the instrumentation map.
+""",
     "repro.lint.core": """\
 ## Static analysis (`repro.lint`)
 
