@@ -54,9 +54,11 @@ from repro.desi import (
     TableView, xadl,
 )
 from repro.lint import (
-    Severity, analyze_paths, verify_fault_plan, verify_model,
-    verify_xadl_file,
+    LintCache, LintReport, Severity, analyze_paths, apply_baseline,
+    code_rule_registry, load_baseline, render_sarif, verify_fault_plan,
+    verify_model, verify_xadl_file, write_baseline,
 )
+from repro.lint.cache import DEFAULT_CACHE_PATH
 from repro.middleware import DistributedSystem
 from repro.obs import Observability
 from repro.obs.capture import Capture
@@ -407,7 +409,18 @@ def cmd_lint(args: argparse.Namespace) -> int:
     reports: List[tuple] = []  # (title, LintReport)
     if args.code:
         paths = args.targets or ["src/repro"]
-        reports.append((", ".join(paths), analyze_paths(paths)))
+        cache = None
+        if args.cache and not args.no_cache:
+            cache = LintCache.load(args.cache, code_rule_registry())
+        try:
+            reports.append((", ".join(paths), analyze_paths(
+                paths, jobs=args.jobs, cache=cache)))
+        except ReproError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        if cache is not None:
+            cache.save()
+            print(cache.stats_line(), file=sys.stderr)
     else:
         targets = args.targets or sorted(SCENARIO_BUILDERS)
         for target in targets:
@@ -422,9 +435,50 @@ def cmd_lint(args: argparse.Namespace) -> int:
                       f"({', '.join(sorted(SCENARIO_BUILDERS))}) or a file",
                       file=sys.stderr)
                 return 2
+
+    if args.baseline:
+        try:
+            accepted = load_baseline(args.baseline)
+        except ReproError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        reports = [(title, apply_baseline(report, accepted).sorted())
+                   for title, report in reports]
+
+    if args.write_baseline:
+        merged = LintReport()
+        for _, report in reports:
+            merged.merge(report)
+        count = write_baseline(merged.sorted(), args.write_baseline)
+        print(f"recorded {count} fingerprint(s) in {args.write_baseline}",
+              file=sys.stderr)
+        return 0
+
+    if args.sarif:
+        merged = LintReport()
+        for _, report in reports:
+            merged.merge(report)
+        registry = code_rule_registry() if args.code else None
+        text = render_sarif(merged.sorted(), registry=registry)
+    else:
+        chunks = []
+        for title, report in reports:
+            if args.json:
+                chunks.append(report.to_json(title=title))
+            elif args.quiet:
+                chunks.append(report.summary_line())
+            else:
+                chunks.append(report.render(title=title))
+        text = "\n".join(chunks)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.write("\n")
+    else:
+        print(text)
+
     exit_code = 0
-    for title, report in reports:
-        emit(report, args, title=title)
+    for _, report in reports:
         exit_code = max(exit_code, report.exit_code(fail_on))
     if exit_code and args.force:
         print("findings at or above the failure threshold ignored (--force)",
@@ -570,6 +624,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="lowest severity that makes the exit code non-zero")
     p.add_argument("--force", action="store_true",
                    help="report findings but exit zero anyway")
+    p.add_argument("--sarif", action="store_true",
+                   help="emit SARIF 2.1.0 instead of text/JSON")
+    p.add_argument("-o", "--output", metavar="PATH",
+                   help="write the report to PATH instead of stdout")
+    p.add_argument("--baseline", metavar="PATH",
+                   help="suppress findings recorded in this baseline file")
+    p.add_argument("--write-baseline", metavar="PATH",
+                   help="record the current findings as accepted and exit 0")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="analyze files with N worker processes (--code only)")
+    p.add_argument("--cache", nargs="?", const=DEFAULT_CACHE_PATH,
+                   metavar="PATH",
+                   help="reuse per-file results for unchanged files "
+                        f"(default path: {DEFAULT_CACHE_PATH}; --code only)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="ignore --cache and re-analyze everything")
     p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser(

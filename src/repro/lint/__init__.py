@@ -14,14 +14,24 @@ Entry points: ``python -m repro lint`` on the command line,
 rule registries for custom rules (see ``docs/STATIC_ANALYSIS.md``).
 """
 
+from repro.lint.cache import (
+    LintCache, apply_baseline, finding_fingerprint, load_baseline,
+    write_baseline,
+)
 from repro.lint.code import (
     CODE_RULES, CodeLintContext, CodeRule, analyze_paths, analyze_source,
     code_rule_registry, iter_python_files,
+)
+from repro.lint.concurrency import (
+    CONCURRENCY_RULES, FileConcurrencySummary, analyze_lock_graph,
+    analyze_package, summarize_concurrency,
 )
 from repro.lint.core import (
     Finding, LintReport, Rule, RuleRegistry, Severity, render_json,
     render_text,
 )
+from repro.lint.determinism import DETERMINISM_RULES
+from repro.lint.sarif import render_sarif, sarif_log
 from repro.lint.fault_rules import (
     FAULT_RULES, FaultPlanLintContext, FaultPlanRule, fault_rule_registry,
     verify_fault_plan,
@@ -36,13 +46,17 @@ from repro.lint.xadl_rules import (
 
 __all__ = [
     "CODE_RULES",
+    "CONCURRENCY_RULES",
     "CodeLintContext",
     "CodeRule",
+    "DETERMINISM_RULES",
     "DOCUMENT_RULES",
     "FAULT_RULES",
     "FaultPlanLintContext",
     "FaultPlanRule",
+    "FileConcurrencySummary",
     "Finding",
+    "LintCache",
     "LintReport",
     "MODEL_RULES",
     "ModelLintContext",
@@ -50,15 +64,23 @@ __all__ = [
     "Rule",
     "RuleRegistry",
     "Severity",
+    "analyze_lock_graph",
+    "analyze_package",
     "analyze_paths",
     "analyze_source",
+    "apply_baseline",
     "code_rule_registry",
     "default_objectives",
     "fault_rule_registry",
+    "finding_fingerprint",
     "iter_python_files",
+    "load_baseline",
     "model_rule_registry",
     "render_json",
+    "render_sarif",
     "render_text",
+    "sarif_log",
+    "summarize_concurrency",
     "verify_deployment",
     "verify_fault_plan",
     "verify_model",

@@ -17,10 +17,15 @@ from __future__ import annotations
 import ast
 import os
 import re
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Type
+from typing import (
+    Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Type,
+)
 
 from repro.core.errors import ReproError
+from repro.lint import flow
+from repro.lint.cache import LintCache, file_digest
 from repro.lint.core import (
     Finding, LintReport, Rule, RuleRegistry, Severity,
 )
@@ -58,13 +63,61 @@ class CodeLintContext:
                 suppressions[number] = (
                     {part.strip() for part in ids.split(",")} if ids
                     else set())
+        _spread_over_statements(suppressions, tree)
         return cls(path, source, tree, suppressions)
 
     def is_suppressed(self, finding: Finding) -> bool:
-        ids = self.suppressions.get(finding.line or -1)
-        if ids is None:
-            return False
-        return not ids or finding.rule in ids
+        return _suppressed_by_map(finding, self.suppressions)
+
+
+def _suppressed_by_map(finding: Finding,
+                       suppressions: Mapping[int, Set[str]]) -> bool:
+    ids = suppressions.get(finding.line or -1)
+    if ids is None:
+        return False
+    return not ids or finding.rule in ids
+
+
+def _spread_over_statements(suppressions: Dict[int, Set[str]],
+                            tree: ast.AST) -> None:
+    """Extend per-line suppressions across multi-line statements.
+
+    A rule reports the line of the node it flagged, but an ignore
+    comment can only sit on one physical line of the statement; the two
+    need not coincide for a call spanning several lines.  So a comment
+    on *any* line of a statement's span suppresses findings on *every*
+    line of that span.  Compound statements spread over their header
+    only (an ignore inside a loop body must not blanket the loop).
+    """
+    if not suppressions:
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        first = node.lineno
+        last = node.end_lineno or first
+        if isinstance(node, flow.COMPOUND_STATEMENTS):
+            bodies = [getattr(node, "body", None)]
+            heads = [part[0].lineno for part in bodies if part]
+            last = min([last] + [head - 1 for head in heads])
+        span = range(first, last + 1)
+        hits = [suppressions[line] for line in span if line in suppressions]
+        if not hits:
+            continue
+        merged: Optional[Set[str]] = set()
+        for ids in hits:
+            if not ids:  # blanket `# lint: ignore`
+                merged = set()
+                break
+            merged.update(ids)
+        for line in span:
+            existing = suppressions.get(line)
+            if existing is None:
+                suppressions[line] = set(merged)
+            elif existing and merged:
+                existing.update(merged)
+            else:  # either side blanket-suppresses: blanket wins
+                suppressions[line] = set()
 
 
 class CodeRule(Rule):
@@ -330,8 +383,33 @@ CODE_RULES: Tuple[Type[CodeRule], ...] = (
 
 
 def code_rule_registry() -> RuleRegistry:
-    """A fresh registry holding the built-in code analyzer rules."""
-    return RuleRegistry(cls() for cls in CODE_RULES)
+    """A fresh registry holding the built-in code analyzer rules.
+
+    Includes the dataflow-backed packs: per-file concurrency rules
+    (CC002/CC003), determinism rules (DT00x), and the catalog entry for
+    the package-wide lock-order pass (CC001; see :func:`analyze_paths`).
+    """
+    from repro.lint.concurrency import CONCURRENCY_RULES, LockOrderRule
+    from repro.lint.determinism import DETERMINISM_RULES
+    registry = RuleRegistry(cls() for cls in CODE_RULES)
+    for cls in CONCURRENCY_RULES + DETERMINISM_RULES:
+        registry.register(cls())
+    registry.register(LockOrderRule())
+    return registry
+
+
+#: Tag selecting rules that run over the whole package, not one file;
+#: :meth:`RuleRegistry.run` on a single file context must skip them.
+PACKAGE_TAG = "package"
+
+
+def _run_file_rules(context: CodeLintContext,
+                    registry: RuleRegistry) -> LintReport:
+    only = [rule.rule_id for rule in registry
+            if PACKAGE_TAG not in rule.tags]
+    raw = registry.run(context, only=only)
+    return LintReport([f for f in raw
+                       if not context.is_suppressed(f)]).sorted()
 
 
 def analyze_source(source: str, path: str = "<string>",
@@ -346,9 +424,7 @@ def analyze_source(source: str, path: str = "<string>",
                            line=exc.lineno))
         return report
     active = registry if registry is not None else code_rule_registry()
-    raw = active.run(context)
-    return LintReport([f for f in raw
-                       if not context.is_suppressed(f)]).sorted()
+    return _run_file_rules(context, active)
 
 
 def iter_python_files(paths: Sequence[str]) -> List[str]:
@@ -369,12 +445,110 @@ def iter_python_files(paths: Sequence[str]) -> List[str]:
     return out
 
 
+def _analyze_file(filename: str,
+                  registry: Optional[RuleRegistry] = None
+                  ) -> Dict[str, Any]:
+    """Analyze one file into a JSON-able record.
+
+    This shape is what both the result cache stores and the worker
+    processes of ``--jobs N`` return: per-file findings (suppression
+    already applied), the concurrency summary for the package pass, and
+    the suppression map (package findings honor ``# lint: ignore`` too).
+    It must stay picklable and registry-free so it can cross process
+    boundaries.
+    """
+    from repro.lint.concurrency import summarize_concurrency
+    with open(filename, "rb") as handle:
+        data = handle.read()
+    source = data.decode("utf-8")
+    record: Dict[str, Any] = {
+        "path": filename,
+        "digest": file_digest(data),
+        "summary": None,
+        "suppressions": {},
+    }
+    try:
+        context = CodeLintContext.parse(source, filename)
+    except SyntaxError as exc:
+        record["findings"] = [Finding(
+            "CD000", Severity.ERROR, f"syntax error: {exc.msg}",
+            file=filename, line=exc.lineno).as_dict()]
+        return record
+    active = registry if registry is not None else code_rule_registry()
+    report = _run_file_rules(context, active)
+    record["findings"] = [f.as_dict() for f in report]
+    record["summary"] = summarize_concurrency(context.tree,
+                                              filename).as_dict()
+    record["suppressions"] = {str(line): sorted(ids)
+                              for line, ids in context.suppressions.items()}
+    return record
+
+
+def _worker_analyze(filename: str) -> Dict[str, Any]:
+    """Top-level entry point for ``--jobs`` worker processes (must be
+    importable by name; always uses the default rule registry)."""
+    return _analyze_file(filename)
+
+
 def analyze_paths(paths: Sequence[str],
-                  registry: Optional[RuleRegistry] = None) -> LintReport:
-    """Analyze every ``.py`` file under *paths* into one report."""
+                  registry: Optional[RuleRegistry] = None,
+                  jobs: int = 1,
+                  cache: Optional[LintCache] = None) -> LintReport:
+    """Analyze every ``.py`` file under *paths* into one report.
+
+    Runs the per-file rules (cached by content hash when *cache* is
+    given, fanned out over *jobs* worker processes when > 1), then the
+    package-wide concurrency pass over the per-file summaries.  A custom
+    *registry* forces serial in-process analysis: rule instances are not
+    shipped to workers, and the cache the CLI loads is fingerprinted
+    against the default rule set.
+    """
+    from repro.lint.concurrency import FileConcurrencySummary, analyze_package
+    filenames = iter_python_files(paths)
+    records: Dict[str, Dict[str, Any]] = {}
+    pending: List[str] = []
+
+    if cache is not None and registry is None:
+        for filename in filenames:
+            with open(filename, "rb") as handle:
+                digest = file_digest(handle.read())
+            entry = cache.lookup(filename, digest)
+            if entry is not None:
+                records[filename] = dict(entry, path=filename)
+            else:
+                pending.append(filename)
+    else:
+        pending = list(filenames)
+
+    if jobs > 1 and registry is None and len(pending) > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            for record in pool.map(_worker_analyze, pending):
+                records[record["path"]] = record
+    else:
+        for filename in pending:
+            records[filename] = _analyze_file(filename, registry=registry)
+
+    if cache is not None and registry is None:
+        for filename in pending:
+            record = records[filename]
+            cache.store(
+                filename, record["digest"],
+                LintCache.entry_findings(record),
+                summary=record.get("summary"),
+                suppressions=LintCache.entry_suppressions(record))
+
     report = LintReport()
-    for filename in iter_python_files(paths):
-        with open(filename, "r", encoding="utf-8") as handle:
-            source = handle.read()
-        report.merge(analyze_source(source, filename, registry=registry))
+    summaries: List[FileConcurrencySummary] = []
+    for filename in filenames:
+        record = records[filename]
+        report.extend(LintCache.entry_findings(record))
+        if record.get("summary") is not None:
+            summaries.append(FileConcurrencySummary.from_dict(
+                record["summary"]))
+
+    for finding in analyze_package(summaries):
+        suppressions = LintCache.entry_suppressions(
+            records.get(finding.file or "", {}))
+        if not _suppressed_by_map(finding, suppressions):
+            report.add(finding)
     return report.sorted()

@@ -1,0 +1,700 @@
+"""Concurrency analysis pack: lock-order cycles, leaks, unlocked writes.
+
+The middleware is genuinely multithreaded (the :class:`ThreadPoolScaffold`
+worker pool, the engine's memo cache, the compiled-model snapshot cache,
+the tracer) and its locking discipline is exactly the kind of property a
+per-statement AST rule cannot check.  This pack reasons about whole
+functions (via :mod:`repro.lint.flow` CFGs) and the whole package (via a
+lock-acquisition graph merged across files):
+
+* **CC001** — a cycle in the package-wide lock-acquisition graph: lock B
+  is acquired while A is held in one place and A while B is held in
+  another; two threads interleaving those regions deadlock.
+* **CC002** — an explicit ``lock.acquire()`` with a path (normal or
+  exceptional) to the function exit that never releases; ``with lock:``
+  or ``try/finally`` are the fixes.
+* **CC003** — the dataflow-backed upgrade of the CD001 heuristic: an
+  attribute that *is* written under the class's lock somewhere is also
+  written outside any lock region in a method reachable without the
+  lock (public methods, and private methods whose call sites within the
+  class are not all lock-guarded).
+
+Per-file facts are distilled into a JSON-able
+:class:`FileConcurrencySummary` so the file cache and parallel workers
+can hand the cross-file pass (:func:`analyze_lock_graph`) everything it
+needs without re-parsing unchanged files.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import asdict, dataclass, field
+from typing import (
+    Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple,
+)
+
+from repro.lint import flow
+from repro.lint.core import Finding, LintReport, Rule, Severity
+from repro.lint.flow import build_cfg, iter_functions, may_raise
+
+#: Constructors whose result is treated as a lock object.
+LOCK_FACTORIES = {"Lock", "RLock", "Condition", "Semaphore",
+                  "BoundedSemaphore"}
+#: Factories that produce *reentrant* locks (a self-edge is harmless).
+REENTRANT_FACTORIES = {"RLock"}
+
+
+def _lock_factory_name(value: ast.AST) -> Optional[str]:
+    """``"Lock"``/``"RLock"``/... when *value* constructs a lock."""
+    if not isinstance(value, ast.Call):
+        return None
+    func = value.func
+    name = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else None)
+    return name if name in LOCK_FACTORIES else None
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Attribute) and \
+            isinstance(node.value, ast.Name) and node.value.id == "self":
+        return node.attr
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Lock references and per-file summaries
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class LockRef:
+    """A syntactic reference to a lock, resolved against the package-wide
+    lock table during the cross-file pass.
+
+    ``kind`` is ``"self"`` (``self.<attr>`` inside class ``cls``),
+    ``"name"`` (a module-level name), or ``"provider"`` (a call to a
+    method that manufactures locks, e.g. ``self._brick_lock(brick)``).
+    """
+
+    kind: str
+    name: str
+    cls: str = ""
+    module: str = ""
+
+    def as_dict(self) -> Dict[str, str]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, str]) -> "LockRef":
+        return cls(**data)
+
+
+@dataclass
+class FileConcurrencySummary:
+    """Everything the cross-file lock-graph pass needs from one file."""
+
+    path: str
+    module: str
+    #: lock id -> factory name ("Lock", "RLock", ...).
+    locks: Dict[str, str] = field(default_factory=dict)
+    #: (outer ref, inner ref, line) for nested acquisitions.
+    nested: List[Tuple[Dict[str, str], Dict[str, str], int]] = \
+        field(default_factory=list)
+    #: "Cls.method" or "module.func" -> list of refs acquired inside it.
+    acquires: Dict[str, List[Dict[str, str]]] = field(default_factory=dict)
+    #: (holder ref, callee qualname, line) for calls made under a lock.
+    held_calls: List[Tuple[Dict[str, str], str, int]] = \
+        field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path, "module": self.module, "locks": self.locks,
+            "nested": [[o, i, line] for o, i, line in self.nested],
+            "acquires": self.acquires,
+            "held_calls": [[h, c, line] for h, c, line in self.held_calls],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FileConcurrencySummary":
+        return cls(
+            path=data["path"], module=data["module"],
+            locks=dict(data["locks"]),
+            nested=[(o, i, int(line)) for o, i, line in data["nested"]],
+            acquires={key: list(refs)
+                      for key, refs in data["acquires"].items()},
+            held_calls=[(h, str(c), int(line))
+                        for h, c, line in data["held_calls"]],
+        )
+
+
+def _module_name(path: str) -> str:
+    return os.path.splitext(os.path.basename(path))[0]
+
+
+def _with_lock_refs(item_expr: ast.AST, cls_name: str,
+                    module: str) -> Optional[LockRef]:
+    """The lock a ``with <expr>:`` item acquires, if recognizable."""
+    attr = _self_attr(item_expr)
+    if attr is not None:
+        return LockRef("self", attr, cls=cls_name, module=module)
+    if isinstance(item_expr, ast.Name):
+        return LockRef("name", item_expr.id, module=module)
+    if isinstance(item_expr, ast.Call):
+        method = _self_attr(item_expr.func)
+        if method is not None:
+            return LockRef("provider", method, cls=cls_name, module=module)
+    return None
+
+
+class _SummaryExtractor(ast.NodeVisitor):
+    """One pass over a module collecting the concurrency summary."""
+
+    def __init__(self, tree: ast.AST, path: str):
+        self.summary = FileConcurrencySummary(path, _module_name(path))
+        self._cls_stack: List[str] = []
+        self._fn_depth = 0
+        self.visit(tree)
+
+    # -- lock definitions --------------------------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        factory = _lock_factory_name(node.value)
+        if factory is not None:
+            for target in node.targets:
+                attr = _self_attr(target)
+                if attr is not None and self._cls_stack:
+                    lock_id = f"{self._cls_stack[-1]}.{attr}"
+                    self.summary.locks[lock_id] = factory
+                elif isinstance(target, ast.Name) and not self._cls_stack \
+                        and self._fn_depth == 0:
+                    lock_id = f"{self.summary.module}.{target.id}"
+                    self.summary.locks[lock_id] = factory
+        self.generic_visit(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._cls_stack.append(node.name)
+        self.generic_visit(node)
+        self._cls_stack.pop()
+
+    # -- acquisitions ------------------------------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._function(node)
+
+    def _function(self, node: flow.FunctionNode) -> None:
+        cls_name = self._cls_stack[-1] if self._cls_stack else ""
+        # Module-level functions key on their bare name so a call from
+        # another module resolves; methods key on "Class.method".
+        qualname = f"{cls_name}.{node.name}" if cls_name else node.name
+        acquired: List[Dict[str, str]] = []
+        self._walk_body(node.body, cls_name, holders=[], qualname=qualname,
+                        acquired=acquired)
+        if acquired:
+            self.summary.acquires.setdefault(qualname, []).extend(acquired)
+        # Still visit children: lock definitions (self._x = Lock() in
+        # __init__) and nested defs are found by the NodeVisitor walk.
+        self._fn_depth += 1
+        self.generic_visit(node)
+        self._fn_depth -= 1
+        # A method that constructs a lock and returns a name is a lock
+        # *provider* (e.g. ThreadPoolScaffold._brick_lock): acquiring its
+        # result is modeled as its own graph node.
+        if cls_name and self._returns_created_lock(node):
+            factory = next(
+                (f for f in (_lock_factory_name(n.value)
+                             for n in ast.walk(node)
+                             if isinstance(n, ast.Assign)) if f), "Lock")
+            self.summary.locks[f"{cls_name}.{node.name}()"] = factory
+
+    @staticmethod
+    def _returns_created_lock(node: flow.FunctionNode) -> bool:
+        created = {target.id
+                   for sub in ast.walk(node) if isinstance(sub, ast.Assign)
+                   and _lock_factory_name(sub.value)
+                   for target in sub.targets if isinstance(target, ast.Name)}
+        if not created:
+            return False
+        return any(isinstance(sub, ast.Return)
+                   and isinstance(sub.value, ast.Name)
+                   and sub.value.id in created
+                   for sub in ast.walk(node))
+
+    def _walk_body(self, body: Sequence[ast.stmt], cls_name: str,
+                   holders: List[Tuple[LockRef, int]], qualname: str,
+                   acquired: List[Dict[str, str]]) -> None:
+        for statement in body:
+            if isinstance(statement, (ast.With, ast.AsyncWith)):
+                refs: List[Tuple[LockRef, int]] = []
+                for item in statement.items:
+                    ref = _with_lock_refs(item.context_expr, cls_name,
+                                          self.summary.module)
+                    if ref is not None:
+                        refs.append((ref, statement.lineno))
+                for ref, line in refs:
+                    acquired.append(ref.as_dict())
+                    for holder, _ in holders:
+                        self.summary.nested.append(
+                            (holder.as_dict(), ref.as_dict(), line))
+                # `with a, b:` acquires a before b.
+                for index, (inner, line) in enumerate(refs):
+                    for outer, _ in refs[:index]:
+                        self.summary.nested.append(
+                            (outer.as_dict(), inner.as_dict(), line))
+                self._walk_body(statement.body, cls_name,
+                                holders + refs, qualname, acquired)
+                continue
+            if holders:
+                self._record_held_calls(statement, cls_name, holders)
+            for child_body in self._nested_bodies(statement):
+                self._walk_body(child_body, cls_name, holders, qualname,
+                                acquired)
+
+    @staticmethod
+    def _nested_bodies(statement: ast.stmt) -> Iterable[Sequence[ast.stmt]]:
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+            return  # separate scope; handled by its own visit
+        for name in ("body", "orelse", "finalbody"):
+            body = getattr(statement, name, None)
+            if body:
+                yield body
+        for handler in getattr(statement, "handlers", ()):
+            yield handler.body
+        for case in getattr(statement, "cases", ()):
+            yield case.body
+
+    def _record_held_calls(self, statement: ast.stmt, cls_name: str,
+                           holders: List[Tuple[LockRef, int]]) -> None:
+        # Only the statement's own expressions; nested bodies are walked
+        # separately (they keep the same holder stack).
+        nodes = (ast.walk(statement)
+                 if not isinstance(statement, flow.COMPOUND_STATEMENTS)
+                 else (node for expr in flow.header_expressions(statement)
+                       for node in ast.walk(expr)))
+        for node in nodes:
+            if not isinstance(node, ast.Call):
+                continue
+            callee: Optional[str] = None
+            method = _self_attr(node.func)
+            if method is not None and cls_name:
+                callee = f"{cls_name}.{method}"
+            elif isinstance(node.func, ast.Name):
+                callee = node.func.id
+            if callee is None:
+                continue
+            for holder, _ in holders:
+                self.summary.held_calls.append(
+                    (holder.as_dict(), callee, node.lineno))
+
+
+def summarize_concurrency(tree: ast.AST,
+                          path: str) -> FileConcurrencySummary:
+    """Distill *tree* into the facts the lock-graph pass consumes."""
+    return _SummaryExtractor(tree, path).summary
+
+
+# ---------------------------------------------------------------------------
+# CC001 — cross-file lock-order cycles
+# ---------------------------------------------------------------------------
+
+def _resolve(ref: Mapping[str, str],
+             locks: Mapping[str, str]) -> Optional[str]:
+    kind = ref["kind"]
+    if kind == "self":
+        candidate = f"{ref['cls']}.{ref['name']}"
+        return candidate if candidate in locks else None
+    if kind == "provider":
+        candidate = f"{ref['cls']}.{ref['name']}()"
+        return candidate if candidate in locks else None
+    candidate = f"{ref['module']}.{ref['name']}"
+    return candidate if candidate in locks else None
+
+
+def analyze_lock_graph(
+        summaries: Sequence[FileConcurrencySummary]) -> List[Finding]:
+    """CC001: cycles in the merged lock-acquisition graph."""
+    locks: Dict[str, str] = {}
+    for summary in summaries:
+        locks.update(summary.locks)
+
+    # lock -> lock -> earliest (path, line) witness.
+    edges: Dict[str, Dict[str, Tuple[str, int]]] = {}
+
+    def add_edge(outer: str, inner: str, path: str, line: int) -> None:
+        if outer == inner and locks.get(outer) in REENTRANT_FACTORIES:
+            return  # re-acquiring an RLock is legal
+        witness = edges.setdefault(outer, {})
+        if inner not in witness or (path, line) < witness[inner]:
+            witness[inner] = (path, line)
+
+    acquires_by_qualname: Dict[str, List[Mapping[str, str]]] = {}
+    for summary in summaries:
+        for qualname, refs in summary.acquires.items():
+            acquires_by_qualname.setdefault(qualname, []).extend(refs)
+
+    for summary in summaries:
+        for outer_ref, inner_ref, line in summary.nested:
+            outer = _resolve(outer_ref, locks)
+            inner = _resolve(inner_ref, locks)
+            if outer is not None and inner is not None:
+                add_edge(outer, inner, summary.path, line)
+        for holder_ref, callee, line in summary.held_calls:
+            holder = _resolve(holder_ref, locks)
+            if holder is None:
+                continue
+            for ref in acquires_by_qualname.get(callee, ()):
+                inner = _resolve(ref, locks)
+                if inner is not None:
+                    add_edge(holder, inner, summary.path, line)
+
+    return [_cycle_finding(cycle, edges)
+            for cycle in _cycles(edges)]
+
+
+def _cycles(edges: Mapping[str, Mapping[str, Tuple[str, int]]]
+            ) -> List[Tuple[str, ...]]:
+    """Elementary cycles, one per strongly connected component, plus
+    self-loops — deterministic order."""
+    nodes = sorted(set(edges) | {n for out in edges.values() for n in out})
+    index_of: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    sccs: List[List[str]] = []
+    counter = [0]
+
+    def strongconnect(node: str) -> None:
+        work = [(node, iter(sorted(edges.get(node, ()))))]
+        index_of[node] = lowlink[node] = counter[0]
+        counter[0] += 1
+        stack.append(node)
+        on_stack.add(node)
+        while work:
+            current, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index_of:
+                    index_of[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(edges.get(succ, ())))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[current] = min(lowlink[current], index_of[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[current])
+            if lowlink[current] == index_of[current]:
+                component: List[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == current:
+                        break
+                sccs.append(component)
+
+    for node in nodes:
+        if node not in index_of:
+            strongconnect(node)
+
+    cycles: List[Tuple[str, ...]] = []
+    for component in sccs:
+        members = sorted(component)
+        if len(members) > 1:
+            cycles.append(tuple(members))
+        elif members[0] in edges.get(members[0], ()):
+            cycles.append((members[0],))
+    return sorted(cycles)
+
+
+def _cycle_finding(cycle: Tuple[str, ...],
+                   edges: Mapping[str, Mapping[str, Tuple[str, int]]]
+                   ) -> Finding:
+    witnesses = sorted(
+        (edges[a][b], a, b)
+        for a in cycle for b in edges.get(a, ())
+        if b in cycle and (len(cycle) > 1 or a == b))
+    (path, line), _, _ = witnesses[0]
+    if len(cycle) == 1:
+        message = (f"lock {cycle[0]} (non-reentrant) is acquired while "
+                   "already held: guaranteed self-deadlock")
+    else:
+        order = " -> ".join(cycle + (cycle[0],))
+        message = (f"lock-order cycle {order}: threads interleaving these "
+                   "regions can deadlock; acquire locks in one global order")
+    return Finding("CC001", Severity.ERROR, message, file=path, line=line,
+                   detail={"cycle": list(cycle)})
+
+
+class LockOrderRule(Rule):
+    """Catalog entry for CC001 (the check runs package-wide, see
+    :func:`analyze_package`)."""
+
+    rule_id = "CC001"
+    severity = Severity.ERROR
+    description = ("The package-wide lock-acquisition graph is acyclic: "
+                   "no two regions acquire the same locks in opposite "
+                   "orders (potential deadlock).")
+    tags = frozenset({"concurrency", "package"})
+
+    def check(self, context: Any) -> Iterable[Finding]:
+        return analyze_lock_graph(list(context))
+
+
+def analyze_package(
+        summaries: Sequence[FileConcurrencySummary]) -> LintReport:
+    """Run the cross-file concurrency rules over per-file summaries."""
+    report = LintReport()
+    try:
+        report.extend(LockOrderRule().check(summaries))
+    except Exception as exc:  # noqa: BLE001 — isolate, like RuleRegistry.run
+        report.add(Finding("CC001", Severity.ERROR,
+                           f"rule crashed: {type(exc).__name__}: {exc}",
+                           detail={"crash": True}))
+    return report.sorted()
+
+
+# ---------------------------------------------------------------------------
+# CC002 — acquire without release on an exception path (per file, CFG)
+# ---------------------------------------------------------------------------
+
+def _receiver_text(call: ast.Call) -> Optional[str]:
+    if isinstance(call.func, ast.Attribute):
+        try:
+            return ast.unparse(call.func.value)
+        except Exception:  # pragma: no cover — unparse is total on 3.9+
+            return None
+    return None
+
+
+def _method_calls(statement: ast.stmt, method: str) -> List[ast.Call]:
+    return [node for node in flow.walk_headers(statement)
+            if isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == method]
+
+
+class LockLeakRule(Rule):
+    """CC002: every ``.acquire()`` must release on *all* paths out."""
+
+    rule_id = "CC002"
+    severity = Severity.ERROR
+    description = ("An explicit lock.acquire() must be paired with a "
+                   "release() on every path to the function exit, "
+                   "including exception paths (use `with lock:` or "
+                   "try/finally).")
+    tags = frozenset({"concurrency"})
+
+    def check(self, context: Any) -> Iterable[Finding]:
+        for function in iter_functions(context.tree):
+            yield from self._check_function(context, function)
+
+    def _check_function(self, context: Any,
+                        function: flow.FunctionNode) -> Iterable[Finding]:
+        lock_lines = {
+            node.lineno
+            for node in ast.walk(function)
+            if isinstance(node, ast.Assign)
+            and _lock_factory_name(node.value)}
+        cfg = build_cfg(function)
+        reaching: Optional[Dict[int, Any]] = None
+        for block in cfg:
+            for position, statement in enumerate(block.statements):
+                for call in _method_calls(statement, "acquire"):
+                    receiver = _receiver_text(call)
+                    if receiver is None:
+                        continue
+                    if reaching is None:
+                        reaching = \
+                            flow.ReachingDefinitions.at_statements(cfg)
+                    if not self._is_lock_receiver(call, lock_lines,
+                                                  statement, reaching):
+                        continue
+                    if self._leaks(cfg, block, position, receiver):
+                        yield self.finding(
+                            f"{receiver}.acquire() can leak: a path "
+                            "reaches the function exit without "
+                            f"{receiver}.release() (put the release in a "
+                            f"finally block, or use `with {receiver}:`)",
+                            file=context.path, line=call.lineno)
+
+    @staticmethod
+    def _is_lock_receiver(call: ast.Call, lock_lines: Set[int],
+                          statement: ast.stmt,
+                          reaching: Dict[int, Any]) -> bool:
+        target = call.func.value  # type: ignore[union-attr]
+        if _self_attr(target) is not None:
+            return True  # self.<attr>.acquire() — instance lock by shape
+        if isinstance(target, (ast.Attribute,)):
+            return True  # module.lock.acquire()
+        if isinstance(target, ast.Name):
+            # A bare name is a lock when a `name = threading.Lock()`
+            # definition reaches this statement (dataflow), or when the
+            # module defines it globally (no local def reaches).
+            defs = reaching.get(id(statement), frozenset())
+            lines = {line for name, line in defs if name == target.id}
+            if lines:
+                return bool(lines & lock_lines)
+            return True  # no local binding: module-level lock name
+        return False
+
+    @staticmethod
+    def _leaks(cfg: Any, block: Any, position: int, receiver: str) -> bool:
+        """Can the exit be reached, post-acquire, without a release?"""
+        def releases(statement: ast.stmt) -> bool:
+            return any(_receiver_text(call) == receiver
+                       for call in _method_calls(statement, "release"))
+
+        seen: Set[Tuple[int, int]] = set()
+        # (block, statement index to start scanning at)
+        work: List[Tuple[Any, int]] = [(block, position + 1)]
+        while work:
+            current, start = work.pop()
+            if (current.index, start) in seen:
+                continue
+            seen.add((current.index, start))
+            if current is cfg.exit:
+                return True
+            released = False
+            for statement in current.statements[start:]:
+                if releases(statement):
+                    released = True
+                    break
+                if may_raise(statement):
+                    work.extend((succ, 0) for succ
+                                in current.succ([flow.EXCEPTION]))
+            if not released:
+                work.extend(
+                    (succ, 0) for succ in current.succ(
+                        [flow.NORMAL, flow.TRUE, flow.FALSE, flow.LOOP]))
+        return False
+
+
+# ---------------------------------------------------------------------------
+# CC003 — shared-attribute writes reachable outside any lock region
+# ---------------------------------------------------------------------------
+
+class UnlockedSharedWriteRule(Rule):
+    """CC003: writes to lock-guarded attributes outside the lock.
+
+    An attribute counts as *shared* when some method writes it inside a
+    ``with <lock>:`` region.  Writes to a shared attribute are then
+    flagged in every method reachable without the lock: public methods,
+    and private methods whose in-class call sites are not all inside a
+    lock region (propagated to a fixpoint over the intra-class call
+    graph).  ``__init__`` is construction-time and exempt; private
+    methods never called within the class are presumed externally
+    serialized (CD001 parity).
+    """
+
+    rule_id = "CC003"
+    severity = Severity.ERROR
+    description = ("Attributes written under a class's lock must not "
+                   "also be written outside a lock region in any method "
+                   "reachable without the lock (intra-class call-graph "
+                   "fixpoint).")
+    tags = frozenset({"concurrency"})
+
+    def check(self, context: Any) -> Iterable[Finding]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(context, node)
+
+    def _check_class(self, context: Any,
+                     cls: ast.ClassDef) -> Iterable[Finding]:
+        lock_attrs = {
+            _self_attr(target)
+            for method in cls.body
+            if isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef))
+            for node in ast.walk(method) if isinstance(node, ast.Assign)
+            and _lock_factory_name(node.value)
+            for target in node.targets if _self_attr(target)}
+        lock_attrs.discard(None)
+        if not lock_attrs:
+            return
+
+        methods = {m.name: m for m in cls.body
+                   if isinstance(m, (ast.FunctionDef, ast.AsyncFunctionDef))}
+        writes: Dict[str, List[Tuple[str, int, bool]]] = {}
+        calls: Dict[str, List[Tuple[str, bool]]] = {}
+        for name, method in methods.items():
+            writes[name], calls[name] = self._scan(method, lock_attrs)
+
+        guarded_attrs = {
+            attr
+            for name, sites in writes.items() if name != "__init__"
+            for attr, _, guarded in sites if guarded}
+        shared = guarded_attrs - lock_attrs
+        if not shared:
+            return
+
+        unprotected = {name for name in methods
+                       if not name.startswith("_")}
+        changed = True
+        while changed:
+            changed = False
+            for name in unprotected.copy():
+                for callee, under_lock in calls[name]:
+                    if (not under_lock and callee in methods
+                            and callee != "__init__"
+                            and callee not in unprotected):
+                        unprotected.add(callee)
+                        changed = True
+
+        for name in sorted(unprotected):
+            if name == "__init__":
+                continue
+            for attr, line, guarded in writes[name]:
+                if not guarded and attr in shared:
+                    yield self.finding(
+                        f"{cls.name}.{name} writes self.{attr} outside "
+                        f"the lock, but {cls.name} guards that attribute "
+                        f"elsewhere ({', '.join(sorted(lock_attrs))})",
+                        file=context.path, line=line)
+
+    def _scan(self, method: flow.FunctionNode, lock_attrs: Set[str]
+              ) -> Tuple[List[Tuple[str, int, bool]],
+                         List[Tuple[str, bool]]]:
+        """Attribute writes and self-method calls, each tagged with
+        whether a ``with <lock>:`` region lexically encloses it."""
+        writes: List[Tuple[str, int, bool]] = []
+        calls: List[Tuple[str, bool]] = []
+
+        def locked_with(node: ast.stmt) -> bool:
+            return isinstance(node, (ast.With, ast.AsyncWith)) and any(
+                any(_self_attr(sub) in lock_attrs
+                    for sub in ast.walk(item.context_expr))
+                for item in node.items)
+
+        def walk(node: ast.AST, guarded: bool) -> None:
+            for child in ast.iter_child_nodes(node):
+                child_guarded = guarded or (
+                    isinstance(child, ast.stmt) and locked_with(child))
+                if isinstance(child, (ast.Assign, ast.AugAssign)):
+                    targets = (child.targets if isinstance(child, ast.Assign)
+                               else [child.target])
+                    for target in targets:
+                        attr = _self_attr(target)
+                        if attr is not None:
+                            writes.append((attr, child.lineno, guarded))
+                if isinstance(child, ast.Call):
+                    attr = _self_attr(child.func)
+                    if attr is not None:
+                        calls.append((attr, guarded))
+                if not isinstance(child, (ast.FunctionDef,
+                                          ast.AsyncFunctionDef,
+                                          ast.Lambda, ast.ClassDef)):
+                    walk(child, child_guarded)
+
+        walk(method, False)
+        return writes, calls
+
+
+CONCURRENCY_RULES = (LockLeakRule, UnlockedSharedWriteRule)

@@ -66,12 +66,22 @@ class Finding:
     subject: str = ""
     file: Optional[str] = None
     line: Optional[int] = None
+    col: Optional[int] = None
     detail: Mapping[str, Any] = field(default_factory=dict)
 
     def location(self) -> str:
         if self.file is not None:
             return f"{self.file}:{self.line}" if self.line else self.file
         return self.subject
+
+    def sort_key(self) -> Tuple[Any, ...]:
+        """Location-major ordering: (path, line, col, rule id, ...).
+
+        Findings sort by where they are, not how bad they are, so output
+        is stable as rules evolve and diffs stay local to edited files.
+        """
+        return (self.file or "", self.line or 0, self.col or 0, self.rule,
+                self.subject, -self.severity, self.message)
 
     def as_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {
@@ -85,9 +95,24 @@ class Finding:
             out["file"] = self.file
         if self.line is not None:
             out["line"] = self.line
+        if self.col is not None:
+            out["col"] = self.col
         if self.detail:
             out["detail"] = dict(self.detail)
         return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Finding":
+        """Inverse of :meth:`as_dict` (used by the result cache)."""
+        return cls(
+            rule=data["rule"],
+            severity=Severity.parse(data["severity"]),
+            message=data["message"],
+            subject=data.get("subject", ""),
+            file=data.get("file"),
+            line=data.get("line"),
+            col=data.get("col"),
+            detail=dict(data.get("detail", {})))
 
     def __str__(self) -> str:
         where = self.location()
@@ -120,10 +145,11 @@ class Rule:
     def finding(self, message: str, subject: str = "",
                 severity: Optional[Severity] = None,
                 file: Optional[str] = None, line: Optional[int] = None,
-                **detail: Any) -> Finding:
+                col: Optional[int] = None, **detail: Any) -> Finding:
         """Convenience constructor stamped with this rule's id/severity."""
         return Finding(self.rule_id, severity or self.severity, message,
-                       subject=subject, file=file, line=line, detail=detail)
+                       subject=subject, file=file, line=line, col=col,
+                       detail=detail)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(id={self.rule_id!r})"
@@ -176,11 +202,24 @@ class LintReport(ReportBase):
         return 1 if self.at_least(fail_on) else 0
 
     def sorted(self) -> "LintReport":
-        """Most severe first, then by rule id and location."""
-        return LintReport(sorted(
-            self.findings,
-            key=lambda f: (-f.severity, f.rule, f.file or "", f.line or 0,
-                           f.subject)))
+        """Deterministic order: by (path, line, col, rule id), deduped.
+
+        Identical findings collapse to one (a file reached through two
+        input paths, or a rule run twice, must not double-report), so
+        JSON/SARIF output is byte-identical run to run.
+        """
+        seen = set()
+        unique: List[Finding] = []
+        for finding in sorted(self.findings, key=Finding.sort_key):
+            key = (finding.rule, finding.severity, finding.message,
+                   finding.subject, finding.file, finding.line, finding.col,
+                   tuple(sorted((k, repr(v))
+                                for k, v in finding.detail.items())))
+            if key in seen:
+                continue
+            seen.add(key)
+            unique.append(finding)
+        return LintReport(unique)
 
     # -- Report protocol (delegates to the module-level reporters) -----
     def to_dict(self, title: str = "", **opts: Any) -> Dict[str, Any]:

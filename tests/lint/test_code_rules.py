@@ -229,6 +229,43 @@ class TestSuppressionAndErrors:
         """)
         assert "CD006" in rules_found(other)
 
+    def test_multiline_statement_ignore_on_any_line(self):
+        # The finding points at the `[]` default on the first line; the
+        # ignore comment sits on the second physical line of the same
+        # statement.  Suppression must cover the whole span.
+        report = run("""
+            def collect(items=[],
+                        extra=None):  # lint: ignore[CD006]
+                return items
+        """)
+        assert "CD006" not in rules_found(report)
+
+    def test_multiline_call_ignore_on_last_line(self):
+        report = run("""
+            def setup(analyzer, algo):
+                analyzer.register_algorithm(
+                    "swap", algo)  # lint: ignore[CD003]
+        """)
+        assert "CD003" not in rules_found(report)
+        unsuppressed = run("""
+            def setup(analyzer, algo):
+                analyzer.register_algorithm(
+                    "swap", algo)
+        """)
+        assert "CD003" in rules_found(unsuppressed)
+
+    def test_ignore_inside_body_does_not_blanket_compound(self):
+        # An ignore on a body line suppresses that statement, not the
+        # whole enclosing function/loop.
+        report = run("""
+            def setup(analyzer, algo, items=[]):
+                analyzer.register_algorithm(
+                    "swap", algo)  # lint: ignore[CD003]
+                return items
+        """)
+        assert "CD003" not in rules_found(report)
+        assert "CD006" in rules_found(report)
+
     def test_syntax_error_becomes_finding(self):
         report = analyze_source("def broken(:\n", path="bad.py")
         finding = next(iter(report))

@@ -1,0 +1,237 @@
+"""Tests for the concurrency analysis pack (repro.lint.concurrency)."""
+
+import ast
+import textwrap
+
+from repro.lint.code import CodeLintContext
+from repro.lint.concurrency import (
+    FileConcurrencySummary, LockLeakRule, UnlockedSharedWriteRule,
+    analyze_package, summarize_concurrency,
+)
+
+
+def summarize(source, path="mod.py"):
+    tree = ast.parse(textwrap.dedent(source))
+    return summarize_concurrency(tree, path)
+
+
+def run_rule(rule_cls, source, path="mod.py"):
+    context = CodeLintContext.parse(textwrap.dedent(source), path)
+    return list(rule_cls().check(context))
+
+
+CYCLE = """
+    import threading
+
+    class Pool:
+        def __init__(self):
+            self._a = threading.Lock()
+            self._b = threading.Lock()
+
+        def forward(self):
+            with self._a:
+                with self._b:
+                    pass
+
+        def backward(self):
+            with self._b:
+                with self._a:
+                    pass
+"""
+
+
+class TestLockOrderCycles:
+    def test_synthetic_cycle_triggers_cc001(self):
+        report = analyze_package([summarize(CYCLE)])
+        assert any(f.rule == "CC001" for f in report)
+
+    def test_consistent_order_is_clean(self):
+        clean = CYCLE.replace(
+            "with self._b:\n                with self._a:",
+            "with self._a:\n                with self._b:")
+        report = analyze_package([summarize(clean)])
+        assert not any(f.rule == "CC001" for f in report)
+
+    def test_rlock_self_reentry_exempt(self):
+        source = """
+            import threading
+
+            class Reentrant:
+                def __init__(self):
+                    self._lock = threading.RLock()
+
+                def outer(self):
+                    with self._lock:
+                        with self._lock:
+                            pass
+        """
+        report = analyze_package([summarize(source)])
+        assert not any(f.rule == "CC001" for f in report)
+
+    def test_plain_lock_self_nesting_flagged(self):
+        source = """
+            import threading
+
+            class Deadlock:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def outer(self):
+                    with self._lock:
+                        with self._lock:
+                            pass
+        """
+        report = analyze_package([summarize(source)])
+        assert any(f.rule == "CC001" for f in report)
+
+    def test_cross_file_cycle_via_function_calls(self):
+        mod_a = """
+            import threading
+            from b import helper_b
+
+            lock_a = threading.Lock()
+
+            def step_a():
+                with lock_a:
+                    helper_b()
+        """
+        mod_b = """
+            import threading
+            from a import step_under_b
+
+            lock_b = threading.Lock()
+
+            def helper_b():
+                with lock_b:
+                    pass
+
+            def entry_b():
+                with lock_b:
+                    step_under_b()
+        """
+        mod_a2 = mod_a + """
+            def step_under_b():
+                with lock_a:
+                    pass
+        """
+        report = analyze_package([
+            summarize(mod_a2, "a.py"), summarize(mod_b, "b.py")])
+        assert any(f.rule == "CC001" for f in report)
+
+    def test_deterministic_output(self):
+        first = analyze_package([summarize(CYCLE)])
+        second = analyze_package([summarize(CYCLE)])
+        assert [str(f) for f in first] == [str(f) for f in second]
+
+
+class TestSummaryRoundTrip:
+    def test_json_round_trip(self):
+        summary = summarize(CYCLE, "pool.py")
+        data = summary.as_dict()
+        restored = FileConcurrencySummary.from_dict(data)
+        assert restored.as_dict() == data
+        report = analyze_package([restored])
+        assert any(f.rule == "CC001" for f in report)
+
+
+class TestLockLeak:
+    def test_exception_path_leak_triggers_cc002(self):
+        findings = run_rule(LockLeakRule, """
+            class Guard:
+                def update(self, value):
+                    self._lock.acquire()
+                    self.value = compute(value)
+                    self._lock.release()
+        """)
+        assert any(f.rule == "CC002" for f in findings)
+
+    def test_try_finally_release_is_clean(self):
+        findings = run_rule(LockLeakRule, """
+            class Guard:
+                def update(self, value):
+                    self._lock.acquire()
+                    try:
+                        self.value = compute(value)
+                    finally:
+                        self._lock.release()
+        """)
+        assert not findings
+
+    def test_straight_line_without_raises_is_clean(self):
+        # Only statements that cannot raise between acquire and release
+        # (an attribute store *can* raise, via properties/__setattr__).
+        findings = run_rule(LockLeakRule, """
+            class Guard:
+                def update(self, value):
+                    self._lock.acquire()
+                    staged = value
+                    self._lock.release()
+                    return staged
+        """)
+        assert not findings
+
+    def test_return_between_acquire_and_release_flagged(self):
+        findings = run_rule(LockLeakRule, """
+            class Guard:
+                def update(self, flag):
+                    self._lock.acquire()
+                    if flag:
+                        return None
+                    self._lock.release()
+                    return True
+        """)
+        assert any(f.rule == "CC002" for f in findings)
+
+
+class TestUnlockedSharedWrite:
+    def test_public_unguarded_write_flagged(self):
+        findings = run_rule(UnlockedSharedWriteRule, """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.total = 0
+
+                def add(self, n):
+                    with self._lock:
+                        self.total += n
+
+                def reset(self):
+                    self.total = 0
+        """)
+        assert any(f.rule == "CC003" and "reset" in f.message
+                   for f in findings)
+
+    def test_init_and_guarded_writes_clean(self):
+        findings = run_rule(UnlockedSharedWriteRule, """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.total = 0
+
+                def add(self, n):
+                    with self._lock:
+                        self.total += n
+        """)
+        assert not findings
+
+    def test_private_helper_called_under_lock_is_clean(self):
+        findings = run_rule(UnlockedSharedWriteRule, """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.total = 0
+
+                def add(self, n):
+                    with self._lock:
+                        self._bump(n)
+
+                def _bump(self, n):
+                    self.total += n
+        """)
+        assert not findings

@@ -97,10 +97,32 @@ class TestLintReport:
         assert warn_only.exit_code(Severity.ERROR) == 0
         assert warn_only.exit_code(Severity.WARNING) == 1
 
-    def test_sorted_most_severe_first(self):
-        ordered = self.make().sorted()
-        assert [f.severity for f in ordered] == [
-            Severity.ERROR, Severity.WARNING, Severity.INFO]
+    def test_sorted_by_location_then_rule(self):
+        report = LintReport()
+        report.add(Finding("Z9", Severity.INFO, "late rule", file="a.py",
+                           line=1))
+        report.add(Finding("A1", Severity.ERROR, "deep", file="b.py",
+                           line=9))
+        report.add(Finding("A1", Severity.ERROR, "early", file="a.py",
+                           line=1))
+        report.add(Finding("A2", Severity.WARNING, "col", file="a.py",
+                           line=1, col=4))
+        ordered = report.sorted()
+        assert [(f.file, f.line, f.col or 0, f.rule) for f in ordered] == [
+            ("a.py", 1, 0, "A1"), ("a.py", 1, 0, "Z9"),
+            ("a.py", 1, 4, "A2"), ("b.py", 9, 0, "A1")]
+
+    def test_sorted_dedupes_identical_findings(self):
+        finding = Finding("A1", Severity.ERROR, "dup", file="a.py", line=3)
+        report = LintReport([finding, finding,
+                             Finding("A1", Severity.ERROR, "dup",
+                                     file="a.py", line=3)])
+        assert len(report.sorted()) == 1
+
+    def test_sorted_is_idempotent_and_deterministic(self):
+        once = self.make().sorted()
+        twice = once.sorted()
+        assert [str(f) for f in once] == [str(f) for f in twice]
 
     def test_merge(self):
         a, b = self.make(), self.make()

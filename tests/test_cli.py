@@ -184,6 +184,134 @@ class TestLint:
         assert main(["lint", architecture_file]) == 0
 
 
+class TestLintExitCodeMatrix:
+    """The --fail-on × severity contract, --force, output modes, and
+    empty input, exercised end-to-end through main()."""
+
+    ERROR_SRC = "def f(x=[]):\n    return x\n"          # CD006 (error)
+    WARNING_SRC = ("def f():\n"
+                   "    try:\n"
+                   "        g()\n"
+                   "    except ValueError:\n"
+                   "        pass\n")                     # CD005 (warning)
+    CLEAN_SRC = "def f(x):\n    return x\n"
+
+    def write(self, tmp_path, source, name="mod.py"):
+        path = tmp_path / name
+        path.write_text(source, encoding="utf-8")
+        return str(path)
+
+    def test_error_finding_across_thresholds(self, tmp_path, capsys):
+        path = self.write(tmp_path, self.ERROR_SRC)
+        for fail_on in ("error", "warning", "info"):
+            capsys.readouterr()
+            assert main(["lint", "--code", path,
+                         "--fail-on", fail_on]) == 1
+
+    def test_warning_finding_across_thresholds(self, tmp_path, capsys):
+        path = self.write(tmp_path, self.WARNING_SRC)
+        assert main(["lint", "--code", path, "--fail-on", "error"]) == 0
+        capsys.readouterr()
+        assert main(["lint", "--code", path, "--fail-on", "warning"]) == 1
+        capsys.readouterr()
+        assert main(["lint", "--code", path, "--fail-on", "info"]) == 1
+
+    def test_clean_file_across_thresholds(self, tmp_path, capsys):
+        path = self.write(tmp_path, self.CLEAN_SRC)
+        for fail_on in ("error", "warning", "info"):
+            capsys.readouterr()
+            assert main(["lint", "--code", path,
+                         "--fail-on", fail_on]) == 0
+
+    def test_force_wins_at_every_threshold(self, tmp_path, capsys):
+        path = self.write(tmp_path, self.ERROR_SRC)
+        for fail_on in ("error", "warning", "info"):
+            capsys.readouterr()
+            assert main(["lint", "--code", path, "--fail-on", fail_on,
+                         "--force"]) == 0
+            assert "ignored (--force)" in capsys.readouterr().err
+
+    def test_json_mode_keeps_exit_code(self, tmp_path, capsys):
+        import json
+        path = self.write(tmp_path, self.ERROR_SRC)
+        assert main(["lint", "--code", path, "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"][0]["rule"] == "CD006"
+
+    def test_quiet_mode_keeps_exit_code(self, tmp_path, capsys):
+        path = self.write(tmp_path, self.ERROR_SRC)
+        assert main(["lint", "--code", path, "--quiet"]) == 1
+        out = capsys.readouterr().out
+        assert "error" in out and "CD006" not in out
+
+    def test_quiet_on_clean_input(self, tmp_path, capsys):
+        path = self.write(tmp_path, self.CLEAN_SRC)
+        assert main(["lint", "--code", path, "--quiet"]) == 0
+        assert capsys.readouterr().out.strip() == "clean"
+
+    def test_empty_directory_is_clean(self, tmp_path, capsys):
+        empty = tmp_path / "nothing"
+        empty.mkdir()
+        assert main(["lint", "--code", str(empty)]) == 0
+
+    def test_missing_target_is_error(self, tmp_path, capsys):
+        missing = str(tmp_path / "absent.py")
+        assert main(["lint", "--code", missing]) != 0
+
+
+class TestLintPlumbingCli:
+    def test_sarif_output_to_file(self, tmp_path, capsys):
+        import json
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(x=[]):\n    return x\n", encoding="utf-8")
+        out = str(tmp_path / "report.sarif")
+        assert main(["lint", "--code", str(bad), "--sarif",
+                     "-o", out]) == 1
+        with open(out, "r", encoding="utf-8") as handle:
+            log = json.load(handle)
+        assert log["version"] == "2.1.0"
+        assert log["runs"][0]["results"][0]["ruleId"] == "CD006"
+
+    def test_baseline_suppresses_and_write_baseline(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(x=[]):\n    return x\n", encoding="utf-8")
+        baseline = str(tmp_path / "baseline.json")
+        assert main(["lint", "--code", str(bad),
+                     "--write-baseline", baseline]) == 0
+        capsys.readouterr()
+        assert main(["lint", "--code", str(bad),
+                     "--baseline", baseline]) == 0
+        assert main(["lint", "--code", str(bad)]) == 1
+
+    def test_cache_flag_hits_on_second_run(self, tmp_path, capsys):
+        src = tmp_path / "ok.py"
+        src.write_text("VALUE = 1\n", encoding="utf-8")
+        cache = str(tmp_path / "cache.json")
+        assert main(["lint", "--code", str(src), "--cache", cache]) == 0
+        assert "misses=1" in capsys.readouterr().err
+        assert main(["lint", "--code", str(src), "--cache", cache]) == 0
+        assert "hits=1 misses=0" in capsys.readouterr().err
+
+    def test_no_cache_disables_cache(self, tmp_path, capsys):
+        src = tmp_path / "ok.py"
+        src.write_text("VALUE = 1\n", encoding="utf-8")
+        cache = str(tmp_path / "cache.json")
+        assert main(["lint", "--code", str(src), "--cache", cache,
+                     "--no-cache"]) == 0
+        assert "lint cache" not in capsys.readouterr().err
+        assert not (tmp_path / "cache.json").exists()
+
+    def test_jobs_flag_matches_serial(self, tmp_path, capsys):
+        for index in range(3):
+            (tmp_path / f"m{index}.py").write_text(
+                "def f(x=[]):\n    return x\n", encoding="utf-8")
+        assert main(["lint", "--code", str(tmp_path), "--json"]) == 1
+        serial = capsys.readouterr().out
+        assert main(["lint", "--code", str(tmp_path), "--json",
+                     "--jobs", "2"]) == 1
+        assert capsys.readouterr().out == serial
+
+
 class TestObsVerb:
     @pytest.fixture
     def capture_file(self, tmp_path, capsys):

@@ -16,7 +16,9 @@ MODULES = [
     "repro.core.framework", "repro.core.errors", "repro.core.registry",
     "repro.core.report",
     "repro.lint.core", "repro.lint.model_rules", "repro.lint.xadl_rules",
-    "repro.lint.fault_rules", "repro.lint.code",
+    "repro.lint.fault_rules", "repro.lint.code", "repro.lint.flow",
+    "repro.lint.concurrency", "repro.lint.determinism", "repro.lint.cache",
+    "repro.lint.sarif",
     "repro.algorithms.base", "repro.algorithms.engine",
     "repro.algorithms.compiled",
     "repro.algorithms.exact",
@@ -83,6 +85,22 @@ rules, and the `deployment`-tagged subset gates `Effector.effect` and
 `ExperimentRunner.run` (`PreflightError`/`LintError` on error findings).
 See `docs/STATIC_ANALYSIS.md` for the rule catalog, severities,
 suppression syntax, and how to write custom rules.
+""",
+    "repro.lint.flow": """\
+## Dataflow analysis framework (`repro.lint.flow` and the rule packs)
+
+Whole-function reasoning under the code analyzer: per-function CFG
+construction (branches, loops, `try/except/finally` with exception
+edges, `with`, `match`), a generic worklist dataflow solver, and
+reaching-definitions/liveness instances.  On top of it sit the
+**concurrency pack** (`repro.lint.concurrency` — CC001 package-wide
+lock-order cycles, CC002 acquire-without-release on exception paths,
+CC003 unlocked shared writes) and the **determinism pack**
+(`repro.lint.determinism` — DT001 unseeded randomness via taint
+tracking, DT002 wall clocks in serialization, DT003 set iteration order
+escaping into rendered output), plus the production plumbing: a
+content-hash result cache with baseline suppression files
+(`repro.lint.cache`) and a SARIF 2.1.0 reporter (`repro.lint.sarif`).
 """,
     "repro.algorithms.engine": """\
 ## Evaluation engine & algorithm portfolio
