@@ -1,0 +1,316 @@
+"""E-S — incremental search engine vs the pre-rewire scan loop.
+
+Replays full steepest-ascent trajectories (hill-climb rounds, and
+swap-search rounds with the pairwise-exchange neighborhood) two ways:
+
+* **legacy**: the scan loop the algorithms used before the rewire — every
+  round re-probes all C x H moves through ``ConstraintSet.allows`` (object
+  path, O(C) per probe) and re-scores them through ``engine.move_delta``
+  (string-keyed, O(C) re-encode per call);
+* **incremental**: :class:`repro.algorithms.search.SearchState` — compiled
+  O(1) constraint checks, cached move deltas with dirty-move invalidation,
+  and the indexed delta entry point.
+
+Both sides follow the identical canonical selection rule, and the bench
+*asserts the trajectories are move-for-move identical* before trusting any
+timing: the speedup is real only if the answers are the same.  Results go
+to stdout as paper-style tables and machine-readable to
+``BENCH_search.json`` in the repository root (see docs/PERFORMANCE.md).
+
+Two modes:
+
+* full (default): sizes up to 10 hosts x 40 components; asserts the
+  incremental engine reaches >= 5x aggregate (geomean over hill-climb and
+  swap rounds) at the largest size.
+* smoke (``BENCH_SEARCH_SMOKE=1``): one tiny size for CI; asserts only
+  that the incremental engine is no slower.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from pathlib import Path
+
+from repro.algorithms.base import random_valid_deployment
+from repro.algorithms.engine import EvaluationEngine
+from repro.algorithms.search import SearchState
+from repro.core.constraints import (
+    CollocationConstraint, ConstraintSet, LocationConstraint,
+    MemoryConstraint,
+)
+from repro.core.objectives import AvailabilityObjective
+from repro.desi.generator import Generator, GeneratorConfig
+from conftest import print_table
+
+SMOKE = os.environ.get("BENCH_SEARCH_SMOKE", "") not in ("", "0")
+SIZES = [(4, 10)] if SMOKE else [(6, 20), (10, 40)]
+#: Required aggregate (geomean over the two neighborhoods) speedup at the
+#: largest size.
+REQUIRED_SPEEDUP = 1.0 if SMOKE else 5.0
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_search.json"
+MAX_ROUNDS = 1000
+
+
+def build_case(hosts, components, seed):
+    config = GeneratorConfig(hosts=hosts, components=components,
+                             host_memory=(20.0, 50.0),
+                             memory_headroom=1.3,
+                             reliability=(0.2, 0.95))
+    model = Generator(config, seed=seed).generate(
+        f"bench-search-{hosts}x{components}")
+    comps = model.component_ids
+    constraints = ConstraintSet([
+        MemoryConstraint(),
+        LocationConstraint(comps[0], forbidden=[model.host_ids[0]]),
+        CollocationConstraint([comps[1], comps[2]], together=True),
+        CollocationConstraint([comps[3], comps[4]], together=False),
+    ])
+    initial = random_valid_deployment(model, constraints,
+                                      random.Random(seed * 13 + 1))
+    assert initial is not None, "bench seed must start valid"
+    return model, constraints, initial
+
+
+# ---------------------------------------------------------------------------
+# The two implementations of the same trajectory
+# ---------------------------------------------------------------------------
+
+def legacy_hillclimb(model, constraints, objective, initial):
+    """The pre-rewire hill-climb round: full scan, object-path probes."""
+    engine = EvaluationEngine(objective, constraints)
+    assignment = dict(initial)
+    moves = []
+    for __ in range(MAX_ROUNDS):
+        best_delta = 0.0
+        best_move = None
+        for component in model.component_ids:
+            current_host = assignment[component]
+            for host in model.host_ids:
+                if host == current_host:
+                    continue
+                if not constraints.allows(model, assignment, component,
+                                          host):
+                    continue
+                delta = engine.move_delta(model, assignment, component, host)
+                gain = delta if objective.direction == "max" else -delta
+                if gain > best_delta + 1e-12:
+                    best_delta = gain
+                    best_move = (component, host)
+        if best_move is None:
+            break
+        assignment[best_move[0]] = best_move[1]
+        moves.append(best_move)
+    return assignment, moves
+
+
+def incremental_hillclimb(model, constraints, objective, initial):
+    engine = EvaluationEngine(objective, constraints)
+    state = SearchState(model, constraints, engine, objective, initial)
+    for __ in range(MAX_ROUNDS):
+        step = state.best_move()
+        if step is None:
+            break
+        state.apply(step[0], step[1])
+    return state.mapping, list(state.moves)
+
+
+def legacy_swapsearch(model, constraints, objective, initial):
+    """The pre-rewire swap-search round: moves + pairwise swaps, object
+    path throughout (dict rebuilds per swap-feasibility probe)."""
+    engine = EvaluationEngine(objective, constraints)
+    assignment = dict(initial)
+    components = model.component_ids
+    hosts = model.host_ids
+    log = []
+
+    def gain_of(delta):
+        return delta if objective.direction == "max" else -delta
+
+    for __ in range(MAX_ROUNDS):
+        best_gain = 1e-12
+        best_action = None
+        for component in components:
+            for host in hosts:
+                if host == assignment[component]:
+                    continue
+                if not constraints.allows(model, assignment, component,
+                                          host):
+                    continue
+                gain = gain_of(engine.move_delta(model, assignment,
+                                                 component, host))
+                if gain > best_gain:
+                    best_gain = gain
+                    best_action = ("move", component, host)
+        for i, comp_a in enumerate(components):
+            for comp_b in components[i + 1:]:
+                if assignment[comp_a] == assignment[comp_b]:
+                    continue
+                host_a, host_b = assignment[comp_a], assignment[comp_b]
+                without_b = {c: h for c, h in assignment.items()
+                             if c != comp_b}
+                if not constraints.allows(model, without_b, comp_a, host_b):
+                    continue
+                trial = dict(assignment)
+                trial[comp_a] = host_b
+                trial[comp_b] = host_a
+                if not constraints.is_satisfied_partial(model, trial):
+                    continue
+                first = engine.move_delta(model, assignment, comp_a, host_b)
+                assignment[comp_a] = host_b
+                second = engine.move_delta(model, assignment, comp_b, host_a)
+                assignment[comp_a] = host_a
+                gain = gain_of(first + second)
+                if gain > best_gain:
+                    best_gain = gain
+                    best_action = ("swap", comp_a, comp_b)
+        if best_action is None:
+            break
+        if best_action[0] == "move":
+            __kind, component, host = best_action
+            assignment[component] = host
+            log.append((component, host))
+        else:
+            __kind, comp_a, comp_b = best_action
+            assignment[comp_a], assignment[comp_b] = \
+                assignment[comp_b], assignment[comp_a]
+            log.append((comp_a, assignment[comp_a]))
+            log.append((comp_b, assignment[comp_b]))
+    return assignment, log
+
+
+def incremental_swapsearch(model, constraints, objective, initial):
+    engine = EvaluationEngine(objective, constraints)
+    state = SearchState(model, constraints, engine, objective, initial)
+    indices = [state.component_index(c) for c in model.component_ids]
+    array = state.array
+
+    def gain_of(delta):
+        return delta if objective.direction == "max" else -delta
+
+    for __ in range(MAX_ROUNDS):
+        best_gain = 1e-12
+        best_action = None
+        step = state.best_move()
+        if step is not None:
+            best_gain = gain_of(step[2])
+            best_action = ("move", step[0], step[1])
+        for i, ca in enumerate(indices):
+            for cb in indices[i + 1:]:
+                if array[ca] == array[cb]:
+                    continue
+                if not state.swap_allowed(ca, cb):
+                    continue
+                gain = gain_of(state.swap_delta(ca, cb))
+                if gain > best_gain:
+                    best_gain = gain
+                    best_action = ("swap", ca, cb)
+        if best_action is None:
+            break
+        if best_action[0] == "move":
+            state.apply(best_action[1], best_action[2])
+        else:
+            state.apply_swap(best_action[1], best_action[2])
+    return state.mapping, list(state.moves)
+
+
+# ---------------------------------------------------------------------------
+# Harness
+# ---------------------------------------------------------------------------
+
+def best_time(fn, repeats):
+    """Minimum wall time of *repeats* runs (first result returned)."""
+    result = fn()
+    best = float("inf")
+    for __ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def bench_neighborhood(name, legacy, incremental, case, repeats):
+    model, constraints, initial = case
+    objective = AvailabilityObjective()
+    legacy_result, legacy_t = best_time(
+        lambda: legacy(model, constraints, objective, initial), repeats)
+    fast_result, fast_t = best_time(
+        lambda: incremental(model, constraints, objective, initial), repeats)
+    # Equivalence before performance: same final assignment, same moves.
+    assert fast_result[0] == legacy_result[0], f"{name}: assignments differ"
+    assert fast_result[1] == legacy_result[1], f"{name}: move logs differ"
+    return {
+        "neighborhood": name,
+        "moves_in_trajectory": len(legacy_result[1]),
+        "legacy_seconds": legacy_t,
+        "incremental_seconds": fast_t,
+        "speedup": legacy_t / fast_t,
+    }
+
+
+def bench_size(hosts, components, seed):
+    case = build_case(hosts, components, seed)
+    repeats = 1 if (hosts * components >= 400 and not SMOKE) else 2
+    rounds = {}
+    for name, legacy, incremental in (
+            ("hillclimb-rounds", legacy_hillclimb, incremental_hillclimb),
+            ("swap-rounds", legacy_swapsearch, incremental_swapsearch)):
+        rounds[name] = bench_neighborhood(name, legacy, incremental, case,
+                                          repeats)
+    speedups = [entry["speedup"] for entry in rounds.values()]
+    aggregate = 1.0
+    for value in speedups:
+        aggregate *= value
+    aggregate **= 1.0 / len(speedups)
+    return {
+        "hosts": hosts,
+        "components": components,
+        "neighborhoods": rounds,
+        "aggregate_speedup": aggregate,
+    }
+
+
+def test_incremental_search_beats_scan_loop():
+    results = [bench_size(hosts, components, seed=40 + index)
+               for index, (hosts, components) in enumerate(SIZES)]
+
+    for entry in results:
+        rows = [(data["neighborhood"], data["moves_in_trajectory"],
+                 data["legacy_seconds"], data["incremental_seconds"],
+                 data["speedup"])
+                for data in entry["neighborhoods"].values()]
+        print_table(
+            f"E-S: incremental search vs scan loop "
+            f"({entry['hosts']} hosts x {entry['components']} components)",
+            ["neighborhood", "moves", "legacy s", "incremental s",
+             "speedup"], rows)
+
+    payload = {
+        "benchmark": "incremental-search",
+        "mode": "smoke" if SMOKE else "full",
+        "required_speedup": REQUIRED_SPEEDUP,
+        "sizes": results,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    largest = results[-1]
+    assert largest["aggregate_speedup"] >= REQUIRED_SPEEDUP, (
+        f"incremental search only "
+        f"{largest['aggregate_speedup']:.2f}x the scan loop at "
+        f"{largest['hosts']}x{largest['components']} "
+        f"(need >= {REQUIRED_SPEEDUP}x)")
+
+
+def test_bench_json_is_readable():
+    """The artifact the CI job uploads must parse and carry the headline."""
+    if not OUTPUT.exists():  # bench above writes it; ordering is file-local
+        test_incremental_search_beats_scan_loop()
+    payload = json.loads(OUTPUT.read_text())
+    assert payload["benchmark"] == "incremental-search"
+    assert payload["sizes"], "no sizes recorded"
+    for entry in payload["sizes"]:
+        assert entry["aggregate_speedup"] > 0
+        for data in entry["neighborhoods"].values():
+            assert data["speedup"] > 0

@@ -39,6 +39,10 @@ from repro.algorithms.exact import ExactAlgorithm
 from repro.algorithms.genetic import GeneticAlgorithm
 from repro.algorithms.hillclimb import HillClimbingAlgorithm
 from repro.algorithms.mincut import MinCutAlgorithm
+from repro.algorithms.search import (
+    CompiledConstraintChecker, ObjectConstraintChecker, SearchState,
+    make_checker,
+)
 from repro.algorithms.stochastic import StochasticAlgorithm
 from repro.algorithms.swapsearch import SwapSearchAlgorithm
 
@@ -47,6 +51,7 @@ __all__ = [
     "AwarenessMap",
     "AvalaAlgorithm",
     "BIPAlgorithm",
+    "CompiledConstraintChecker",
     "CompiledDeployment",
     "CompiledModel",
     "DecApAlgorithm",
@@ -59,9 +64,11 @@ __all__ = [
     "HillClimbingAlgorithm",
     "Kernel",
     "MinCutAlgorithm",
+    "ObjectConstraintChecker",
     "PortfolioOutcome",
     "PortfolioReport",
     "PortfolioRunner",
+    "SearchState",
     "SimulatedAnnealingAlgorithm",
     "StochasticAlgorithm",
     "SwapSearchAlgorithm",
@@ -69,6 +76,7 @@ __all__ = [
     "compiled_model",
     "connectivity_awareness",
     "greedy_fill_deployment",
+    "make_checker",
     "register_kernel",
     "random_valid_deployment",
     "run_portfolio",

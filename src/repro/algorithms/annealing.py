@@ -46,7 +46,8 @@ class SimulatedAnnealingAlgorithm(DeploymentAlgorithm):
             current = dict(initial)
         else:
             current = random_valid_deployment(
-                model, self.constraints, self.rng)
+                model, self.constraints, self.rng,
+                checker=self._checker(model))
         if current is None:
             return None, {"accepted": 0}
 
@@ -55,8 +56,12 @@ class SimulatedAnnealingAlgorithm(DeploymentAlgorithm):
         if len(hosts) < 2:
             return current, {"accepted": 0, "note": "single host"}
 
-        current_value = self._evaluate(model, current)
-        best = dict(current)
+        # The search state answers allows() in O(1) and deltas without the
+        # per-call re-encode; annealing never asks for best_move(), so the
+        # frontier is never built and proposals stay O(1).
+        state = self._search_state(model, current)
+        current_value = self._evaluate(model, state.mapping)
+        best = dict(state.mapping)
         best_value = current_value
         temperature = self.initial_temperature
         accepted = 0
@@ -64,27 +69,29 @@ class SimulatedAnnealingAlgorithm(DeploymentAlgorithm):
         for __ in range(self.steps):
             component = self.rng.choice(components)
             host = self.rng.choice(hosts)
-            if host == current[component]:
+            ci = state.component_index(component)
+            hi = state.host_index(host)
+            if hi == state.array[ci]:
                 continue
-            if not self.constraints.allows(model, current, component, host):
+            if not state.allows(ci, hi):
                 continue
-            delta = self._move_delta(model, current, component, host)
+            delta = state.delta(ci, hi)
             gain = delta if self.objective.direction == "max" else -delta
             accept = gain >= 0.0
             if not accept and temperature > 1e-12:
                 accept = self.rng.random() < math.exp(gain / temperature)
             if accept:
-                current[component] = host
+                state.apply(ci, hi)
                 current_value += delta
                 accepted += 1
                 if self.objective.is_better(current_value, best_value):
                     best_value = current_value
-                    best = dict(current)
+                    best = dict(state.mapping)
             temperature *= self.cooling
 
         # Guard against drift in the incrementally-maintained value.
+        extra = {"accepted": accepted, "final_temperature": temperature,
+                 "moves": list(state.moves)}
         if self.constraints.is_satisfied(model, best):
-            return best, {"accepted": accepted,
-                          "final_temperature": temperature}
-        return current, {"accepted": accepted,
-                         "final_temperature": temperature}
+            return best, extra
+        return state.mapping, extra

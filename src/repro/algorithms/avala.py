@@ -142,6 +142,8 @@ class AvalaAlgorithm(DeploymentAlgorithm):
         freq_n, mem_n = self._component_scores(model)
         unassigned = set(model.component_ids)
         assignment: Dict[str, str] = {}
+        checker = self._checker(model)
+        checker.reset({})
         placements_considered = 0
 
         for host in host_order:
@@ -153,8 +155,7 @@ class AvalaAlgorithm(DeploymentAlgorithm):
                 best_component: Optional[str] = None
                 best_score = float("-inf")
                 for component in sorted(unassigned):
-                    if not self.constraints.allows(
-                            model, assignment, component, host):
+                    if not checker.allows(component, host):
                         continue
                     placements_considered += 1
                     local = sum(model.frequency(component, placed)
@@ -168,6 +169,7 @@ class AvalaAlgorithm(DeploymentAlgorithm):
                 if best_component is None:
                     break  # host is full (no remaining component fits)
                 assignment[best_component] = host
+                checker.place(best_component, host)
                 unassigned.discard(best_component)
 
         self._count_evaluation(placements_considered)
@@ -185,7 +187,8 @@ class AvalaAlgorithm(DeploymentAlgorithm):
                 model.component_ids,
                 key=lambda c: (-model.component(c).memory, c))
             repaired = greedy_fill_deployment(
-                model, self.constraints, host_order, by_memory)
+                model, self.constraints, host_order, by_memory,
+                checker=checker)
             extra["repair_pass"] = True
             if repaired is None:
                 extra["unplaced"] = sorted(unassigned)

@@ -96,6 +96,11 @@ class DeploymentAlgorithm(ABC):
     exact: bool = False
     #: Whether the algorithm is decentralized (Section 3.1's taxonomy).
     decentralized: bool = False
+    #: Route constraint checks through the compiled O(1) checker when the
+    #: constraint set is compilable.  The object path is used automatically
+    #: for constraint types the compiler does not recognise; tests flip
+    #: this per-instance to cross-check the two paths.
+    use_compiled: bool = True
 
     def __init__(self, objective: Objective,
                  constraints: Optional[ConstraintSet] = None,
@@ -207,6 +212,24 @@ class DeploymentAlgorithm(ABC):
         """Record *n* incremental (delta-based) evaluations."""
         self._evaluations += n
 
+    def _checker(self, model: DeploymentModel):
+        """A constraint checker for *model* (compiled when possible)."""
+        from repro.algorithms.search import make_checker
+        stats = self._engine.stats if self._engine is not None else None
+        return make_checker(model, self.constraints, stats,
+                            use_compiled=self.use_compiled)
+
+    def _search_state(self, model: DeploymentModel,
+                      assignment: Mapping[str, str]):
+        """An incremental :class:`~repro.algorithms.search.SearchState`
+        seeded with *assignment*, wired into this run's engine and
+        evaluation counter."""
+        from repro.algorithms.search import SearchState
+        return SearchState(model, self.constraints, self._engine,
+                           self.objective, assignment,
+                           use_compiled=self.use_compiled,
+                           count=self._count_evaluation)
+
     def __repr__(self) -> str:
         return (f"{type(self).__name__}(objective={self.objective.name}, "
                 f"constraints={len(self.constraints)})")
@@ -216,6 +239,7 @@ def random_valid_deployment(model: DeploymentModel,
                             constraints: ConstraintSet,
                             rng: random.Random,
                             max_attempts: int = 200,
+                            checker: Optional[Any] = None,
                             ) -> Optional[Dict[str, str]]:
     """Build a random constraint-satisfying deployment, or None.
 
@@ -223,6 +247,11 @@ def random_valid_deployment(model: DeploymentModel,
     seeding step for the annealing/genetic extensions): order hosts and
     components randomly, then place each component on the first host (in the
     random order) that the constraint checker allows.
+
+    When a *checker* (from :func:`repro.algorithms.search.make_checker`) is
+    supplied, legality probes go through it — O(1) per probe on the
+    compiled path — with an identical probe order, so results match the
+    plain ``constraints`` path exactly.
     """
     for __ in range(max_attempts):
         hosts = list(model.host_ids)
@@ -230,19 +259,31 @@ def random_valid_deployment(model: DeploymentModel,
         rng.shuffle(hosts)
         rng.shuffle(components)
         assignment: Dict[str, str] = {}
+        if checker is not None:
+            checker.reset({})
         feasible = True
         for component in components:
             placed = False
             for host in hosts:
-                if constraints.allows(model, assignment, component, host):
+                if checker is not None:
+                    allowed = checker.allows(component, host)
+                else:
+                    allowed = constraints.allows(model, assignment,
+                                                 component, host)
+                if allowed:
                     assignment[component] = host
+                    if checker is not None:
+                        checker.place(component, host)
                     placed = True
                     break
             if not placed:
                 feasible = False
                 break
-        if feasible and constraints.is_satisfied(model, assignment):
-            return assignment
+        if feasible:
+            complete = (checker.satisfied() if checker is not None
+                        else constraints.is_satisfied(model, assignment))
+            if complete:
+                return assignment
     return None
 
 
@@ -250,20 +291,33 @@ def greedy_fill_deployment(model: DeploymentModel,
                            constraints: ConstraintSet,
                            hosts: Sequence[str],
                            components: Sequence[str],
+                           checker: Optional[Any] = None,
                            ) -> Optional[Dict[str, str]]:
     """Assign *components* to *hosts* in the given orders, host by host.
 
     "Going in order, it assigns as many components to a given host as can
     fit on that host ... Once the host is full, the algorithm proceeds with
     the same process for the next host" (Section 5.1, Stochastic).
+
+    As with :func:`random_valid_deployment`, a supplied *checker* answers
+    the legality probes in the identical order.
     """
     assignment: Dict[str, str] = {}
+    if checker is not None:
+        checker.reset({})
     remaining = list(components)
     for host in hosts:
         still_remaining = []
         for component in remaining:
-            if constraints.allows(model, assignment, component, host):
+            if checker is not None:
+                allowed = checker.allows(component, host)
+            else:
+                allowed = constraints.allows(model, assignment, component,
+                                             host)
+            if allowed:
                 assignment[component] = host
+                if checker is not None:
+                    checker.place(component, host)
             else:
                 still_remaining.append(component)
         remaining = still_remaining

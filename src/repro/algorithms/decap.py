@@ -145,7 +145,10 @@ class DecApAlgorithm(DeploymentAlgorithm):
         return value
 
     def _can_host(self, model: DeploymentModel, assignment: Dict[str, str],
-                  component: str, host: str) -> bool:
+                  component: str, host: str,
+                  checker: Optional[Any] = None) -> bool:
+        if checker is not None:
+            return checker.allows(component, host)
         return self.constraints.allows(model, assignment, component, host)
 
     # ------------------------------------------------------------------
@@ -154,13 +157,17 @@ class DecApAlgorithm(DeploymentAlgorithm):
         awareness = (self.awareness if self.awareness is not None
                      else connectivity_awareness(model))
         assignment: Dict[str, str] = dict(initial)
+        checker = self._checker(model)
+        checker.reset(assignment)
         # DecAp improves an existing deployment; components not yet deployed
         # start on an arbitrary allowed host.
         for component in model.component_ids:
             if component not in assignment:
                 for host in model.host_ids:
-                    if self._can_host(model, assignment, component, host):
+                    if self._can_host(model, assignment, component, host,
+                                      checker):
                         assignment[component] = host
+                        checker.place(component, host)
                         break
         if len(assignment) < len(model.component_ids):
             return None, {"reason": "could not seed initial deployment"}
@@ -195,7 +202,7 @@ class DecApAlgorithm(DeploymentAlgorithm):
                         if not model.has_host(bidder):
                             continue
                         if not self._can_host(model, assignment,
-                                              component, bidder):
+                                              component, bidder, checker):
                             continue  # bidder cannot take the component
                         bids[bidder] = self._local_bid(
                             model, assignment, component, bidder)
@@ -213,6 +220,7 @@ class DecApAlgorithm(DeploymentAlgorithm):
                     winner = max(sorted(final_bids), key=final_bids.get)
                     if final_bids[winner] > keep + 1e-12:
                         assignment[component] = winner
+                        checker.place(component, winner)
                         moves_this_round += 1
             total_moves += moves_this_round
             if moves_this_round == 0:

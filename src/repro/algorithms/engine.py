@@ -32,7 +32,7 @@ import weakref
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as _FutureTimeout
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.algorithms.compiled import (
     CompiledModel, Kernel, compile_kernel, compiled_model,
@@ -143,6 +143,14 @@ class EvaluationStats:
     #: Delta evaluations served by a compiled kernel (subset of
     #: ``delta_evaluations``).
     kernel_deltas: int = 0
+    #: ``allows``/``is_satisfied`` queries answered by the run's constraint
+    #: checker (compiled or object path) — the search loop's legality work.
+    constraint_checks: int = 0
+    #: Move candidates whose delta was (re)computed by the search frontier.
+    moves_rescored: int = 0
+    #: Move candidates served from the frontier's cached score without
+    #: rescoring — the work dirty-move invalidation avoided.
+    frontier_hits: int = 0
     truncated: bool = False
 
     @property
@@ -315,6 +323,38 @@ class EvaluationEngine:
         moved[component] = new_host
         return self.evaluate(model, moved) - base
 
+    def move_delta_indexed(self, model: DeploymentModel,
+                           deployment: Mapping[str, str],
+                           assignment: Sequence[int], component_index: int,
+                           host_index: int) -> float:
+        """:meth:`move_delta` for callers that maintain the encoded form.
+
+        ``repro.algorithms.search.SearchState`` keeps *assignment* (the
+        compiled host-index array) in lock-step with *deployment*, so the
+        per-call ``CompiledModel.encode`` — O(components) — is skipped and
+        a kernel delta costs only O(degree).  Budget charging and counters
+        are identical to :meth:`move_delta`.
+        """
+        if getattr(self.objective, "supports_delta", False):
+            self._charge()
+            self.stats.delta_evaluations += 1
+            kernel = self._kernel_for(model)
+            if kernel is not None and kernel.supports_delta:
+                self.stats.kernel_deltas += 1
+                return kernel.move_delta(assignment, component_index,
+                                         host_index)
+            compiled = compiled_model(model)
+            return self.objective.move_delta(
+                model, deployment, compiled.component_ids[component_index],
+                compiled.host_ids[host_index])
+        compiled = compiled_model(model)
+        self.stats.delta_fallbacks += 1
+        base = self.evaluate(model, deployment)
+        moved = dict(deployment)
+        moved[compiled.component_ids[component_index]] = \
+            compiled.host_ids[host_index]
+        return self.evaluate(model, moved) - base
+
     def evaluate_move(self, model: DeploymentModel,
                       deployment: Mapping[str, str], component: str,
                       new_host: str, current_value: float) -> float:
@@ -342,6 +382,9 @@ class EvaluationEngine:
             "delta_fallbacks": self.stats.delta_fallbacks,
             "kernel_evaluations": self.stats.kernel_evaluations,
             "kernel_deltas": self.stats.kernel_deltas,
+            "constraint_checks": self.stats.constraint_checks,
+            "moves_rescored": self.stats.moves_rescored,
+            "frontier_hits": self.stats.frontier_hits,
             "supports_delta": bool(getattr(self.objective, "supports_delta",
                                            False)),
             "truncated": self.stats.truncated,
@@ -410,7 +453,9 @@ class PortfolioReport(ReportBase):
         """Aggregate engine counters across the portfolio's results."""
         totals = {"full_evaluations": 0, "cache_hits": 0, "cache_misses": 0,
                   "delta_evaluations": 0, "delta_fallbacks": 0,
-                  "kernel_evaluations": 0, "kernel_deltas": 0}
+                  "kernel_evaluations": 0, "kernel_deltas": 0,
+                  "constraint_checks": 0, "moves_rescored": 0,
+                  "frontier_hits": 0}
         for outcome in self.outcomes:
             if outcome.result is None:
                 continue

@@ -45,13 +45,17 @@ class GeneticAlgorithm(DeploymentAlgorithm):
 
     # -- fitness -------------------------------------------------------------
     def _fitness(self, model: DeploymentModel,
-                 individual: Dict[str, str]) -> Tuple[int, float]:
+                 individual: Dict[str, str],
+                 checker: Optional[Any] = None) -> Tuple[int, float]:
         """(feasibility rank, direction-adjusted value); higher is fitter.
 
         Feasible individuals rank above all infeasible ones; among
         infeasible ones, fewer violations is fitter.
         """
-        violations = len(self.constraints.violations(model, individual))
+        if checker is not None:
+            violations = checker.violation_count(individual)
+        else:
+            violations = len(self.constraints.violations(model, individual))
         value = self._evaluate(model, individual)
         adjusted = value if self.objective.direction == "max" else -value
         return (-violations, adjusted)
@@ -72,9 +76,11 @@ class GeneticAlgorithm(DeploymentAlgorithm):
                 ) -> Tuple[Optional[Mapping[str, str]], Dict[str, Any]]:
         hosts = model.host_ids
         components = model.component_ids
+        checker = self._checker(model)
 
         population: List[Dict[str, str]] = []
-        seed_valid = random_valid_deployment(model, self.constraints, self.rng)
+        seed_valid = random_valid_deployment(model, self.constraints,
+                                             self.rng, checker=checker)
         if seed_valid is not None:
             population.append(seed_valid)
         if (len(initial) == len(components)
@@ -84,7 +90,8 @@ class GeneticAlgorithm(DeploymentAlgorithm):
             population.append(
                 {c: self.rng.choice(hosts) for c in components})
 
-        scored = [(self._fitness(model, ind), ind) for ind in population]
+        scored = [(self._fitness(model, ind, checker), ind)
+                  for ind in population]
         scored.sort(key=lambda pair: pair[0], reverse=True)
 
         def tournament_pick() -> Dict[str, str]:
@@ -100,7 +107,7 @@ class GeneticAlgorithm(DeploymentAlgorithm):
                 child = self._crossover(tournament_pick(), tournament_pick())
                 self._mutate(child, hosts)
                 next_population.append(child)
-            scored = [(self._fitness(model, ind), ind)
+            scored = [(self._fitness(model, ind, checker), ind)
                       for ind in next_population]
             scored.sort(key=lambda pair: pair[0], reverse=True)
 
@@ -115,7 +122,7 @@ class GeneticAlgorithm(DeploymentAlgorithm):
             # random deployment so the caller gets a usable answer if one
             # exists at all.
             fallback = random_valid_deployment(model, self.constraints,
-                                               self.rng)
+                                               self.rng, checker=checker)
             if fallback is not None:
                 return fallback, extra
         return best, extra

@@ -20,9 +20,11 @@ class HillClimbingAlgorithm(DeploymentAlgorithm):
 
     Starts from the model's current deployment when it is valid (so the
     result is reachable with few moves — cheap to effect), otherwise from a
-    random valid deployment.  Each round scans every (component, host) move
-    allowed by the constraints and takes the best strictly-improving one;
-    terminates at a local optimum or after ``max_rounds``.
+    random valid deployment.  Each round takes the best strictly-improving
+    (component, host) move allowed by the constraints — served by the
+    incremental :class:`~repro.algorithms.search.SearchState` frontier, so
+    only moves invalidated by the previous step are re-scored; terminates
+    at a local optimum or after ``max_rounds``.
     """
 
     name = "hillclimb"
@@ -40,33 +42,20 @@ class HillClimbingAlgorithm(DeploymentAlgorithm):
             assignment = dict(initial)
         else:
             assignment = random_valid_deployment(
-                model, self.constraints, self.rng)
+                model, self.constraints, self.rng,
+                checker=self._checker(model))
         if assignment is None:
             return None, {"rounds": 0}
 
+        state = self._search_state(model, assignment)
         rounds = 0
         moves_taken = 0
         for rounds in range(1, self.max_rounds + 1):
-            best_delta = 0.0
-            best_move: Optional[Tuple[str, str]] = None
-            for component in model.component_ids:
-                current_host = assignment[component]
-                for host in model.host_ids:
-                    if host == current_host:
-                        continue
-                    if not self.constraints.allows(
-                            model, assignment, component, host):
-                        continue
-                    delta = self._move_delta(
-                        model, assignment, component, host)
-                    gain = (delta if self.objective.direction == "max"
-                            else -delta)
-                    if gain > best_delta + 1e-12:
-                        best_delta = gain
-                        best_move = (component, host)
-            if best_move is None:
+            step = state.best_move()
+            if step is None:
                 break  # local optimum
-            component, host = best_move
-            assignment[component] = host
+            ci, hi, __ = step
+            state.apply(ci, hi)
             moves_taken += 1
-        return assignment, {"rounds": rounds, "moves_taken": moves_taken}
+        return state.mapping, {"rounds": rounds, "moves_taken": moves_taken,
+                               "moves": list(state.moves)}

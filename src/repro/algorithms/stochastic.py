@@ -40,16 +40,17 @@ class StochasticAlgorithm(DeploymentAlgorithm):
         best: Optional[Dict[str, str]] = None
         best_value = self.objective.worst_value()
         feasible_iterations = 0
+        checker = self._checker(model)
         for __ in range(self.iterations):
             hosts = list(model.host_ids)
             components = list(model.component_ids)
             self.rng.shuffle(hosts)
             self.rng.shuffle(components)
             assignment = greedy_fill_deployment(
-                model, self.constraints, hosts, components)
+                model, self.constraints, hosts, components, checker=checker)
             if assignment is None:
                 continue  # this ordering could not place every component
-            if not self.constraints.is_satisfied(model, assignment):
+            if not checker.satisfied():
                 continue
             feasible_iterations += 1
             value = self._evaluate(model, assignment)

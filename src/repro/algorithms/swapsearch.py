@@ -35,37 +35,6 @@ class SwapSearchAlgorithm(DeploymentAlgorithm):
     def _gain(self, delta: float) -> float:
         return delta if self.objective.direction == "max" else -delta
 
-    def _swap_delta(self, model: DeploymentModel,
-                    assignment: Dict[str, str], comp_a: str,
-                    comp_b: str) -> float:
-        """Objective delta of exchanging comp_a and comp_b's hosts.
-
-        Computed as two sequential single-move deltas (the second against
-        the intermediate assignment), which is exact.
-        """
-        host_a = assignment[comp_a]
-        host_b = assignment[comp_b]
-        first = self._move_delta(model, assignment, comp_a, host_b)
-        assignment[comp_a] = host_b  # temporarily apply
-        second = self._move_delta(model, assignment, comp_b, host_a)
-        assignment[comp_a] = host_a  # restore
-        return first + second
-
-    def _swap_allowed(self, model: DeploymentModel,
-                      assignment: Dict[str, str], comp_a: str,
-                      comp_b: str) -> bool:
-        host_a = assignment[comp_a]
-        host_b = assignment[comp_b]
-        # Check each landing with the other component already gone from the
-        # destination, so exact-fit exchanges pass.
-        without_b = {c: h for c, h in assignment.items() if c != comp_b}
-        if not self.constraints.allows(model, without_b, comp_a, host_b):
-            return False
-        trial = dict(assignment)
-        trial[comp_a] = host_b
-        trial[comp_b] = host_a
-        return self.constraints.is_satisfied_partial(model, trial)
-
     # ------------------------------------------------------------------
     def _search(self, model: DeploymentModel, initial: Dict[str, str],
                 ) -> Tuple[Optional[Mapping[str, str]], Dict[str, Any]]:
@@ -74,53 +43,48 @@ class SwapSearchAlgorithm(DeploymentAlgorithm):
             assignment = dict(initial)
         else:
             assignment = random_valid_deployment(
-                model, self.constraints, self.rng)
+                model, self.constraints, self.rng,
+                checker=self._checker(model))
         if assignment is None:
             return None, {"rounds": 0}
 
-        components = model.component_ids
-        hosts = model.host_ids
+        state = self._search_state(model, assignment)
+        indices = [state.component_index(c) for c in model.component_ids]
+        array = state.array
         moves_taken = swaps_taken = 0
         rounds = 0
         for rounds in range(1, self.max_rounds + 1):
+            # Single moves come from the incremental frontier; the best
+            # single move seeds the threshold the swap scan must beat, which
+            # reproduces the historical flat moves-then-swaps scan exactly.
             best_gain = 1e-12
-            best_action: Optional[Tuple[str, ...]] = None
-            # Single moves.
-            for component in components:
-                for host in hosts:
-                    if host == assignment[component]:
-                        continue
-                    if not self.constraints.allows(model, assignment,
-                                                   component, host):
-                        continue
-                    gain = self._gain(self._move_delta(
-                        model, assignment, component, host))
-                    if gain > best_gain:
-                        best_gain = gain
-                        best_action = ("move", component, host)
+            best_action: Optional[Tuple[str, int, int]] = None
+            step = state.best_move()
+            if step is not None:
+                ci, hi, delta = step
+                best_gain = self._gain(delta)
+                best_action = ("move", ci, hi)
             # Pairwise swaps (only across distinct hosts).
-            for i, comp_a in enumerate(components):
-                for comp_b in components[i + 1:]:
-                    if assignment[comp_a] == assignment[comp_b]:
+            for i, ca in enumerate(indices):
+                for cb in indices[i + 1:]:
+                    if array[ca] == array[cb]:
                         continue
-                    if not self._swap_allowed(model, assignment,
-                                              comp_a, comp_b):
+                    if not state.swap_allowed(ca, cb):
                         continue
-                    gain = self._gain(self._swap_delta(
-                        model, assignment, comp_a, comp_b))
+                    gain = self._gain(state.swap_delta(ca, cb))
                     if gain > best_gain:
                         best_gain = gain
-                        best_action = ("swap", comp_a, comp_b)
+                        best_action = ("swap", ca, cb)
             if best_action is None:
                 break
             if best_action[0] == "move":
-                __, component, host = best_action
-                assignment[component] = host
+                __, ci, hi = best_action
+                state.apply(ci, hi)
                 moves_taken += 1
             else:
-                __, comp_a, comp_b = best_action
-                assignment[comp_a], assignment[comp_b] = \
-                    assignment[comp_b], assignment[comp_a]
+                __, ca, cb = best_action
+                state.apply_swap(ca, cb)
                 swaps_taken += 1
-        return assignment, {"rounds": rounds, "moves_taken": moves_taken,
-                            "swaps_taken": swaps_taken}
+        return state.mapping, {"rounds": rounds, "moves_taken": moves_taken,
+                               "swaps_taken": swaps_taken,
+                               "moves": list(state.moves)}

@@ -21,10 +21,43 @@ pluggable aggregation that algorithms consult.
 
 from __future__ import annotations
 
+import collections.abc
 from abc import ABC, abstractmethod
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.core.model import DeploymentModel
+
+
+class _CandidateOverlay(collections.abc.Mapping):
+    """``partial`` extended with one candidate placement, without copying.
+
+    Iteration order matches ``dict(partial); d[component] = host`` exactly
+    (the candidate appears in place when already present, else last), so
+    order-sensitive float accumulations are unchanged.
+    """
+
+    __slots__ = ("_base", "_component", "_host")
+
+    def __init__(self, base: Mapping[str, str], component: str, host: str):
+        self._base = base
+        self._component = component
+        self._host = host
+
+    def __getitem__(self, key: str) -> str:
+        if key == self._component:
+            return self._host
+        return self._base[key]
+
+    def __iter__(self):
+        yield from self._base
+        if self._component not in self._base:
+            yield self._component
+
+    def __len__(self) -> int:
+        return len(self._base) + (0 if self._component in self._base else 1)
+
+    def __contains__(self, key: object) -> bool:
+        return key == self._component or key in self._base
 
 
 class Constraint(ABC):
@@ -47,12 +80,12 @@ class Constraint(ABC):
         """May *component* be placed on *host* given the *partial* assignment?
 
         The default is conservative-but-correct: test the partial assignment
-        extended with the candidate placement.  Subclasses override with
-        cheaper checks.
+        extended with the candidate placement (through a copy-free overlay
+        view, so the O(len(partial)) dict copy per candidate is gone).
+        Subclasses override with cheaper checks.
         """
-        extended = dict(partial)
-        extended[component] = host
-        return self.is_satisfied_partial(model, extended)
+        return self.is_satisfied_partial(
+            model, _CandidateOverlay(partial, component, host))
 
     def is_satisfied_partial(self, model: DeploymentModel,
                              partial: Mapping[str, str]) -> bool:
@@ -65,6 +98,16 @@ class Constraint(ABC):
         return self.is_satisfied(model, partial)
 
 
+def _memory_loads(model: DeploymentModel,
+                  deployment: Mapping[str, str]) -> Dict[str, float]:
+    """Single-pass per-host memory tally (shared by check and report)."""
+    used: Dict[str, float] = {}
+    for component_id, host_id in deployment.items():
+        used[host_id] = used.get(host_id, 0.0) + \
+            model.component(component_id).memory
+    return used
+
+
 class MemoryConstraint(Constraint):
     """Sum of component memory on each host must not exceed host memory.
 
@@ -75,7 +118,10 @@ class MemoryConstraint(Constraint):
 
     def is_satisfied(self, model: DeploymentModel,
                      deployment: Mapping[str, str]) -> bool:
-        return not self._overloaded_hosts(model, deployment)
+        # One tally pass, no violation-row construction or sorting.
+        return all(total <= model.host(host_id).memory
+                   for host_id, total
+                   in _memory_loads(model, deployment).items())
 
     def violations(self, model: DeploymentModel,
                    deployment: Mapping[str, str]) -> List[str]:
@@ -96,13 +142,10 @@ class MemoryConstraint(Constraint):
     def _overloaded_hosts(self, model: DeploymentModel,
                           deployment: Mapping[str, str],
                           ) -> List[Tuple[str, float, float]]:
-        used: Dict[str, float] = {}
-        for component_id, host_id in deployment.items():
-            used[host_id] = used.get(host_id, 0.0) + \
-                model.component(component_id).memory
         return [
             (host_id, total, model.host(host_id).memory)
-            for host_id, total in sorted(used.items())
+            for host_id, total in sorted(_memory_loads(model,
+                                                       deployment).items())
             if total > model.host(host_id).memory
         ]
 

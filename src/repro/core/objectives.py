@@ -71,6 +71,14 @@ class Objective(ABC):
     #: engine never silently pays a full re-evaluation believing it bought
     #: a delta.
     supports_delta: bool = False
+    #: True when ``move_delta(model, d, c, h)`` depends *only* on the hosts
+    #: of ``c`` and its logical neighbors — i.e. moving some other,
+    #: non-adjacent component leaves this move's delta unchanged.  Additive
+    #: neighbor-sum objectives are local; bottleneck/extremum objectives
+    #: (throughput's max, durability's min) are not, because any move can
+    #: shift the global extremum.  ``repro.algorithms.search.SearchState``
+    #: uses this to decide whether cached move scores survive a move.
+    local_delta: bool = False
 
     @abstractmethod
     def evaluate(self, model: DeploymentModel,
@@ -136,6 +144,7 @@ class AvailabilityObjective(Objective):
     name = "availability"
     direction = MAXIMIZE
     supports_delta = True
+    local_delta = True
 
     def __init__(self, use_criticality: bool = False):
         self.use_criticality = use_criticality
@@ -216,6 +225,7 @@ class LatencyObjective(Objective):
     name = "latency"
     direction = MINIMIZE
     supports_delta = True
+    local_delta = True
 
     def __init__(self, local_dispatch_cost: float = 1.0e-5):
         self.local_dispatch_cost = local_dispatch_cost
@@ -280,6 +290,7 @@ class CommunicationCostObjective(Objective):
     name = "communication_cost"
     direction = MINIMIZE
     supports_delta = True
+    local_delta = True
 
     def evaluate(self, model: DeploymentModel,
                  deployment: Mapping[str, str]) -> float:
@@ -320,6 +331,7 @@ class SecurityObjective(Objective):
     name = "security"
     direction = MAXIMIZE
     supports_delta = True
+    local_delta = True
 
     def __init__(self):
         # Total interaction weight is deployment-independent; cache it per
@@ -682,6 +694,8 @@ class WeightedObjective(Objective):
         # Incremental only when every term is: a non-delta term would make
         # move_delta as expensive as two full evaluations of that term.
         self.supports_delta = all(o.supports_delta for o, __ in self.terms)
+        # A weighted sum of move deltas is neighbor-local iff every term is.
+        self.local_delta = all(o.local_delta for o, __ in self.terms)
 
     def evaluate(self, model: DeploymentModel,
                  deployment: Mapping[str, str]) -> float:

@@ -467,6 +467,55 @@ class EmptyModelRule(ModelRule):
 # Objective-contract rules
 # ---------------------------------------------------------------------------
 
+class InfeasiblePlacementRatioRule(ModelRule):
+    rule_id = "MV018"
+    severity = Severity.WARNING
+    description = ("Constraint sets that rule out most of the placement "
+                   "space make search algorithms spend their rounds "
+                   "probing moves that can never be applied; over half of "
+                   "all (component, host) placements being infeasible "
+                   "usually signals over-tight location constraints or "
+                   "undersized hosts.")
+    tags = frozenset({TOPOLOGY})
+
+    #: Warn when more than this fraction of the placement space is
+    #: infeasible against an empty deployment.
+    THRESHOLD = 0.5
+    #: Skip the quadratic probe sweep beyond this many (component, host)
+    #: pairs; the advisory targets interactively-sized models.
+    MAX_PAIRS = 20_000
+
+    def check(self, context: ModelLintContext) -> Iterable[Finding]:
+        model = context.model
+        constraints = context.constraints
+        hosts = model.host_ids
+        components = model.component_ids
+        total = len(hosts) * len(components)
+        if not total or total > self.MAX_PAIRS:
+            return
+        if constraints is None or not len(constraints):
+            return
+        empty: Mapping[str, str] = {}
+        infeasible = 0
+        for component in components:
+            for host in hosts:
+                try:
+                    if not constraints.allows(model, empty, component,
+                                              host):
+                        infeasible += 1
+                except Exception:  # noqa: BLE001 - user constraint raised
+                    return  # cannot judge a constraint set that errors
+        ratio = infeasible / total
+        if ratio > self.THRESHOLD:
+            yield self.finding(
+                f"{infeasible} of {total} (component, host) placements "
+                f"({ratio:.0%}) are infeasible even against an empty "
+                "deployment; the constraint set leaves the search "
+                "algorithms little legal room to move",
+                subject=f"model {model.name!r}",
+                infeasible=infeasible, total=total, ratio=round(ratio, 4))
+
+
 class DeltaContractRule(ModelRule):
     rule_id = "MV015"
     severity = Severity.ERROR
@@ -530,6 +579,7 @@ MODEL_RULES: Tuple[Type[ModelRule], ...] = (
     IsolatedComponentRule,
     EmptyModelRule,
     CompiledEngineAdvisoryRule,
+    InfeasiblePlacementRatioRule,
     DeltaContractRule,
     PerfectlyReliableHostRule,
 )

@@ -259,6 +259,10 @@ class TestPortfolioRunner:
         # Objective.evaluate calls than the algorithms logically request.
         assert counters["full_evaluations"] < logical
         assert counters["cache_hits"] + counters["delta_evaluations"] > 0
+        # The search-engine counters surface through the same report (and
+        # from there into repro.obs via the analyzer's promotion loop).
+        assert counters["constraint_checks"] > 0
+        assert "moves_rescored" in counters and "frontier_hits" in counters
 
     def test_empty_portfolio(self, small_model):
         report = PortfolioRunner().run(small_model, {})

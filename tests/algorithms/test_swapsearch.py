@@ -72,8 +72,7 @@ class TestSwapSearch:
         assert result.value <= initial + 1e-9
 
     def test_swap_delta_is_exact(self, availability, small_model):
-        algorithm = SwapSearchAlgorithm(availability, ConstraintSet(),
-                                        seed=1)
+        from repro.algorithms import SearchState
         assignment = dict(small_model.deployment)
         components = small_model.component_ids
         comp_a, comp_b = components[0], components[-1]
@@ -81,15 +80,18 @@ class TestSwapSearch:
             assignment[comp_b] = next(
                 h for h in small_model.host_ids
                 if h != assignment[comp_a])
+        state = SearchState(small_model, ConstraintSet(), None, availability,
+                            assignment)
         before = availability.evaluate(small_model, assignment)
-        delta = algorithm._swap_delta(small_model, assignment, comp_a,
-                                      comp_b)
+        delta = state.swap_delta(state.component_index(comp_a),
+                                 state.component_index(comp_b))
         swapped = dict(assignment)
         swapped[comp_a], swapped[comp_b] = swapped[comp_b], swapped[comp_a]
         after = availability.evaluate(small_model, swapped)
         assert delta == pytest.approx(after - before, abs=1e-12)
-        # The probe must not have mutated the working assignment.
-        assert assignment[comp_a] != assignment[comp_b]
+        # The probe must not have mutated the working state.
+        assert state.mapping == assignment
+        assert state.mapping[comp_a] != state.mapping[comp_b]
 
     def test_round_cap(self, availability, memory_constraints, medium_model):
         capped = SwapSearchAlgorithm(availability, memory_constraints,

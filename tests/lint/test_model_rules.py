@@ -169,6 +169,38 @@ class TestTopologyRules:
                               objectives=[AvailabilityObjective])
         assert "MV016" not in rules_found(report)
 
+    def test_mv018_warns_when_placement_space_mostly_infeasible(self):
+        model = DeploymentModel(name="tight")
+        model.add_host("h0", memory=50.0)
+        model.add_host("h1", memory=1.0)  # fits nothing
+        model.add_component("c0", memory=10.0)
+        model.add_component("c1", memory=10.0)
+        model.deploy("c0", "h0")
+        model.deploy("c1", "h0")
+        constraints = ConstraintSet([
+            MemoryConstraint(),
+            LocationConstraint("c0", forbidden=["h0"]),
+        ])
+        # Infeasible: (c0,h0) by location, (c0,h1) and (c1,h1) by memory.
+        report = verify_model(model, constraints=constraints,
+                              objectives=[AvailabilityObjective])
+        finding = next(f for f in report if f.rule == "MV018")
+        assert finding.severity is Severity.WARNING
+        assert finding.detail["infeasible"] == 3
+        assert finding.detail["total"] == 4
+        assert finding.detail["ratio"] == 0.75
+
+    def test_mv018_silent_on_roomy_constraints(self, clean_model):
+        report = verify_model(clean_model,
+                              constraints=ConstraintSet([MemoryConstraint()]),
+                              objectives=[AvailabilityObjective])
+        assert "MV018" not in rules_found(report)
+
+    def test_mv018_silent_without_constraints(self, clean_model):
+        report = verify_model(clean_model, constraints=ConstraintSet(),
+                              objectives=[AvailabilityObjective])
+        assert "MV018" not in rules_found(report)
+
 
 class TestDeltaContractRule:
     def test_mv015_flags_broken_contract(self, clean_model):
@@ -228,5 +260,6 @@ class TestContextAndRegistry:
 
     def test_registry_lists_all_builtin_rules(self):
         registry = model_rule_registry()
-        assert len(registry) == 17
+        assert len(registry) == 18
         assert "MV001" in registry and "MV017" in registry
+        assert "MV018" in registry

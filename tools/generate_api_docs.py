@@ -11,7 +11,8 @@ from pathlib import Path
 
 MODULES = [
     "repro.core.model", "repro.core.parameters", "repro.core.objectives",
-    "repro.core.constraints", "repro.core.monitoring", "repro.core.analyzer",
+    "repro.core.constraints", "repro.core.constraints_compiled",
+    "repro.core.monitoring", "repro.core.analyzer",
     "repro.core.effector", "repro.core.user_input", "repro.core.utility",
     "repro.core.framework", "repro.core.errors", "repro.core.registry",
     "repro.core.report",
@@ -20,7 +21,7 @@ MODULES = [
     "repro.lint.concurrency", "repro.lint.determinism", "repro.lint.cache",
     "repro.lint.sarif",
     "repro.algorithms.base", "repro.algorithms.engine",
-    "repro.algorithms.compiled",
+    "repro.algorithms.compiled", "repro.algorithms.search",
     "repro.algorithms.exact",
     "repro.algorithms.stochastic", "repro.algorithms.avala",
     "repro.algorithms.decap", "repro.algorithms.bip",
@@ -175,6 +176,40 @@ objective has one, all with incremental `move_delta`, and
 objectives or un-encodable deployments.  `docs/PERFORMANCE.md` covers
 the lifecycle and the measured speedups (`BENCH_compiled.json`);
 lint rule MV016 advises when model size demands the compiled path.
+""",
+    "repro.core.constraints_compiled": """\
+## Compiled constraint checking
+
+`repro.core.constraints_compiled` is the evaluation-side view of the
+constraint layer: `compile_constraints(constraints, compiled_model)`
+lowers a `ConstraintSet` onto a `CompiledModel` snapshot as a
+`CompiledConstraintSet` — per-host residual resource loads, location
+bitmasks, collocation group counters, bandwidth pair-demand
+accumulators — giving O(1) `allows(ci, hi)` probes and incremental
+`place`/`undo` with exact-restore tokens, while reproducing the object
+path's verdicts and violation strings exactly.  Compilation is by
+exact constraint type; unknown types return `None` and callers stay on
+the object path (the same discipline as kernel dispatch).  The
+equivalence contract is property-tested in
+`tests/core/test_constraints_compiled.py`; `docs/PERFORMANCE.md`
+covers where it slots into the search engine.
+""",
+    "repro.algorithms.search": """\
+## Incremental neighborhood search
+
+`repro.algorithms.search` carries one search run's working state:
+`make_checker` wraps either the compiled or the object constraint path
+behind one protocol (`allows`/`place`/`undo`/`satisfied`), and
+`SearchState` maintains the legal-move frontier — cached move deltas,
+per-row best improving moves, a lazy best-move heap, and dirty-move
+invalidation so a move c: h1->h2 re-scores only rows touching h1, h2,
+or c's logical neighbors (objectives with `local_delta = False`
+invalidate everything).  The canonical selection rule is deterministic
+and identical across checker paths, pinned by
+`tests/algorithms/test_search_determinism.py`; the measured payoff is
+`BENCH_search.json` (see `docs/PERFORMANCE.md`).  The
+`constraint_checks`/`moves_rescored`/`frontier_hits` counters in
+`EvaluationStats` report what the frontier saved.
 """,
     "repro.faults.plan": """\
 ## Fault injection (`repro.faults`)
