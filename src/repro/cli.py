@@ -16,6 +16,8 @@ Commands:
   ``--code``, this repository's middleware conventions) before anything
   searches or enacts them;
 * ``faults``   — fault-injection campaigns and resilience reports;
+* ``plan``     — build, render, verify, and diff constraint-safe wave
+  migration schedules (``repro.plan``);
 * ``obs``      — record, render, and diff observability captures
   (metrics + span trees) of instrumented runs.
 
@@ -41,7 +43,7 @@ from repro.core import (
     DurabilityObjective, LatencyObjective, MemoryConstraint,
     SecurityObjective, ThroughputObjective,
 )
-from repro.core.errors import FaultPlanError, ReproError
+from repro.core.errors import FaultPlanError, ReproError, ScheduleError
 from repro.core.framework import CentralizedFramework
 from repro.core.objectives import Objective
 from repro.decentralized import DecentralizedFramework
@@ -56,8 +58,9 @@ from repro.desi import (
 from repro.lint import (
     LintCache, LintReport, Severity, analyze_paths, apply_baseline,
     code_rule_registry, load_baseline, render_sarif, verify_fault_plan,
-    verify_model, verify_xadl_file, write_baseline,
+    verify_model, verify_schedule, verify_xadl_file, write_baseline,
 )
+from repro.plan import build_schedule, naive_schedule, schedule_from_json
 from repro.lint.cache import DEFAULT_CACHE_PATH
 from repro.middleware import DistributedSystem
 from repro.obs import Observability
@@ -338,6 +341,77 @@ def cmd_faults_lint(args: argparse.Namespace) -> int:
     return report.exit_code(Severity.parse(args.fail_on))
 
 
+def _load_schedule(path: str):
+    with open(path, encoding="utf-8") as handle:
+        return schedule_from_json(handle.read())
+
+
+def cmd_plan_build(args: argparse.Namespace) -> int:
+    model = xadl.load(args.file)
+    objective = _objective(args.objective)
+    constraints = ConstraintSet([MemoryConstraint()])
+    for constraint in model.constraints:
+        constraints.add(constraint)
+    algorithm = ALGORITHM_BUILDERS[args.algorithm](objective, constraints,
+                                                   args.seed)
+    result = algorithm.run(model)
+    if not result.valid:
+        print(f"{args.algorithm} produced no valid deployment",
+              file=sys.stderr)
+        return 1
+    try:
+        if args.naive:
+            schedule = naive_schedule(model, result.deployment)
+        else:
+            schedule = build_schedule(model, result.deployment,
+                                      constraints=constraints,
+                                      max_wave_moves=args.max_wave_moves)
+    except ScheduleError as exc:
+        print(f"scheduling failed: {exc}", file=sys.stderr)
+        return 2
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(schedule.to_json() + "\n")
+        print(schedule.summary_line())
+        print(f"wrote schedule to {args.output}")
+    else:
+        emit(schedule, args)
+    return 0
+
+
+def cmd_plan_show(args: argparse.Namespace) -> int:
+    try:
+        schedule = _load_schedule(args.schedule)
+    except (OSError, ScheduleError) as exc:
+        print(f"cannot read schedule: {exc}", file=sys.stderr)
+        return 2
+    emit(schedule, args)
+    return 0
+
+
+def cmd_plan_lint(args: argparse.Namespace) -> int:
+    try:
+        schedule = _load_schedule(args.schedule)
+    except (OSError, ScheduleError) as exc:
+        print(f"cannot read schedule: {exc}", file=sys.stderr)
+        return 2
+    model = xadl.load(args.model)
+    report = verify_schedule(model, schedule)
+    emit(report, args, title=f"schedule {args.schedule}")
+    return report.exit_code(Severity.parse(args.fail_on))
+
+
+def cmd_plan_diff(args: argparse.Namespace) -> int:
+    try:
+        old = _load_schedule(args.old)
+        new = _load_schedule(args.new)
+    except (OSError, ScheduleError) as exc:
+        print(f"cannot read schedule: {exc}", file=sys.stderr)
+        return 2
+    print(old.diff(new))
+    return 0
+
+
 SCENARIO_BUILDERS = {
     "crisis": lambda: build_crisis_scenario(),
     "sensorfield": lambda: build_sensor_field(),
@@ -607,6 +681,47 @@ def build_parser() -> argparse.ArgumentParser:
     f.add_argument("--fail-on", choices=["error", "warning", "info"],
                    default="error")
     f.set_defaults(func=cmd_faults_lint)
+
+    p = sub.add_parser(
+        "plan", help="build, verify, and diff wave migration schedules")
+    psub = p.add_subparsers(dest="plan_command", required=True)
+
+    w = psub.add_parser(
+        "build", help="plan a constraint-safe wave schedule")
+    w.add_argument("file", help="xADL architecture file")
+    w.add_argument("--algorithm", choices=sorted(ALGORITHM_BUILDERS),
+                   default="avala",
+                   help="algorithm that proposes the target deployment")
+    w.add_argument("--objective", choices=sorted(OBJECTIVES),
+                   default="availability")
+    w.add_argument("--seed", type=int, default=0)
+    w.add_argument("--max-wave-moves", type=int, default=8,
+                   help="rollback-barrier granularity (moves per wave)")
+    w.add_argument("--naive", action="store_true",
+                   help="emit the all-at-once contrast schedule instead")
+    w.add_argument("-o", "--output", help="write the schedule JSON here")
+    add_output_flags(w)
+    w.set_defaults(func=cmd_plan_build)
+
+    w = psub.add_parser("show", help="render a saved schedule")
+    w.add_argument("schedule", help="schedule JSON file")
+    add_output_flags(w)
+    w.set_defaults(func=cmd_plan_show)
+
+    w = psub.add_parser(
+        "lint", help="statically verify a schedule (PL001-PL003)")
+    w.add_argument("schedule", help="schedule JSON file")
+    w.add_argument("--model", required=True,
+                   help="xADL architecture the schedule must hold against")
+    add_output_flags(w)
+    w.add_argument("--fail-on", choices=["error", "warning", "info"],
+                   default="error")
+    w.set_defaults(func=cmd_plan_lint)
+
+    w = psub.add_parser("diff", help="compare two schedules wave by wave")
+    w.add_argument("old", help="schedule JSON file")
+    w.add_argument("new", help="schedule JSON file")
+    w.set_defaults(func=cmd_plan_diff)
 
     p = sub.add_parser(
         "lint", help="statically verify models or middleware code")

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 from repro.algorithms import (
     AlgorithmResult, AvalaAlgorithm, DeploymentAlgorithm, ExactAlgorithm,
@@ -38,10 +38,14 @@ from repro.algorithms.engine import (
 )
 from repro.core.constraints import ConstraintSet
 from repro.core.effector import RedeploymentPlan, plan_redeployment
+from repro.core.errors import ScheduleError
 from repro.core.model import Deployment, DeploymentModel
 from repro.core.objectives import Objective
 from repro.core.registry import AlgorithmRegistry
 from repro.obs import Observability, get_observability
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
+    from repro.plan.planner import MigrationPlanner
 
 
 class ObjectiveHistory:
@@ -146,6 +150,11 @@ class Analyzer:
         evaluation_budget: Per-algorithm cap on charged objective
             evaluations per cycle (graceful truncation).
         max_workers: Thread-pool width for the portfolio.
+        planner: Optional :class:`repro.plan.MigrationPlanner`; when set,
+            redeploy decisions carry a wave schedule whose predicted
+            makespan and disruption volume feed the guard values.
+        max_makespan: Veto threshold on the schedule's predicted makespan
+            in simulated seconds; ``None`` disables the veto.
     """
 
     #: Cost tiers of the Section-5.1 selection policy.
@@ -165,8 +174,12 @@ class Analyzer:
                  algorithm_timeout: Optional[float] = None,
                  evaluation_budget: Optional[int] = None,
                  max_workers: Optional[int] = None,
+                 planner: Optional["MigrationPlanner"] = None,
+                 max_makespan: Optional[float] = None,
                  obs: Optional[Observability] = None):
         self.obs = obs if obs is not None else get_observability()
+        self.planner = planner
+        self.max_makespan = max_makespan
         self.objective = objective
         self.constraints = constraints if constraints is not None else ConstraintSet()
         self.latency_guard = latency_guard
@@ -371,12 +384,30 @@ class Analyzer:
                 f"{self.min_improvement}",
                 current_value, selected=selected, candidates=ranked,
                 guard_values=guard_values)
-        plan = plan_redeployment(model, selected.deployment, current)
-        if plan.estimated_time == float("inf"):
+        try:
+            plan = plan_redeployment(model, selected.deployment, current,
+                                     planner=self.planner)
+        except ScheduleError:
+            # No constraint-safe wave ordering exists; fall back to the
+            # flat (all-at-once) plan rather than refusing to act.
+            plan = plan_redeployment(model, selected.deployment, current)
+        if plan.unreachable:
             return Decision("no_action",
-                            "plan requires moves over unreachable host pairs",
+                            "plan moves components with no usable route: "
+                            + ", ".join(plan.unreachable),
                             current_value, selected=selected,
                             candidates=ranked, guard_values=guard_values)
+        if plan.schedule is not None:
+            guard_values["predicted_makespan"] = plan.schedule.makespan
+            guard_values["predicted_disruption_kb"] = plan.schedule.total_kb
+            if (self.max_makespan is not None
+                    and plan.schedule.makespan > self.max_makespan):
+                return Decision(
+                    "no_action",
+                    f"predicted makespan {plan.schedule.makespan:.3f} s "
+                    f"exceeds limit {self.max_makespan:.3f} s",
+                    current_value, selected=selected, candidates=ranked,
+                    guard_values=guard_values)
         return Decision("redeploy",
                         f"improvement {improvement:.4f} via "
                         f"{selected.algorithm}",

@@ -23,14 +23,19 @@ from __future__ import annotations
 import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Tuple
 
+from repro.core.constraints import ConstraintSet
 from repro.core.errors import (
     EffectorError, MigrationTimeoutError, PreflightError,
 )
 from repro.core.model import Deployment, DeploymentModel, Move
 from repro.core.report import ReportBase
 from repro.obs import Observability, get_observability
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
+    from repro.plan.planner import MigrationPlanner
+    from repro.plan.schedule import MigrationSchedule
 
 
 @dataclass
@@ -44,20 +49,36 @@ class RedeploymentPlan:
     estimated_kb: float
     #: Rough simulated-time estimate of the migration, seconds.
     estimated_time: float
+    #: Components whose moves cross host pairs with no usable route
+    #: (directly or via one relay).  Non-empty means the plan cannot be
+    #: enacted as stated; the analyzer refuses such plans.
+    unreachable: Tuple[str, ...] = ()
+    #: Optional wave ordering built by :mod:`repro.plan`; when present,
+    #: :class:`MiddlewareEffector` executes wave-by-wave with barrier
+    #: rollback instead of enacting the whole target at once.
+    schedule: Optional["MigrationSchedule"] = None
 
     @property
     def is_noop(self) -> bool:
         return not self.moves
 
     def summary(self) -> str:
-        return (f"RedeploymentPlan({len(self.moves)} moves, "
+        line = (f"RedeploymentPlan({len(self.moves)} moves, "
                 f"~{self.estimated_kb:.1f} KB, "
-                f"~{self.estimated_time:.3f} s)")
+                f"~{self.estimated_time:.3f} s")
+        if self.schedule is not None:
+            line += f", {len(self.schedule.waves)} waves"
+        if self.unreachable:
+            line += f", {len(self.unreachable)} unreachable"
+        return line + ")"
 
 
 def plan_redeployment(model: DeploymentModel,
                       target: Mapping[str, str],
                       current: Optional[Mapping[str, str]] = None,
+                      schedule: bool = False,
+                      constraints: Optional[ConstraintSet] = None,
+                      planner: Optional["MigrationPlanner"] = None,
                       ) -> RedeploymentPlan:
     """Build a :class:`RedeploymentPlan` from the model's current deployment
     to *target*, estimating costs from component sizes and link parameters.
@@ -67,6 +88,17 @@ def plan_redeployment(model: DeploymentModel,
     pair's bandwidth plus its delay, and the plan completes when the slowest
     pair does.  Host pairs without a direct link are charged a relay through
     the most capacious mutual neighbor (the Deployer-mediated path).
+
+    Moves whose host pair has no usable route at all — no direct link and
+    no relay with positive bandwidth on both legs — are surfaced in
+    ``plan.unreachable`` (and leave ``estimated_time`` infinite).
+
+    With ``schedule=True`` (or an explicit *planner*), the plan also
+    carries a :class:`~repro.plan.schedule.MigrationSchedule`: the same
+    delta ordered into constraint-safe, bandwidth-packed waves, which the
+    effector then executes wave-by-wave with barrier rollback.
+    *constraints* bounds the schedule's barrier states; it defaults to
+    the constraints stored on the model.
     """
     current_deployment = (model.deployment if current is None
                           else Deployment(current))
@@ -103,14 +135,30 @@ def plan_redeployment(model: DeploymentModel,
         return best
 
     estimated_time = 0.0
+    pair_times: Dict[Tuple[str, str], float] = {}
     for (source, destination), kb in pair_kb.items():
+        pair_times[(source, destination)] = pair_time(source, destination,
+                                                      kb)
         estimated_time = max(estimated_time,
-                             pair_time(source, destination, kb))
-    if estimated_time == float("inf"):
-        # Unreachable move: flag it via a sentinel the analyzer can check.
-        estimated_time = float("inf")
+                             pair_times[(source, destination)])
+    # An infinite pair time means no route exists at all: surface the
+    # affected components explicitly instead of hiding them behind the
+    # aggregate estimate.
+    unreachable = tuple(sorted(
+        move.component for move in moves
+        if pair_times[(move.source, move.target)] == float("inf")))
+
+    wave_schedule: Optional["MigrationSchedule"] = None
+    if planner is not None or schedule:
+        if planner is None:
+            from repro.plan.planner import MigrationPlanner
+            planner = MigrationPlanner(model, constraints=constraints)
+        wave_schedule = planner.schedule(target_deployment.as_dict(),
+                                         current=current_deployment.as_dict())
     return RedeploymentPlan(current_deployment, target_deployment,
-                            moves, total_kb, estimated_time)
+                            moves, total_kb, estimated_time,
+                            unreachable=unreachable,
+                            schedule=wave_schedule)
 
 
 @dataclass
@@ -140,12 +188,18 @@ class EffectReport(ReportBase):
         return line
 
     def to_dict(self, **opts: Any) -> Dict[str, Any]:
+        plan: Dict[str, Any] = {
+            "moves": len(self.plan.moves),
+            "estimated_kb": self.plan.estimated_kb,
+            "estimated_time": self.plan.estimated_time,
+        }
+        if self.plan.unreachable:
+            plan["unreachable"] = list(self.plan.unreachable)
+        if self.plan.schedule is not None:
+            plan["waves"] = len(self.plan.schedule.waves)
+            plan["predicted_makespan"] = self.plan.schedule.makespan
         return {
-            "plan": {
-                "moves": len(self.plan.moves),
-                "estimated_kb": self.plan.estimated_kb,
-                "estimated_time": self.plan.estimated_time,
-            },
+            "plan": plan,
             "succeeded": self.succeeded,
             "moves_executed": self.moves_executed,
             "sim_duration": self.sim_duration,
@@ -252,6 +306,8 @@ class MiddlewareEffector(Effector):
                  backoff_base: float = 0.5, backoff_factor: float = 2.0,
                  backoff_max: float = 30.0, jitter: float = 0.1,
                  transactional: bool = True, seed: Optional[int] = None,
+                 planner: Optional["MigrationPlanner"] = None,
+                 max_replans: int = 2,
                  obs: Optional[Observability] = None):
         self.system = system
         self.max_wait = max_wait
@@ -262,6 +318,11 @@ class MiddlewareEffector(Effector):
         self.backoff_max = backoff_max
         self.jitter = jitter
         self.transactional = transactional
+        #: Re-planner invoked after a barrier rollback: a failed wave's
+        #: schedule is rebuilt from the barrier state toward the original
+        #: target (up to ``max_replans`` times) before giving up.
+        self.planner = planner
+        self.max_replans = max_replans
         self._rng = random.Random(seed)
         self.history: list = []
         self.obs = obs if obs is not None else get_observability()
@@ -275,6 +336,10 @@ class MiddlewareEffector(Effector):
         self._c_failures = self.obs.counter("effector.failures")
         self._h_kb = self.obs.histogram("effector.kb_moved")
         self._h_duration = self.obs.histogram("effector.sim_duration")
+        self._c_waves = self.obs.counter("plan.waves_executed")
+        self._c_barrier_rollbacks = self.obs.counter(
+            "plan.barrier_rollbacks")
+        self._c_replans = self.obs.counter("plan.replans")
 
     def _backoff(self, retry_index: int) -> float:
         delay = min(self.backoff_base * self.backoff_factor ** retry_index,
@@ -289,9 +354,13 @@ class MiddlewareEffector(Effector):
             report = EffectReport(plan, True, 0)
             self.history.append(report)
             return report
+        scheduled = plan.schedule is not None and bool(plan.schedule.waves)
         with self.obs.span("effector.effect",
                            moves=len(plan.moves)) as span:
-            report = self._effect(plan, force)
+            if scheduled:
+                report = self._effect_schedule(plan, force)
+            else:
+                report = self._effect(plan, force)
             span.set(succeeded=report.succeeded, retries=report.retries,
                      kb=report.kb_transferred)
         return report
@@ -355,5 +424,155 @@ class MiddlewareEffector(Effector):
             f"{plan.summary()} failed after {retries} retr"
             f"{'y' if retries == 1 else 'ies'}"
             f"{' (rolled back)' if rolled_back else ''}: {last_error}",
+            pending=getattr(last_error, "pending", None),
+            report=report) from last_error
+
+    # ------------------------------------------------------------------
+    # Wave-by-wave orchestration (plans carrying a MigrationSchedule)
+    # ------------------------------------------------------------------
+    def _run_wave(self, wave_target: Mapping[str, str],
+                  backoffs: list) -> Tuple[Optional[Dict[str, Any]],
+                                           Optional[EffectorError], int]:
+        """One wave with the per-attempt retry/backoff discipline.
+
+        Returns ``(stats, error, retries)``: *stats* on success, the
+        final *error* when the retry budget is exhausted.
+        """
+        clock = self.system.clock
+        retries = 0
+        while True:
+            try:
+                stats = self.system.redeploy(dict(wave_target),
+                                             max_wait=self.max_wait)
+                return stats, None, retries
+            except EffectorError as exc:
+                if retries >= self.max_retries:
+                    return None, exc, retries
+                delay = self._backoff(retries)
+                retries += 1
+                self._c_retries.inc()
+                backoffs.append(delay)
+                clock.run(delay)  # heal window: partitions may come back
+
+    def _effect_schedule(self, plan: RedeploymentPlan,
+                         force: bool = False) -> EffectReport:
+        """Execute ``plan.schedule`` wave-by-wave.
+
+        Every completed wave is a **rollback barrier**: when a wave's
+        retry budget runs out the effector restores the last barrier
+        state (not the pre-plan deployment), then — if it has a
+        ``planner`` — rebuilds the remaining schedule from the barrier
+        toward the plan's target and keeps going, up to ``max_replans``
+        times.  Progress made before the failed wave is never reverted.
+        """
+        self.preflight(self.system.model, plan, force=force)
+        self._c_migrations.inc()
+        clock = self.system.clock
+        started = clock.now
+        pre_state = dict(self.system.actual_deployment())
+        schedule = plan.schedule
+        assert schedule is not None
+        barrier = dict(pre_state)
+        backoffs: list = []
+        moves_executed = 0
+        kb_transferred = 0.0
+        total_retries = 0
+        waves_completed = 0
+        barrier_rollbacks = 0
+        replans = 0
+        last_error: Optional[EffectorError] = None
+        rollback_error: Optional[str] = None
+        while True:
+            failed = False
+            for wave in schedule.waves:
+                wave_target = {move.component: move.target
+                               for move in wave.moves}
+                with self.obs.span("plan.wave", index=wave.index,
+                                   moves=len(wave.moves)) as wave_span:
+                    stats, error, retries = self._run_wave(wave_target,
+                                                           backoffs)
+                    total_retries += retries
+                    wave_span.set(succeeded=error is None,
+                                  retries=retries)
+                if error is not None:
+                    last_error = error
+                    failed = True
+                    break
+                moves_executed += stats["moves"]
+                kb_transferred += stats["kb_transferred"]
+                barrier.update(wave_target)
+                waves_completed += 1
+                self._c_waves.inc()
+            if not failed:
+                detail: Dict[str, Any] = {
+                    "waves_completed": waves_completed,
+                    "replans": replans,
+                    "barrier_rollbacks": barrier_rollbacks,
+                }
+                if backoffs:
+                    detail["backoffs"] = tuple(backoffs)
+                report = EffectReport(
+                    plan, True, moves_executed,
+                    sim_duration=clock.now - started,
+                    kb_transferred=kb_transferred,
+                    retries=total_retries, detail=detail)
+                self.history.append(report)
+                self._c_moves.inc(report.moves_executed)
+                self._h_kb.observe(report.kb_transferred)
+                self._h_duration.observe(report.sim_duration)
+                return report
+            # The wave's retry budget ran out: restore the last barrier
+            # (keeping every completed wave's progress), then re-plan.
+            rolled = False
+            if self.transactional:
+                try:
+                    self.system.reset_redeployment()
+                    self.system.redeploy(barrier, max_wait=self.max_wait)
+                    rolled = True
+                    barrier_rollbacks += 1
+                    self._c_barrier_rollbacks.inc()
+                except EffectorError as rollback_exc:
+                    rollback_error = str(rollback_exc)
+            if rolled and self.planner is not None \
+                    and replans < self.max_replans:
+                replans += 1
+                self._c_replans.inc()
+                schedule = self.planner.schedule(
+                    plan.target.as_dict(),
+                    current=dict(self.system.actual_deployment()))
+                barrier = dict(self.system.actual_deployment())
+                continue
+            break
+        # Out of replans (or rollback itself failed): report the partial
+        # outcome.  ``rolled_back`` here means "restored to the last
+        # barrier" — earlier waves' progress is retained by design.
+        progress = sum(1 for component, host in barrier.items()
+                       if pre_state.get(component) != host)
+        detail = {
+            "error": str(last_error),
+            "rollback_scope": "barrier",
+            "waves_completed": waves_completed,
+            "progress_components": progress,
+            "barrier_rollbacks": barrier_rollbacks,
+            "replans": replans,
+        }
+        if backoffs:
+            detail["backoffs"] = tuple(backoffs)
+        if rollback_error is not None:
+            detail["rollback_error"] = rollback_error
+        report = EffectReport(
+            plan, False, moves_executed,
+            sim_duration=clock.now - started,
+            kb_transferred=kb_transferred, retries=total_retries,
+            rolled_back=barrier_rollbacks > 0, detail=detail)
+        self.history.append(report)
+        self._c_failures.inc()
+        if barrier_rollbacks:
+            self._c_rollbacks.inc()
+        raise MigrationTimeoutError(
+            f"{plan.summary()} failed at wave "
+            f"{waves_completed} after {replans} re-plan"
+            f"{'' if replans == 1 else 's'} "
+            f"({progress} components of progress retained): {last_error}",
             pending=getattr(last_error, "pending", None),
             report=report) from last_error

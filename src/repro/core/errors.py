@@ -149,6 +149,18 @@ class MigrationTimeoutError(MigrationError):
         self.report = report
 
 
+class ScheduleError(EffectorError):
+    """No constraint-safe migration schedule exists, or a schedule
+    document is malformed.
+
+    Raised by :class:`repro.plan.MigrationPlanner` when no wave ordering
+    (even through buffer-host staging) keeps every barrier state inside
+    the constraint set, and by the schedule loaders on structurally
+    invalid documents.  The lint rules ``PL001``–``PL003`` report
+    schedule problems all-at-once without raising.
+    """
+
+
 class MiddlewareError(ReproError):
     """An error inside the Prism-MW style middleware substrate."""
 

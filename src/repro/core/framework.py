@@ -93,6 +93,13 @@ class CentralizedFramework:
         epsilon / stability_window: ε-stability parameters for the hub.
         analyzer: Custom analyzer; built from the other arguments when
             omitted.
+        planner: Enable wave scheduling: plans carry a
+            :class:`~repro.plan.MigrationSchedule` and the effector
+            executes wave-by-wave with barrier rollback and re-planning.
+        effector_options: Extra keyword arguments for the
+            :class:`~repro.core.effector.MiddlewareEffector` (timeouts,
+            retry budget, backoff shape) — the knobs experiments turn to
+            compare enactment strategies under identical pressure.
     """
 
     def __init__(self, system: DistributedSystem, objective: Objective,
@@ -103,6 +110,8 @@ class CentralizedFramework:
                  epsilon: float = 0.05, stability_window: int = 3,
                  analyzer: Optional[Analyzer] = None,
                  seed: Optional[int] = None,
+                 planner: bool = False,
+                 effector_options: Optional[Dict[str, Any]] = None,
                  obs: Optional[Observability] = None):
         self.system = system
         self.model = system.model
@@ -119,10 +128,20 @@ class CentralizedFramework:
                     self.constraints.add(constraint)
         self.hub = MonitoringHub(self.model, epsilon=epsilon,
                                  window=stability_window, obs=self.obs)
+        # ``planner=True`` turns on wave scheduling end to end: decisions
+        # carry a MigrationSchedule and the effector executes it with
+        # barrier rollback and re-planning (see docs/PLANNING.md).
+        self.planner = None
+        if planner:
+            from repro.plan import MigrationPlanner
+            self.planner = MigrationPlanner(self.model, self.constraints,
+                                            obs=self.obs)
         self.analyzer = analyzer if analyzer is not None else Analyzer(
             objective, self.constraints, latency_guard=latency_guard,
-            seed=seed, obs=self.obs)
-        self.effector = MiddlewareEffector(system, seed=seed, obs=self.obs)
+            seed=seed, planner=self.planner, obs=self.obs)
+        self.effector = MiddlewareEffector(system, seed=seed, obs=self.obs,
+                                           planner=self.planner,
+                                           **(effector_options or {}))
         self.monitor_interval = monitor_interval
         self.cycles: List[CycleReport] = []
         self._cycle_task = None

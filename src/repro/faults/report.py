@@ -167,6 +167,8 @@ def run_campaign(plan: FaultPlan, seed: int = 0, scenario: str = "crisis",
                  cycles_per_analysis: int = 2,
                  system_factory: Optional[
                      Callable[[SimClock, int], DistributedSystem]] = None,
+                 planner: bool = False,
+                 effector_options: Optional[Dict[str, Any]] = None,
                  obs: Optional[Observability] = None,
                  ) -> ResilienceReport:
     """Execute *plan* against a freshly built scenario system.
@@ -185,6 +187,15 @@ def run_campaign(plan: FaultPlan, seed: int = 0, scenario: str = "crisis",
             the baseline for the with/without-redeployment experiment.
         system_factory: Optional ``(clock, seed) -> DistributedSystem``
             override for custom topologies (tests use tiny ones).
+        planner: Run redeployments through :mod:`repro.plan` wave
+            scheduling (barrier rollback + re-planning) instead of the
+            naive all-at-once effector path; the planner-vs-naive contrast
+            under the same fault plan and seed is the headline experiment
+            of ``docs/PLANNING.md``.
+        effector_options: Extra :class:`MiddlewareEffector` keyword
+            arguments (timeouts, retry budget, backoff shape), applied
+            identically to both enactment strategies so comparisons stay
+            fair.
         obs: Observability bundle instrumenting the run.  Defaults to the
             process-wide bundle (a no-op unless one was installed); pass an
             enabled bundle to capture per-subsystem metrics and spans for
@@ -218,12 +229,15 @@ def run_campaign(plan: FaultPlan, seed: int = 0, scenario: str = "crisis",
             framework = CentralizedFramework(
                 system, objective, built.constraints,
                 user_input=getattr(built, "user_input", None),
-                monitor_interval=monitor_interval, seed=seed, obs=obs)
+                monitor_interval=monitor_interval, seed=seed,
+                planner=planner, effector_options=effector_options,
+                obs=obs)
     if improve and framework is None and system_factory is not None \
             and system.deployer is not None:
         framework = CentralizedFramework(
             system, objective, monitor_interval=monitor_interval,
-            seed=seed, obs=obs)
+            seed=seed, planner=planner,
+            effector_options=effector_options, obs=obs)
 
     injector = FaultInjector(system.network, plan, model=model, obs=obs)
     injector.arm()
@@ -270,6 +284,15 @@ def run_campaign(plan: FaultPlan, seed: int = 0, scenario: str = "crisis",
     restores = sum(a.restores for a in system.admins.values())
 
     wall = _time.perf_counter() - started_wall
+    detail: Dict[str, Any] = {"post_lint_errors": len(post_lint.errors)}
+    if planner:
+        detail["planner"] = {
+            "barrier_rollbacks": sum(
+                r.detail.get("barrier_rollbacks", 0) for r in history),
+            "replans": sum(r.detail.get("replans", 0) for r in history),
+            "waves_completed": sum(
+                r.detail.get("waves_completed", 0) for r in history),
+        }
     return ResilienceReport(
         plan_name=plan.name,
         scenario=scenario_name,
@@ -295,5 +318,5 @@ def run_campaign(plan: FaultPlan, seed: int = 0, scenario: str = "crisis",
         mean_recovery_time=(sum(recovery_times) / len(recovery_times)
                             if recovery_times else 0.0),
         wall_seconds=wall,
-        detail={"post_lint_errors": len(post_lint.errors)},
+        detail=detail,
     )

@@ -40,6 +40,10 @@ from repro.lint.model_rules import (
     MODEL_RULES, ModelLintContext, ModelRule, default_objectives,
     model_rule_registry, verify_deployment, verify_model,
 )
+from repro.lint.plan_rules import (
+    PLAN_RULES, ScheduleLintContext, ScheduleRule, plan_rule_registry,
+    verify_schedule,
+)
 from repro.lint.xadl_rules import (
     DOCUMENT_RULES, verify_xadl_file, verify_xadl_source,
 )
@@ -61,8 +65,11 @@ __all__ = [
     "MODEL_RULES",
     "ModelLintContext",
     "ModelRule",
+    "PLAN_RULES",
     "Rule",
     "RuleRegistry",
+    "ScheduleLintContext",
+    "ScheduleRule",
     "Severity",
     "analyze_lock_graph",
     "analyze_package",
@@ -76,6 +83,7 @@ __all__ = [
     "iter_python_files",
     "load_baseline",
     "model_rule_registry",
+    "plan_rule_registry",
     "render_json",
     "render_sarif",
     "render_text",
@@ -84,6 +92,7 @@ __all__ = [
     "verify_deployment",
     "verify_fault_plan",
     "verify_model",
+    "verify_schedule",
     "verify_xadl_file",
     "verify_xadl_source",
 ]

@@ -173,3 +173,61 @@ class TestDecisions:
             checker = ConstraintSet([MemoryConstraint()])
             assert checker.is_satisfied(medium_model,
                                         decision.selected.deployment)
+
+
+class TestPlanGuards:
+    def unroutable_model(self):
+        """Collocating the chatty pair would improve availability, but the
+        hosts have no physical route between them at all."""
+        from repro.core.model import DeploymentModel
+        model = DeploymentModel(name="islands")
+        model.add_host("hA", memory=100.0)
+        model.add_host("hB", memory=100.0)
+        model.add_component("c1", memory=10.0)
+        model.add_component("c2", memory=10.0)
+        model.connect_components("c1", "c2", frequency=4.0, evt_size=2.0)
+        model.deploy("c1", "hA")
+        model.deploy("c2", "hB")
+        return model
+
+    def test_unreachable_plan_is_refused(self, analyzer):
+        decision = analyzer.analyze(self.unroutable_model())
+        assert not decision.will_redeploy
+        assert decision.reason.startswith(
+            "plan moves components with no usable route:")
+
+    def test_planner_feeds_schedule_guard_values(self, tiny_model):
+        from repro.plan import MigrationPlanner
+        tiny_model.deploy("c1", "hA")
+        tiny_model.deploy("c2", "hB")
+        constraints = ConstraintSet([MemoryConstraint()])
+        scheduled = Analyzer(AvailabilityObjective(), constraints, seed=5,
+                             planner=MigrationPlanner(tiny_model,
+                                                      constraints))
+        decision = scheduled.analyze(tiny_model)
+        assert decision.will_redeploy
+        assert decision.plan.schedule is not None
+        assert decision.guard_values["predicted_makespan"] \
+            == pytest.approx(decision.plan.schedule.makespan)
+        assert decision.guard_values["predicted_disruption_kb"] \
+            == pytest.approx(decision.plan.schedule.total_kb)
+
+    def test_max_makespan_vetoes_slow_migrations(self, tiny_model):
+        from repro.plan import MigrationPlanner
+        tiny_model.deploy("c1", "hA")
+        tiny_model.deploy("c2", "hB")
+        constraints = ConstraintSet([MemoryConstraint()])
+        picky = Analyzer(AvailabilityObjective(), constraints, seed=5,
+                         planner=MigrationPlanner(tiny_model, constraints),
+                         max_makespan=1e-9)
+        decision = picky.analyze(tiny_model)
+        assert not decision.will_redeploy
+        assert "exceeds limit" in decision.reason
+        assert "predicted_makespan" in decision.guard_values
+
+    def test_without_planner_no_schedule_guards(self, analyzer, tiny_model):
+        tiny_model.deploy("c1", "hA")
+        tiny_model.deploy("c2", "hB")
+        decision = analyzer.analyze(tiny_model)
+        assert decision.will_redeploy
+        assert "predicted_makespan" not in decision.guard_values

@@ -59,6 +59,20 @@ class TestPlanRedeployment:
         model.deploy("x", "a")
         plan = plan_redeployment(model, {"x": "b"})
         assert plan.estimated_time == float("inf")
+        assert plan.unreachable == ("x",)
+
+    def test_reachable_plan_has_no_unreachable(self, tiny_model):
+        plan = plan_redeployment(tiny_model,
+                                 {"c1": "hB", "c2": "hA", "c3": "hB"})
+        assert plan.unreachable == ()
+
+    def test_schedule_flag_attaches_wave_schedule(self, tiny_model):
+        target = {"c1": "hB", "c2": "hA", "c3": "hB"}
+        assert plan_redeployment(tiny_model, target).schedule is None
+        plan = plan_redeployment(tiny_model, target, schedule=True)
+        assert plan.schedule is not None
+        assert plan.schedule.final_state() == target
+        assert "waves" in plan.summary()
 
     def test_explicit_current_overrides_model(self, tiny_model):
         plan = plan_redeployment(
@@ -165,3 +179,15 @@ class TestMiddlewareEffector:
         with pytest.raises(EffectorError):
             effector.effect(plan)
         assert effector.history[-1].succeeded is False
+
+    def test_report_dict_carries_schedule_and_unreachable(self, tiny_model):
+        clock = SimClock()
+        system = DistributedSystem(tiny_model, clock, seed=4)
+        effector = MiddlewareEffector(system)
+        target = {"c1": "hB", "c2": "hB", "c3": "hB"}
+        plan = plan_redeployment(tiny_model, target, schedule=True)
+        data = effector.effect(plan).to_dict()
+        assert data["plan"]["waves"] == len(plan.schedule.waves)
+        assert data["plan"]["predicted_makespan"] == pytest.approx(
+            plan.schedule.makespan)
+        assert "unreachable" not in data["plan"]

@@ -1,0 +1,78 @@
+"""The headline planner experiment: identical fault plan, seed, and
+effector pressure — wave scheduling must deliver a strictly higher
+migration success rate than the naive all-at-once path.
+
+The world has two 'core' services on healthy hosts and two clients
+stranded on an unreliable host; the analyzer wants each client next to
+its core.  A partition cuts one core's host across the enactment window.
+Naive enactment fails the whole plan (transactional rollback reverts the
+healthy move too) and needs a second analysis cycle to recover; the wave
+orchestrator banks the healthy wave at a barrier, rolls back only the
+partitioned wave, and re-plans through the heal inside the same attempt.
+"""
+
+from repro.core.model import DeploymentModel
+from repro.faults import FaultAction, FaultPlan, run_campaign
+from repro.middleware import DistributedSystem
+
+#: Same enactment pressure for both strategies: short per-attempt budget,
+#: one retry, deterministic backoff.
+EFFECTOR_OPTIONS = dict(max_wait=2.0, max_retries=1, backoff_base=1.0,
+                        jitter=0.0)
+
+SEED = 1
+DURATION = 20.0
+
+
+def clients_and_cores(clock, seed):
+    model = DeploymentModel()
+    for host in ("hub", "weak", "b", "c"):
+        model.add_host(host, memory=1000.0)
+    hosts = ("hub", "weak", "b", "c")
+    for i, first in enumerate(hosts):
+        for second in hosts[i + 1:]:
+            reliability = 0.5 if "weak" in (first, second) else 0.95
+            model.connect_hosts(first, second, reliability=reliability,
+                                bandwidth=100.0, delay=0.01)
+    for component, host in (("core1", "b"), ("core2", "c"),
+                            ("x", "weak"), ("y", "weak")):
+        model.add_component(component, memory=5.0)
+        model.deploy(component, host)
+    model.connect_components("x", "core1", frequency=2.0, evt_size=2.0)
+    model.connect_components("y", "core2", frequency=2.0, evt_size=2.0)
+    return DistributedSystem(model, clock, master_host="hub", seed=seed)
+
+
+def cut_core2_plan():
+    return FaultPlan(name="cut-core2", duration=DURATION, actions=[
+        FaultAction(3.5, "partition", ("c",), {"duration": 6.0}),
+    ])
+
+
+def run(planner):
+    return run_campaign(cut_core2_plan(), seed=SEED, duration=DURATION,
+                        system_factory=clients_and_cores, planner=planner,
+                        effector_options=EFFECTOR_OPTIONS)
+
+
+class TestPlannerCampaign:
+    def test_planner_strictly_improves_migration_success_rate(self):
+        naive = run(planner=False)
+        waved = run(planner=True)
+        assert waved.migration_success_rate \
+            > naive.migration_success_rate
+        # The mechanism, not just the headline: naive lost a whole
+        # attempt to transactional rollback; the orchestrator recovered
+        # inside its first attempt via barrier rollback + re-planning.
+        assert naive.migrations_attempted > naive.migrations_succeeded
+        assert waved.migrations_succeeded == waved.migrations_attempted
+        stats = waved.detail["planner"]
+        assert stats["barrier_rollbacks"] >= 1
+        assert stats["replans"] >= 1
+        assert stats["waves_completed"] >= 1
+
+    def test_planner_detail_only_present_when_enabled(self):
+        naive = run(planner=False)
+        waved = run(planner=True)
+        assert "planner" not in naive.detail
+        assert "planner" in waved.detail

@@ -1,0 +1,167 @@
+"""The schedule verifier: PL001 (barrier violations), PL002 (undercut
+etas), PL003 (unenactable moves)."""
+
+import dataclasses
+
+from repro.core.constraints import ConstraintSet, MemoryConstraint
+from repro.core.model import DeploymentModel
+from repro.lint import (
+    PLAN_RULES, plan_rule_registry, verify_schedule,
+)
+from repro.plan import build_schedule, schedule_from_dict
+
+
+def small_world():
+    model = DeploymentModel()
+    for host in ("a", "b", "c"):
+        model.add_host(host, memory=20.0)
+    for pair in (("a", "b"), ("a", "c"), ("b", "c")):
+        model.connect_hosts(*pair, reliability=1.0, bandwidth=100.0,
+                            delay=0.01)
+    for component in ("x", "y"):
+        model.add_component(component, memory=5.0)
+        model.deploy(component, "a")
+    return model
+
+
+def good_schedule(model):
+    return build_schedule(model, {"x": "b", "y": "c"},
+                          constraints=ConstraintSet([MemoryConstraint()]))
+
+
+def rules_fired(report):
+    return sorted({finding.rule for finding in report})
+
+
+class TestCleanSchedule:
+    def test_planner_output_passes_all_rules(self):
+        model = small_world()
+        report = verify_schedule(model, good_schedule(model))
+        assert len(report) == 0
+        assert not report.has_errors
+
+    def test_registry_holds_the_three_rules(self):
+        registry = plan_rule_registry()
+        ids = sorted(rule.rule_id for rule in registry)
+        assert ids == ["PL001", "PL002", "PL003"]
+        assert len(PLAN_RULES) == 3
+
+
+class TestWaveConstraintViolation:
+    def test_violating_barrier_state_fires_pl001(self):
+        model = small_world()
+        schedule = good_schedule(model)
+        # Doctor the schedule: send both components to tiny host b, whose
+        # 20 KB capacity cannot hold 2 x 5 KB... make it tighter first.
+        model2 = DeploymentModel()
+        for host, memory in (("a", 20.0), ("b", 6.0), ("c", 20.0)):
+            model2.add_host(host, memory=memory)
+        for pair in (("a", "b"), ("a", "c"), ("b", "c")):
+            model2.connect_hosts(*pair, reliability=1.0, bandwidth=100.0,
+                                 delay=0.01)
+        for component in ("x", "y"):
+            model2.add_component(component, memory=5.0)
+            model2.deploy(component, "a")
+        data = schedule.to_dict()
+        # Both moves land on b in wave 0: the barrier oversubscribes b.
+        data["target"] = {"x": "b", "y": "b"}
+        data["waves"] = [{
+            "index": 0, "eta": schedule.waves[0].eta, "moves": [
+                {"component": "x", "source": "a", "target": "b",
+                 "kb": 5.0, "route": ["a", "b"], "eta": 0.06,
+                 "staged": False},
+                {"component": "y", "source": "a", "target": "b",
+                 "kb": 5.0, "route": ["a", "b"], "eta": 0.06,
+                 "staged": False},
+            ]}]
+        doctored = schedule_from_dict(data)
+        report = verify_schedule(
+            model2, doctored,
+            constraints=ConstraintSet([MemoryConstraint()]))
+        assert "PL001" in rules_fired(report)
+        (finding,) = [f for f in report if f.rule == "PL001"]
+        assert "wave 0" in finding.subject
+
+    def test_baseline_violations_are_not_charged_to_the_schedule(self):
+        # Start state already violates (both on b, capacity 6): waves that
+        # do not make things worse stay clean.
+        model = DeploymentModel()
+        for host, memory in (("a", 20.0), ("b", 6.0)):
+            model.add_host(host, memory=memory)
+        model.connect_hosts("a", "b", reliability=1.0, bandwidth=100.0,
+                            delay=0.01)
+        for component in ("x", "y"):
+            model.add_component(component, memory=5.0)
+            model.deploy(component, "b")
+        data = {
+            "current": {"x": "b", "y": "b"},
+            "target": {"x": "a", "y": "b"},
+            "waves": [{"index": 0, "eta": 0.06, "moves": [
+                {"component": "x", "source": "b", "target": "a",
+                 "kb": 5.0, "route": ["b", "a"], "eta": 0.06,
+                 "staged": False}]}],
+            "makespan": 0.06, "total_kb": 5.0,
+        }
+        report = verify_schedule(
+            model, schedule_from_dict(data),
+            constraints=ConstraintSet([MemoryConstraint()]))
+        assert "PL001" not in rules_fired(report)
+
+
+class TestWaveOversubscription:
+    def test_zeroed_eta_fires_pl002(self):
+        model = small_world()
+        schedule = good_schedule(model)
+        waves = tuple(
+            dataclasses.replace(wave, eta=0.0) for wave in schedule.waves)
+        stale = dataclasses.replace(schedule, waves=waves)
+        report = verify_schedule(model, stale)
+        assert "PL002" in rules_fired(report)
+        assert not report.has_errors  # warning severity
+
+    def test_honest_etas_stay_quiet(self):
+        model = small_world()
+        report = verify_schedule(model, good_schedule(model))
+        assert "PL002" not in rules_fired(report)
+
+
+class TestUnreachableMove:
+    def test_route_leg_without_link_fires_pl003(self):
+        model = small_world()
+        schedule = good_schedule(model)
+        # Replay the schedule against a model where a-c lost its link.
+        drifted = DeploymentModel()
+        for host in ("a", "b", "c"):
+            drifted.add_host(host, memory=20.0)
+        drifted.connect_hosts("a", "b", reliability=1.0, bandwidth=100.0,
+                              delay=0.01)
+        for component in ("x", "y"):
+            drifted.add_component(component, memory=5.0)
+            drifted.deploy(component, "a")
+        report = verify_schedule(drifted, schedule)
+        findings = [f for f in report if f.rule == "PL003"]
+        assert findings, "missing link went unnoticed"
+        assert any("no positive-bandwidth link" in f.message
+                   for f in findings)
+
+    def test_wrong_source_fires_pl003(self):
+        model = small_world()
+        schedule = good_schedule(model)
+        data = schedule.to_dict()
+        for wave in data["waves"]:
+            for move in wave["moves"]:
+                if move["component"] == "y":
+                    move["source"] = "c"
+                    move["route"] = ["c"] + move["route"][1:]
+        report = verify_schedule(model, schedule_from_dict(data))
+        findings = [f for f in report if f.rule == "PL003"]
+        assert any("is on 'a' at this wave" in f.message for f in findings)
+
+    def test_declared_unreachable_in_wave_fires_pl003(self):
+        model = small_world()
+        schedule = good_schedule(model)
+        data = schedule.to_dict()
+        data["unreachable"] = ["x"]
+        report = verify_schedule(model, schedule_from_dict(data))
+        findings = [f for f in report if f.rule == "PL003"]
+        assert any("declared unreachable" in f.message for f in findings)

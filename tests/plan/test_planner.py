@@ -1,0 +1,266 @@
+"""The MigrationPlanner: wave admission, staging, packing, determinism."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.constraints import (
+    CollocationConstraint, ConstraintSet, MemoryConstraint,
+)
+from repro.core.errors import ScheduleError
+from repro.core.model import DeploymentModel
+from repro.plan import (
+    MigrationPlanner, build_schedule, candidate_routes, isolation_route,
+    naive_schedule, predict_wave_eta,
+)
+
+
+def mesh_world():
+    """Four roomy hosts, full mesh, three small components on a."""
+    model = DeploymentModel()
+    for host in ("a", "b", "c", "d"):
+        model.add_host(host, memory=100.0)
+    hosts = ("a", "b", "c", "d")
+    for i, first in enumerate(hosts):
+        for second in hosts[i + 1:]:
+            model.connect_hosts(first, second, reliability=1.0,
+                                bandwidth=100.0, delay=0.01)
+    for component in ("x", "y", "z"):
+        model.add_component(component, memory=5.0)
+        model.deploy(component, "a")
+    return model
+
+
+def rotation_world():
+    """Three exactly-full hosts in a cycle plus an empty buffer host."""
+    model = DeploymentModel()
+    for host in ("a", "b", "c", "d"):
+        model.add_host(host, memory=10.0)
+    for pair in (("a", "b"), ("b", "c"), ("c", "a"),
+                 ("a", "d"), ("b", "d"), ("c", "d")):
+        model.connect_hosts(*pair, reliability=1.0, bandwidth=100.0,
+                            delay=0.01)
+    for component, host in (("x", "a"), ("y", "b"), ("z", "c")):
+        model.add_component(component, memory=10.0)
+        model.deploy(component, host)
+    return model, ConstraintSet([MemoryConstraint()])
+
+
+ROTATION_TARGET = {"x": "b", "y": "c", "z": "a"}
+
+
+class TestWaves:
+    def test_final_state_is_target(self):
+        model = mesh_world()
+        schedule = build_schedule(model, {"x": "b", "y": "c", "z": "d"})
+        assert schedule.final_state() == {"x": "b", "y": "c", "z": "d"}
+        assert schedule.unreachable == ()
+
+    def test_max_wave_moves_caps_wave_size(self):
+        model = mesh_world()
+        schedule = build_schedule(model, {"x": "b", "y": "c", "z": "d"},
+                                  max_wave_moves=1)
+        assert all(len(wave.moves) == 1 for wave in schedule.waves)
+        assert len(schedule.waves) == 3
+
+    def test_unmoved_components_are_not_scheduled(self):
+        model = mesh_world()
+        schedule = build_schedule(model, {"x": "b", "y": "a", "z": "a"})
+        assert [m.component for m in schedule.moves] == ["x"]
+
+    def test_empty_delta_yields_no_waves(self):
+        model = mesh_world()
+        schedule = build_schedule(model, {"x": "a", "y": "a", "z": "a"})
+        assert schedule.waves == ()
+        assert schedule.makespan == 0.0
+
+    def test_moves_sorted_by_component_within_wave(self):
+        model = mesh_world()
+        schedule = build_schedule(model, {"x": "b", "y": "c", "z": "d"})
+        for wave in schedule.waves:
+            names = [m.component for m in wave.moves]
+            assert names == sorted(names)
+
+    def test_makespan_is_sum_of_wave_etas(self):
+        model = mesh_world()
+        schedule = build_schedule(model, {"x": "b", "y": "c", "z": "d"},
+                                  max_wave_moves=1)
+        assert schedule.makespan == pytest.approx(
+            sum(wave.eta for wave in schedule.waves))
+
+    def test_recorded_etas_match_reference_recomputation(self):
+        model = mesh_world()
+        schedule = build_schedule(model, {"x": "b", "y": "c", "z": "d"})
+        for wave in schedule.waves:
+            eta, per_move = predict_wave_eta(model, wave.moves)
+            assert wave.eta == pytest.approx(eta)
+            for move, expected in zip(wave.moves, per_move):
+                assert move.eta == pytest.approx(expected)
+
+
+class TestAtomicPairsAndStaging:
+    def test_swap_is_admitted_as_atomic_pair(self):
+        # x and y must trade places between exactly-full hosts: neither
+        # single move is feasible, the pair is.
+        model = DeploymentModel()
+        for host in ("a", "b"):
+            model.add_host(host, memory=10.0)
+        model.add_host("spare", memory=0.0)
+        model.connect_hosts("a", "b", reliability=1.0, bandwidth=100.0,
+                            delay=0.01)
+        for component, host in (("x", "a"), ("y", "b")):
+            model.add_component(component, memory=10.0)
+            model.deploy(component, host)
+        constraints = ConstraintSet([MemoryConstraint()])
+        schedule = build_schedule(model, {"x": "b", "y": "a"},
+                                  constraints=constraints,
+                                  max_wave_moves=1)
+        # The pair lands in ONE wave even under a 1-move cap: atomicity
+        # beats granularity.
+        assert len(schedule.waves) == 1
+        assert len(schedule.waves[0].moves) == 2
+        assert schedule.final_state() == {"x": "b", "y": "a"}
+
+    def test_rotation_deadlock_is_staged_through_buffer(self):
+        model, constraints = rotation_world()
+        schedule = build_schedule(model, ROTATION_TARGET,
+                                  constraints=constraints,
+                                  max_wave_moves=1)
+        assert schedule.staged_components == ("x",)
+        staged = [m for m in schedule.moves if m.staged]
+        assert len(staged) == 1
+        assert staged[0].target == "d"  # parked on the buffer host
+        assert schedule.final_state() == ROTATION_TARGET
+        # The staged component ships twice; the others once.
+        assert [m.component for m in schedule.moves].count("x") == 2
+
+    def test_rotation_without_buffer_raises(self):
+        model, constraints = rotation_world()
+        # Fill the buffer host too: nowhere to stage.
+        model.add_component("w", memory=10.0)
+        model.deploy("w", "d")
+        with pytest.raises(ScheduleError, match="staging"):
+            build_schedule(model, ROTATION_TARGET, constraints=constraints)
+
+    def test_collocated_pair_travels_together(self):
+        model = mesh_world()
+        constraints = ConstraintSet([
+            MemoryConstraint(),
+            CollocationConstraint(["x", "y"], together=True),
+        ])
+        schedule = build_schedule(model, {"x": "b", "y": "b", "z": "a"},
+                                  constraints=constraints,
+                                  max_wave_moves=1)
+        assert schedule.final_state()["x"] == "b"
+        assert schedule.final_state()["y"] == "b"
+        # Both moves share the wave that keeps the pair collocated.
+        wave_of = {m.component: w.index for w in schedule.waves
+                   for m in w.moves}
+        assert wave_of["x"] == wave_of["y"]
+
+
+class TestUnreachable:
+    def test_unroutable_component_is_excluded_and_recorded(self):
+        model = DeploymentModel()
+        for host in ("a", "b", "island"):
+            model.add_host(host, memory=100.0)
+        model.connect_hosts("a", "b", reliability=1.0, bandwidth=100.0,
+                            delay=0.01)
+        for component in ("x", "y"):
+            model.add_component(component, memory=5.0)
+            model.deploy(component, "a")
+        schedule = build_schedule(model, {"x": "b", "y": "island"})
+        assert schedule.unreachable == ("y",)
+        assert [m.component for m in schedule.moves] == ["x"]
+        assert schedule.final_state() == {"x": "b", "y": "a"}
+
+
+class TestRouting:
+    def bottleneck_world(self):
+        """One slow direct link, two relays whose legs are individually
+        slower but collectively wider."""
+        model = DeploymentModel()
+        for host in ("src", "dst", "r1", "r2"):
+            model.add_host(host, memory=1000.0)
+        model.connect_hosts("src", "dst", reliability=1.0, bandwidth=100.0,
+                            delay=0.001)
+        for relay in ("r1", "r2"):
+            model.connect_hosts("src", relay, reliability=1.0,
+                                bandwidth=60.0, delay=0.001)
+            model.connect_hosts(relay, "dst", reliability=1.0,
+                                bandwidth=60.0, delay=0.001)
+        target = {}
+        for index in range(6):
+            component = f"c{index}"
+            model.add_component(component, memory=6.0)
+            model.deploy(component, "src")
+            target[component] = "dst"
+        return model, target
+
+    def test_candidate_routes_include_relays(self):
+        model, __ = self.bottleneck_world()
+        routes = candidate_routes(model, "src", "dst")
+        assert ("src", "dst") in routes
+        assert ("src", "r1", "dst") in routes
+        assert ("src", "r2", "dst") in routes
+
+    def test_isolation_route_prefers_fast_direct_link(self):
+        model, __ = self.bottleneck_world()
+        assert isolation_route(model, "src", "dst", 6.0) == ("src", "dst")
+
+    def test_packed_schedule_spreads_and_beats_naive(self):
+        model, target = self.bottleneck_world()
+        packed = MigrationPlanner(model, max_wave_moves=None) \
+            .schedule(target)
+        naive = naive_schedule(model, target)
+        assert packed.makespan < naive.makespan
+        used_routes = {m.route for m in packed.moves}
+        assert len(used_routes) > 1, "packer never left the direct link"
+        assert packed.final_state() == naive.final_state()
+
+    def test_naive_schedule_is_single_wave_on_isolation_routes(self):
+        model, target = self.bottleneck_world()
+        naive = naive_schedule(model, target)
+        assert len(naive.waves) == 1
+        assert {m.route for m in naive.moves} == {("src", "dst")}
+        assert naive.detail["strategy"] == "naive-all-at-once"
+
+
+class TestDeterminism:
+    def test_same_inputs_render_byte_identical_json(self):
+        model, constraints = rotation_world()
+        first = build_schedule(model, ROTATION_TARGET,
+                               constraints=constraints)
+        model2, constraints2 = rotation_world()
+        second = build_schedule(model2, ROTATION_TARGET,
+                                constraints=constraints2)
+        assert first.to_json() == second.to_json()
+
+    def test_schedule_is_stable_across_hash_seeds(self):
+        """Byte-identical schedule JSON under different PYTHONHASHSEED:
+        no set/dict iteration order leaks into the document."""
+        program = (
+            "from tests.plan.test_planner import rotation_world, "
+            "ROTATION_TARGET\n"
+            "from repro.plan import build_schedule\n"
+            "model, constraints = rotation_world()\n"
+            "schedule = build_schedule(model, ROTATION_TARGET, "
+            "constraints=constraints)\n"
+            "print(schedule.to_json())\n")
+        outputs = []
+        for hash_seed in ("1", "4242"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = hash_seed
+            env["PYTHONPATH"] = os.pathsep.join(
+                p for p in ("src", env.get("PYTHONPATH", "")) if p)
+            result = subprocess.run(
+                [sys.executable, "-c", program], env=env, cwd=ROOT,
+                capture_output=True, text=True, check=True)
+            outputs.append(result.stdout)
+        assert outputs[0] == outputs[1]
+
+
+ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))

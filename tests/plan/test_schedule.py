@@ -1,0 +1,129 @@
+"""The MigrationSchedule data model: structure, serialization, rendering."""
+
+import json
+
+import pytest
+
+from repro.core.errors import ScheduleError
+from repro.plan import (
+    MigrationSchedule, ScheduledMove, Wave, schedule_from_dict,
+    schedule_from_json,
+)
+
+
+def sample_schedule():
+    waves = (
+        Wave(index=0, eta=0.5, moves=(
+            ScheduledMove("x", "a", "d", kb=5.0, route=("a", "d"),
+                          eta=0.5, staged=True),)),
+        Wave(index=1, eta=0.3, moves=(
+            ScheduledMove("y", "b", "a", kb=4.0, route=("b", "c", "a"),
+                          eta=0.3),)),
+        Wave(index=2, eta=0.4, moves=(
+            ScheduledMove("x", "d", "b", kb=5.0, route=("d", "b"),
+                          eta=0.4),)),
+    )
+    return MigrationSchedule(
+        current={"x": "a", "y": "b"}, target={"x": "b", "y": "a"},
+        waves=waves, makespan=1.2, total_kb=14.0,
+        staged_components=("x",))
+
+
+class TestStructure:
+    def test_moves_flatten_in_execution_order(self):
+        schedule = sample_schedule()
+        assert [m.component for m in schedule.moves] == ["x", "y", "x"]
+        assert schedule.move_count == 3
+
+    def test_state_after_walks_barriers(self):
+        schedule = sample_schedule()
+        assert schedule.state_after(-1) == {"x": "a", "y": "b"}
+        assert schedule.state_after(0) == {"x": "d", "y": "b"}
+        assert schedule.state_after(1) == {"x": "d", "y": "a"}
+        assert schedule.state_after(2) == {"x": "b", "y": "a"}
+
+    def test_state_after_out_of_range_raises(self):
+        with pytest.raises(ScheduleError, match="out of range"):
+            sample_schedule().state_after(3)
+
+    def test_barrier_states_iterates_every_wave(self):
+        schedule = sample_schedule()
+        states = list(schedule.barrier_states())
+        assert len(states) == 3
+        assert states[-1] == schedule.final_state()
+
+    def test_final_state_of_empty_schedule_is_current(self):
+        schedule = MigrationSchedule(current={"x": "a"}, target={"x": "a"},
+                                     waves=())
+        assert schedule.final_state() == {"x": "a"}
+
+    def test_final_state_reaches_target(self):
+        schedule = sample_schedule()
+        assert schedule.final_state() == schedule.target
+
+
+class TestSerialization:
+    def test_round_trip_is_byte_identical(self):
+        schedule = sample_schedule()
+        text = schedule.to_json()
+        again = schedule_from_json(text)
+        assert again.to_json() == text
+
+    def test_staged_flag_survives_round_trip(self):
+        again = schedule_from_dict(sample_schedule().to_dict())
+        assert again.moves[0].staged is True
+        assert again.moves[1].staged is False
+        assert again.staged_components == ("x",)
+
+    def test_canonical_json_sorts_mappings(self):
+        data = json.loads(sample_schedule().to_json())
+        assert list(data["current"]) == sorted(data["current"])
+        assert list(data["target"]) == sorted(data["target"])
+
+    def test_malformed_document_raises(self):
+        with pytest.raises(ScheduleError, match="malformed"):
+            schedule_from_dict({"current": {}, "target": {}})
+
+    def test_invalid_json_raises(self):
+        with pytest.raises(ScheduleError, match="not valid JSON"):
+            schedule_from_json("{nope")
+        with pytest.raises(ScheduleError, match="JSON object"):
+            schedule_from_json("[1, 2]")
+
+
+class TestRendering:
+    def test_summary_line_counts(self):
+        line = sample_schedule().summary_line()
+        assert "3 moves in 3 waves" in line
+        assert "1 staged" in line
+
+    def test_render_shows_routes_and_staging(self):
+        text = sample_schedule().render()
+        assert "wave 0" in text
+        assert "[staged]" in text
+        assert "via c" in text
+        assert "direct" in text
+
+    def test_render_lists_unreachable(self):
+        schedule = MigrationSchedule(current={"x": "a"}, target={"x": "b"},
+                                     waves=(), unreachable=("x",))
+        assert "unreachable: x" in schedule.render()
+        assert "1 unreachable" in schedule.summary_line()
+
+
+class TestDiff:
+    def test_identical_schedules(self):
+        assert sample_schedule().diff(sample_schedule()) \
+            == "schedules are identical"
+
+    def test_moved_wave_and_removed_move(self):
+        ours = sample_schedule()
+        data = ours.to_dict()
+        # Shift y's move into wave 2 and drop x's final hop.
+        move_y = data["waves"][1]["moves"][0]
+        data["waves"][1]["moves"] = []
+        data["waves"][2]["moves"] = [move_y]
+        theirs = schedule_from_dict(data)
+        text = ours.diff(theirs)
+        assert "~ y: b -> a: wave 1 -> wave 2" in text
+        assert "- x: d -> b (wave 2)" in text

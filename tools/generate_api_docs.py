@@ -16,8 +16,10 @@ MODULES = [
     "repro.core.effector", "repro.core.user_input", "repro.core.utility",
     "repro.core.framework", "repro.core.errors", "repro.core.registry",
     "repro.core.report",
+    "repro.plan.schedule", "repro.plan.planner",
     "repro.lint.core", "repro.lint.model_rules", "repro.lint.xadl_rules",
-    "repro.lint.fault_rules", "repro.lint.code", "repro.lint.flow",
+    "repro.lint.fault_rules", "repro.lint.plan_rules",
+    "repro.lint.code", "repro.lint.flow",
     "repro.lint.concurrency", "repro.lint.determinism", "repro.lint.cache",
     "repro.lint.sarif",
     "repro.algorithms.base", "repro.algorithms.engine",
@@ -72,6 +74,17 @@ the monitor->model->algorithm->effector loop.  Disabled by default with
 a null-object bundle whose overhead is pinned by
 `benchmarks/test_bench_obs.py`; see `docs/OBSERVABILITY.md` for the
 full guide and the instrumentation map.
+""",
+    "repro.plan.schedule": """\
+## Migration planning (`repro.plan`)
+
+Turns a `(current, target)` deployment delta into a `MigrationSchedule`:
+moves grouped into parallel waves whose barrier states all satisfy the
+constraint set, with per-wave transfers routed and packed against
+per-link bandwidth.  Waves are the effector's rollback barriers; the
+lint rules `PL001`-`PL003` verify saved schedules, and
+`python -m repro plan` builds, renders, lints, and diffs them.  See
+`docs/PLANNING.md`.
 """,
     "repro.lint.core": """\
 ## Static analysis (`repro.lint`)
