@@ -341,6 +341,26 @@ def cmd_faults_lint(args: argparse.Namespace) -> int:
     return report.exit_code(Severity.parse(args.fail_on))
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.profiling import profile_campaign
+    try:
+        report = profile_campaign(
+            campaign=args.campaign, scenario=args.scenario, seed=args.seed,
+            duration=args.duration, improve=not args.no_improve,
+            top=args.top, sort=args.sort)
+    except FaultPlanError as exc:
+        print(f"campaign generation failed: {exc}", file=sys.stderr)
+        return 2
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json() + "\n")
+        print(report.summary_line())
+        print(f"wrote profile to {args.output}")
+    else:
+        emit(report, args)
+    return 0
+
+
 def _load_schedule(path: str):
     with open(path, encoding="utf-8") as handle:
         return schedule_from_json(handle.read())
@@ -629,6 +649,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     add_output_flags(p)
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "profile",
+        help="profile a fault campaign under cProfile (simulation-core "
+             "hot-path triage)")
+    p.add_argument("--campaign", choices=sorted(CAMPAIGNS),
+                   default="random-churn")
+    p.add_argument("--scenario", choices=sorted(FAULT_SCENARIOS),
+                   default="crisis")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--duration", type=float, default=20.0,
+                   help="simulated seconds to run (default 20)")
+    p.add_argument("--no-improve", action="store_true",
+                   help="endure only: no monitoring/analysis/redeployment")
+    p.add_argument("--top", type=int, default=20,
+                   help="number of functions to report (default 20)")
+    p.add_argument("--sort", choices=["cumulative", "tottime"],
+                   default="cumulative")
+    p.add_argument("-o", "--output", help="write the profile JSON here")
+    add_output_flags(p)
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser(
         "faults", help="fault-injection campaigns and resilience reports")

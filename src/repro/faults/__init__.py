@@ -15,11 +15,12 @@ from repro.faults.plan import (
     FaultAction, FaultPlan, KINDS, load_plan, save_plan,
 )
 from repro.faults.report import (
-    ResilienceReport, SCENARIOS, run_campaign,
+    CampaignSuiteReport, ResilienceReport, SCENARIOS, run_campaign,
 )
 
 __all__ = [
     "CAMPAIGNS",
+    "CampaignSuiteReport",
     "FaultAction",
     "FaultInjector",
     "FaultPlan",

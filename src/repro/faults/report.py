@@ -25,10 +25,13 @@ reproducibility test asserts and the CI smoke job archives.
 
 from __future__ import annotations
 
+import gc
 import json
+import pickle
 import time as _time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core import AvailabilityObjective
 from repro.core.errors import FaultPlanError
@@ -37,7 +40,8 @@ from repro.core.report import ReportBase, deprecated_alias
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.middleware.runtime import AppComponent, DistributedSystem
-from repro.obs import Observability, get_observability
+from repro.obs import MetricsRegistry, Observability, get_observability
+from repro.obs.trace import NULL_TRACER
 from repro.scenarios import (
     CrisisConfig, build_client_server, build_crisis_scenario,
     build_sensor_field,
@@ -52,6 +56,16 @@ SCENARIOS: Dict[str, Callable[[Optional[int]], Any]] = {
     "sensorfield": lambda seed: build_sensor_field(seed=seed),
     "clientserver": lambda seed: build_client_server(seed=seed),
 }
+
+#: Pause the cyclic garbage collector while a campaign's clock runs.
+#: The hot path churns millions of short-lived *acyclic* objects (events,
+#: wire dicts, heap entries) that reference counting reclaims by itself;
+#: all the generational collector does during a run is repeatedly rescan
+#: the growing live set, which costs ~10% of campaign wall time at high
+#: message rates.  Cycles created during a run (there are a handful, in
+#: long-lived topology objects) are collected as usual once the campaign
+#: finishes and the collector resumes.
+PAUSE_GC_DURING_CAMPAIGNS = True
 
 
 @dataclass
@@ -151,6 +165,88 @@ class ResilienceReport(ReportBase):
     summary = deprecated_alias("summary_line", "summary")
 
 
+@dataclass
+class CampaignSuiteReport(ReportBase):
+    """Outcomes of a (plans x seeds) fault-campaign suite.
+
+    Runs appear in job order (plans in the order given, seeds in the
+    order given within each plan), regardless of how many workers
+    executed them — serial and parallel suites of the same inputs render
+    byte-identically.
+    """
+
+    scenario: str
+    runs: List[ResilienceReport] = field(default_factory=list)
+
+    def run(self, plan_name: str, seed: int) -> ResilienceReport:
+        """The run for (plan, seed); raises ``KeyError`` when absent."""
+        for report in self.runs:
+            if report.plan_name == plan_name and report.seed == seed:
+                return report
+        raise KeyError((plan_name, seed))
+
+    @property
+    def mean_delivered_availability(self) -> float:
+        if not self.runs:
+            return 1.0
+        return (sum(r.delivered_availability for r in self.runs)
+                / len(self.runs))
+
+    @property
+    def worst_delivered_availability(self) -> float:
+        if not self.runs:
+            return 1.0
+        return min(r.delivered_availability for r in self.runs)
+
+    def aggregate(self) -> Dict[str, Any]:
+        """Suite-level totals and means over every run."""
+        runs = self.runs
+        return {
+            "campaigns": len(runs),
+            "events_sent": sum(r.events_sent for r in runs),
+            "events_received": sum(r.events_received for r in runs),
+            "emissions_skipped": sum(r.emissions_skipped for r in runs),
+            "mean_delivered": round(self.mean_delivered_availability, 9),
+            "worst_delivered": round(self.worst_delivered_availability, 9),
+            "mean_modeled": round(
+                (sum(r.modeled_availability for r in runs) / len(runs))
+                if runs else 1.0, 9),
+            "faults_injected": sum(r.faults_injected for r in runs),
+            "migrations_attempted": sum(r.migrations_attempted
+                                        for r in runs),
+            "migrations_succeeded": sum(r.migrations_succeeded
+                                        for r in runs),
+            "effector_retries": sum(r.effector_retries for r in runs),
+            "rollbacks": sum(r.rollbacks for r in runs),
+            "retransmissions": sum(r.retransmissions for r in runs),
+            "restores": sum(r.restores for r in runs),
+        }
+
+    def to_dict(self, include_timing: bool = False,
+                **opts: Any) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "aggregate": self.aggregate(),
+            "runs": [r.to_dict(include_timing=include_timing)
+                     for r in self.runs],
+        }
+
+    def render(self, include_timing: bool = False, indent: int = 2,
+               **opts: Any) -> str:
+        """Canonical JSON; byte-identical for the same (plans, seeds)
+        whether the suite ran serially or across worker processes."""
+        return json.dumps(self.to_dict(include_timing=include_timing),
+                          indent=indent, sort_keys=True)
+
+    def summary_line(self) -> str:
+        plans = sorted({r.plan_name for r in self.runs})
+        seeds = sorted({r.seed for r in self.runs})
+        return (f"suite on {self.scenario}: {len(self.runs)} campaigns "
+                f"({len(plans)} plans x {len(seeds)} seeds), mean "
+                f"delivered {self.mean_delivered_availability:.3f}, worst "
+                f"{self.worst_delivered_availability:.3f}")
+
+
 def _delivery_counts(system: DistributedSystem) -> Dict[str, int]:
     sent = received = 0
     for architecture in system.architectures.values():
@@ -161,7 +257,8 @@ def _delivery_counts(system: DistributedSystem) -> Dict[str, int]:
     return {"sent": sent, "received": received}
 
 
-def run_campaign(plan: FaultPlan, seed: int = 0, scenario: str = "crisis",
+def run_campaign(plan: Union[FaultPlan, Sequence[FaultPlan]],
+                 seed: int = 0, scenario: str = "crisis",
                  duration: Optional[float] = None, improve: bool = True,
                  monitor_interval: float = 2.0,
                  cycles_per_analysis: int = 2,
@@ -170,12 +267,17 @@ def run_campaign(plan: FaultPlan, seed: int = 0, scenario: str = "crisis",
                  planner: bool = False,
                  effector_options: Optional[Dict[str, Any]] = None,
                  obs: Optional[Observability] = None,
-                 ) -> ResilienceReport:
+                 clock_factory: Optional[Callable[[], SimClock]] = None,
+                 rate_scale: float = 1.0,
+                 seeds: Optional[Sequence[int]] = None,
+                 workers: Optional[int] = None,
+                 ) -> Union[ResilienceReport, "CampaignSuiteReport"]:
     """Execute *plan* against a freshly built scenario system.
 
     Args:
         plan: The fault campaign (validated against the scenario model
-            before arming).
+            before arming).  A sequence of plans runs a suite (see
+            *seeds*/*workers*).
         seed: Master seed: network loss trials, workload phases, analyzer
             and effector jitter all derive from it, so the report is a
             pure function of (plan, seed).
@@ -200,10 +302,71 @@ def run_campaign(plan: FaultPlan, seed: int = 0, scenario: str = "crisis",
             process-wide bundle (a no-op unless one was installed); pass an
             enabled bundle to capture per-subsystem metrics and spans for
             ``python -m repro obs report``.
+        clock_factory: Builds the simulation clock for each run; defaults
+            to :class:`~repro.sim.clock.SimClock`.  Benchmarks pass
+            :class:`~repro.sim.clock.LegacySimClock` here to measure the
+            pre-batching scheduler against identical campaigns.
+        rate_scale: Multiplier applied to every interaction frequency of
+            the workload (``InteractionWorkload(rate_scale=...)``) — lets
+            benchmarks raise message pressure without editing the model.
+            Part of the determinism key: reports are pure functions of
+            (plan, seed, rate_scale).
+        seeds: Run the plan(s) once per seed and return a
+            :class:`CampaignSuiteReport` instead of a single report.
+        workers: Process-pool fan-out for suites.  ``None``/1 runs every
+            (plan, seed) job serially in-process; ``N > 1`` maps the same
+            jobs over ``N`` worker processes.  Both modes execute the
+            identical module-level job function per campaign, so for the
+            same inputs the suite renders byte-identically — campaigns
+            are pure functions of (plan, seed), and worker-side metrics
+            ship home as lines merged into *obs* just as in
+            :class:`repro.desi.batch.ExperimentRunner`.  Factories
+            (*system_factory*, *clock_factory*) must be picklable in
+            workers mode.
+
+    Passing a plan sequence, *seeds*, or *workers* selects suite mode
+    (the return value is a :class:`CampaignSuiteReport`); otherwise the
+    classic single :class:`ResilienceReport` comes back.
     """
+    if workers is not None and workers < 1:
+        raise FaultPlanError("workers must be >= 1")
+    if isinstance(plan, FaultPlan):
+        plans: List[FaultPlan] = [plan]
+        suite = seeds is not None or workers is not None
+    else:
+        plans = list(plan)
+        if not plans:
+            raise FaultPlanError("need at least one fault plan")
+        suite = True
+    if not suite:
+        return _run_single_campaign(
+            plans[0], seed, scenario, duration, improve, monitor_interval,
+            cycles_per_analysis, system_factory, planner, effector_options,
+            obs, clock_factory, rate_scale)
+    seed_list = [seed] if seeds is None else [int(s) for s in seeds]
+    if not seed_list:
+        raise FaultPlanError("seeds must be non-empty")
+    return _run_suite(plans, seed_list, workers, scenario, duration,
+                      improve, monitor_interval, cycles_per_analysis,
+                      system_factory, planner, effector_options, obs,
+                      clock_factory, rate_scale)
+
+
+def _run_single_campaign(
+        plan: FaultPlan, seed: int, scenario: str,
+        duration: Optional[float], improve: bool, monitor_interval: float,
+        cycles_per_analysis: int,
+        system_factory: Optional[Callable[[SimClock, int],
+                                          DistributedSystem]],
+        planner: bool, effector_options: Optional[Dict[str, Any]],
+        obs: Optional[Observability],
+        clock_factory: Optional[Callable[[], SimClock]],
+        rate_scale: float = 1.0,
+        ) -> ResilienceReport:
+    """One campaign, exactly as :func:`run_campaign` always ran it."""
     started_wall = _time.perf_counter()
     run_for = plan.duration if duration is None else float(duration)
-    clock = SimClock()
+    clock = clock_factory() if clock_factory is not None else SimClock()
     obs = obs if obs is not None else get_observability()
     if obs.enabled:
         obs.bind_clock(clock)
@@ -242,11 +405,19 @@ def run_campaign(plan: FaultPlan, seed: int = 0, scenario: str = "crisis",
     injector = FaultInjector(system.network, plan, model=model, obs=obs)
     injector.arm()
     workload = InteractionWorkload(model, clock, system.emit,
-                                   seed=seed + 1).start()
+                                   seed=seed + 1,
+                                   rate_scale=rate_scale).start()
     if framework is not None:
         framework.start(cycles_per_analysis=cycles_per_analysis)
 
-    clock.run(run_for)
+    resume_gc = PAUSE_GC_DURING_CAMPAIGNS and gc.isenabled()
+    if resume_gc:
+        gc.disable()
+    try:
+        clock.run(run_for)
+    finally:
+        if resume_gc:
+            gc.enable()
 
     workload.stop()
     if framework is not None:
@@ -320,3 +491,85 @@ def run_campaign(plan: FaultPlan, seed: int = 0, scenario: str = "crisis",
         wall_seconds=wall,
         detail=detail,
     )
+
+
+def _campaign_job(job: Tuple) -> Tuple[ResilienceReport, Optional[list]]:
+    """One (plan, seed) campaign; module-level so process pools can
+    pickle it.  Serial suites run this very function inline, so the two
+    modes cannot diverge.  When the suite is observed the job records
+    into a private registry and returns its metric lines for parent-side
+    merging — registries never cross the process boundary."""
+    (plan, job_seed, scenario, duration, improve, monitor_interval,
+     cycles_per_analysis, system_factory, planner, effector_options,
+     clock_factory, rate_scale, observed) = job
+    registry = MetricsRegistry() if observed else None
+    job_obs = (Observability(metrics=registry, tracer=NULL_TRACER)
+               if registry is not None else Observability.disabled())
+    report = _run_single_campaign(
+        plan, job_seed, scenario, duration, improve, monitor_interval,
+        cycles_per_analysis, system_factory, planner, effector_options,
+        job_obs, clock_factory, rate_scale)
+    return report, (registry.to_lines() if registry is not None else None)
+
+
+def _check_picklable(plans: Sequence[FaultPlan], **named: Any) -> None:
+    """Reject unpicklable suite inputs before spawning any worker."""
+    named = dict(named, plans=tuple(plans))
+    for name in sorted(named):
+        try:
+            pickle.dumps(named[name])
+        except Exception as exc:
+            raise FaultPlanError(
+                f"workers mode requires picklable campaign inputs, but "
+                f"{name!r} cannot be pickled ({exc}); use module-level "
+                "functions or functools.partial instead of lambdas or "
+                "closures") from exc
+
+
+def _run_suite(plans: List[FaultPlan], seeds: List[int],
+               workers: Optional[int], scenario: str,
+               duration: Optional[float], improve: bool,
+               monitor_interval: float, cycles_per_analysis: int,
+               system_factory: Optional[Callable[[SimClock, int],
+                                                 DistributedSystem]],
+               planner: bool, effector_options: Optional[Dict[str, Any]],
+               obs: Optional[Observability],
+               clock_factory: Optional[Callable[[], SimClock]],
+               rate_scale: float = 1.0,
+               ) -> CampaignSuiteReport:
+    """Fan (plans x seeds) out over a process pool (or run serially)."""
+    obs = obs if obs is not None else get_observability()
+    observed = obs.metrics.enabled
+    jobs = [
+        (plan, job_seed, scenario, duration, improve, monitor_interval,
+         cycles_per_analysis, system_factory, planner, effector_options,
+         clock_factory, rate_scale, observed)
+        for plan in plans for job_seed in seeds
+    ]
+    with obs.span("faults.suite", plans=len(plans), seeds=len(seeds),
+                  workers=workers or 1):
+        if workers is not None and workers > 1:
+            _check_picklable(plans, system_factory=system_factory,
+                             clock_factory=clock_factory,
+                             effector_options=effector_options)
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                outcomes = list(pool.map(_campaign_job, jobs))
+        else:
+            outcomes = [_campaign_job(job) for job in jobs]
+        suite = CampaignSuiteReport(
+            scenario="custom" if system_factory is not None else scenario)
+        for report, metric_lines in outcomes:
+            suite.runs.append(report)
+            if not obs.enabled:
+                continue
+            if metric_lines:
+                shipped = MetricsRegistry()
+                for line in metric_lines:
+                    shipped.load_line(line)
+                obs.metrics.merge(shipped)
+            with obs.span("faults.campaign", plan=report.plan_name,
+                          seed=report.seed) as span:
+                span.set(delivered=report.delivered_availability,
+                         faults=report.faults_injected,
+                         migrations=report.migrations_succeeded)
+    return suite

@@ -27,7 +27,16 @@ class Brick:
 
     A brick has an identity, a scaffold (assigned when it joins an
     architecture) and a set of attached monitors probing its behavior.
+
+    The class family carries ``__slots__``: bricks and events are the
+    bulk of hot-path allocations in message-heavy campaigns, and fixed
+    slots shave both per-instance memory and attribute-lookup time.
+    Subclasses that declare no ``__slots__`` of their own (application
+    components, the admin/deployer family) transparently regain a
+    ``__dict__`` and are unaffected.
     """
+
+    __slots__ = ("id", "scaffold", "monitors", "architecture")
 
     def __init__(self, brick_id: str):
         if not brick_id:
@@ -72,6 +81,8 @@ class Component(Brick):
     ``migration_size_kb`` models how much data a migration transfers.
     """
 
+    __slots__ = ("migration_size_kb",)
+
     def __init__(self, component_id: str):
         super().__init__(component_id)
         self.migration_size_kb: float = 1.0
@@ -84,7 +95,11 @@ class Component(Brick):
                 f"component {self.id!r} is not part of an architecture")
         if event.source is None:
             event.source = self.id
-        self.notify_monitors(event, "send")
+        # Inlined notify_monitors: one call per emitted event.
+        monitors = self.monitors
+        if monitors:
+            for monitor in monitors:
+                monitor.notify(self, event, "send")
         self.architecture.route_from(self, event)
 
     # -- migration state ----------------------------------------------------
@@ -98,6 +113,8 @@ class Component(Brick):
 
 class CallbackComponent(Component):
     """Convenience component delegating to a callable (tests, examples)."""
+
+    __slots__ = ("on_event", "received")
 
     def __init__(self, component_id: str,
                  on_event: Optional[Callable[["CallbackComponent", Event], None]] = None):
@@ -121,6 +138,8 @@ class Connector(Brick):
     every welded component except the sender.
     """
 
+    __slots__ = ("welded",)
+
     def __init__(self, connector_id: str):
         super().__init__(connector_id)
         self.welded: Dict[str, Brick] = {}
@@ -129,11 +148,17 @@ class Connector(Brick):
         if brick.id in self.welded:
             raise DuplicateEntityError("weld", f"{brick.id}@{self.id}")
         self.welded[brick.id] = brick
+        arch = self.architecture
+        if arch is not None:
+            arch._route_cache.clear()
 
     def unweld(self, brick_id: str) -> None:
         if brick_id not in self.welded:
             raise UnknownEntityError("weld", f"{brick_id}@{self.id}")
         del self.welded[brick_id]
+        arch = self.architecture
+        if arch is not None:
+            arch._route_cache.clear()
 
     def handle(self, event: Event) -> None:
         if event.target is not None:
@@ -155,6 +180,9 @@ class Architecture(Brick):
     and owns the scaffold every member brick dispatches through.
     """
 
+    __slots__ = ("_components", "_connectors", "dead_letters",
+                 "_distribution", "_route_cache")
+
     def __init__(self, architecture_id: str,
                  scaffold: Optional[Scaffold] = None):
         super().__init__(architecture_id)
@@ -165,6 +193,10 @@ class Architecture(Brick):
         self.dead_letters: List[Event] = []
         #: The distribution connector, if one has been added.
         self._distribution: Optional[Connector] = None
+        #: sender id -> connectors welded to it, in connector-insertion
+        #: order (the scan order of the uncached loop).  Cleared by any
+        #: weld/unweld and any connector addition/removal.
+        self._route_cache: Dict[str, Tuple[Connector, ...]] = {}
 
     # -- configuration -------------------------------------------------------
     def add_component(self, component: Component) -> Component:
@@ -181,6 +213,7 @@ class Architecture(Brick):
         connector.architecture = self
         connector.scaffold = self.scaffold
         self._connectors[connector.id] = connector
+        self._route_cache.clear()
         # Duck-typed: the DistributionConnector subclass marks itself.
         if getattr(connector, "is_distribution", False):
             if self._distribution is not None:
@@ -210,6 +243,7 @@ class Architecture(Brick):
             self._distribution = None
         connector.architecture = None
         del self._connectors[connector_id]
+        self._route_cache.clear()
         return connector
 
     def weld(self, component_id: str, connector_id: str) -> None:
@@ -253,12 +287,18 @@ class Architecture(Brick):
     # -- routing ----------------------------------------------------------------
     def route_from(self, sender: Component, event: Event) -> None:
         """Route an event just emitted by a local component."""
-        touched = False
-        for connector in self._connectors.values():
-            if sender.id in connector.welded:
-                touched = True
-                self.scaffold.dispatch(connector, event)
-        if not touched:
+        sender_id = sender.id
+        connectors = self._route_cache.get(sender_id)
+        if connectors is None:
+            connectors = tuple(
+                connector for connector in self._connectors.values()
+                if sender_id in connector.welded)
+            self._route_cache[sender_id] = connectors
+        if connectors:
+            dispatch = self.scaffold.dispatch
+            for connector in connectors:
+                dispatch(connector, event)
+        else:
             # Unwelded sender: fall back to direct local delivery or the
             # distribution connector, so meta-components (Admins) that are
             # deliberately not welded into the application topology can

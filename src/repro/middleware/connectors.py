@@ -66,6 +66,10 @@ class DistributionConnector(Connector):
         #: comes (back) up, instead of being dropped as undeliverable.
         self.queue_when_disconnected = queue_when_disconnected
         self.offline_queue_limit = offline_queue_limit
+        #: Ship adjacent same-destination events as one framed batch when
+        #: flushing (migration release, offline-queue retry).  Kill switch
+        #: for the determinism property tests, which compare both modes.
+        self.coalesce = True
         #: (destination, event) pairs awaiting connectivity.
         self.offline_queue: list = []
         self.offline_flushed = 0
@@ -120,11 +124,11 @@ class DistributionConnector(Connector):
         """Release buffered events toward the component's new home."""
         held = self.buffering.pop(component_id, [])
         self.set_location(component_id, new_host)
-        for event in held:
-            if new_host == self.host:
+        if new_host == self.host:
+            for event in held:
                 self.architecture.deliver_local(event)
-            else:
-                self._transmit(new_host, event)
+        elif held:
+            self._transmit_many(new_host, held)
 
     def _maybe_buffer(self, event: Event) -> bool:
         if event.target is not None and event.target in self.buffering:
@@ -204,6 +208,49 @@ class DistributionConnector(Connector):
                           size_kb=event.size_kb,
                           reliable=event.is_admin)
 
+    def _transmit_many(self, destination: str, events: list) -> None:
+        """Transmit an adjacent run of events toward one destination,
+        coalescing the direct-link case into framed network batches.
+
+        Exactly equivalent to calling :meth:`_transmit` per event in
+        order: headers (origin, per-destination seq) are stamped per
+        event before its wire frame joins the batch, loss trials consume
+        the seeded RNG stream in the same order inside
+        :meth:`~repro.sim.network.SimulatedNetwork.send_many`, and runs
+        are broken wherever the transport differs (admin events ride the
+        reliable transport, application events do not).  Relay and
+        unreachable cases fall back to the per-event path — only the
+        direct-neighbor fast path is coalesced, and within one simulated
+        instant the neighbor set cannot change under us (nothing in the
+        batched path runs user callbacks).
+        """
+        if not self.coalesce or len(events) < 2 \
+                or destination not in self.network.neighbors(self.host):
+            for event in events:
+                self._transmit(destination, event)
+            return
+        send_many = self.network.send_many
+        run: list = []          # (wire, size_kb) frames for one transport
+        run_reliable = False
+        for event in events:
+            event.headers.setdefault("origin_host", self.host)
+            if not event.is_admin and "seq" not in event.headers:
+                seq = self._seq_out.get(destination, 0) + 1
+                self._seq_out[destination] = seq
+                event.headers["seq"] = seq
+                event.headers["seq_link"] = self.host
+            reliable = event.is_admin
+            if run and reliable != run_reliable:
+                send_many(self.host, destination, run,
+                          reliable=run_reliable)
+                run = []
+            run_reliable = reliable
+            run.append((event.to_wire(), event.size_kb))
+            self.sent_remote += 1
+            self._c_sent.inc()
+        if run:
+            send_many(self.host, destination, run, reliable=run_reliable)
+
     def _fail_or_queue(self, destination: str, event: Event) -> None:
         """Destination unreachable right now: let a registered handler take
         the event (e.g. a cached-reply service), else queue (if enabled),
@@ -220,18 +267,39 @@ class DistributionConnector(Connector):
             self._c_undeliverable.inc()
 
     def _on_network_event(self, name: str, payload: Any) -> None:
-        """A link came up: retry everything waiting for connectivity."""
+        """A link came up: retry everything waiting for connectivity.
+
+        Adjacent queue entries bound for the same now-reachable direct
+        neighbor flush as one coalesced run (they cannot re-queue, so
+        they all count as flushed); everything else takes the per-event
+        path with its requeue/undeliverable accounting.
+        """
         if name != "link_up" or not self.offline_queue:
             return
         pending = self.offline_queue
         self.offline_queue = []
-        for destination, event in pending:
+        index = 0
+        total = len(pending)
+        while index < total:
+            destination, event = pending[index]
+            if self.coalesce \
+                    and destination in self.network.neighbors(self.host):
+                run = [event]
+                index += 1
+                while index < total and pending[index][0] == destination:
+                    run.append(pending[index][1])
+                    index += 1
+                self._transmit_many(destination, run)
+                self.offline_flushed += len(run)
+                self._c_flushed.inc(len(run))
+                continue
             before = len(self.offline_queue) + len(self.undeliverable)
             self._transmit(destination, event)
             after = len(self.offline_queue) + len(self.undeliverable)
             if after == before:
                 self.offline_flushed += 1
                 self._c_flushed.inc()
+            index += 1
         self._g_offline.set(len(self.offline_queue))
 
     def _pick_relay(self, destination: str,

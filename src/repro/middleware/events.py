@@ -12,7 +12,6 @@ machinery migrates application components between hosts (the paper's
 from __future__ import annotations
 
 import json
-import itertools
 from typing import Any, Dict, Optional
 
 from repro.core.errors import SerializationError
@@ -27,6 +26,113 @@ ADMIN_PREFIX = "admin."
 
 #: Approximate fixed framing overhead of an event on the wire, in KB.
 EVENT_OVERHEAD_KB = 0.05
+
+#: Types the wire-validation fast path can vouch for without invoking
+#: the JSON encoder.  ``bool`` is a subclass of ``int`` so it rides
+#: along; anything else (tuples, exotic numerics, custom classes) falls
+#: back to ``json.dumps`` and therefore keeps its exact accept/reject
+#: behavior.
+_JSON_SCALARS = (str, int, float)
+
+#: Depth bound for the recursive fast checks: deeper (or circular)
+#: payloads fall back to ``json.dumps``, which raises ``ValueError`` on
+#: true cycles exactly as before.
+_MAX_FAST_DEPTH = 16
+
+#: Next event id.  A module-level int rather than ``itertools.count``
+#: (one builtin call saved per event) — and deliberately NOT a class
+#: attribute: rebinding a class attribute bumps the type's version tag
+#: on every event, invalidating CPython's method caches for the hottest
+#: class in the system.
+_next_event_id = 1
+
+
+def _jsonable_fast(value: Any, depth: int = 0) -> bool:
+    """True when *value* is certainly JSON-serializable (conservative)."""
+    if value is None or type(value) in (str, int, float, bool):
+        return True
+    if depth >= _MAX_FAST_DEPTH:
+        return False
+    # Plain loops rather than all(genexpr): this runs once per wire
+    # serialization, and the generator frame alloc is measurable there.
+    if type(value) is dict:
+        for key, val in value.items():
+            if type(key) is not str or not _jsonable_fast(val, depth + 1):
+                return False
+        return True
+    if type(value) is list:
+        for item in value:
+            if not _jsonable_fast(item, depth + 1):
+                return False
+        return True
+    return False
+
+
+def _plain_str_len(text: str) -> int:
+    """``len(json.dumps(text))`` for strings needing no escaping, else -1.
+
+    The encoder quotes the string and escapes ``"``, ``\\``, control
+    characters, and (with the default ``ensure_ascii``) anything
+    non-ASCII; strings of printable ASCII without quote/backslash encode
+    to ``len + 2`` exactly.
+    """
+    if text.isascii() and text.isprintable() \
+            and '"' not in text and "\\" not in text:
+        return len(text) + 2
+    return -1
+
+
+def _json_size_fast(value: Any, depth: int = 0) -> int:
+    """``len(json.dumps(value))`` computed arithmetically, or -1.
+
+    Exactness matters: this length feeds transmission times and thus the
+    deterministic reports, so any case that is not provably identical to
+    the encoder's output (escaped strings, exotic numerics, deep nesting)
+    returns -1 and the caller runs the real encoder.
+    """
+    if value is None:
+        return 4
+    kind = type(value)
+    if kind is bool:
+        return 4 if value else 5
+    if kind is str:
+        return _plain_str_len(value)
+    if kind is int:
+        return len(str(value))
+    if kind is float:
+        if value != value or value in (float("inf"), float("-inf")):
+            return -1  # NaN/Infinity spellings: let the encoder decide
+        return len(repr(value))  # json uses float.__repr__
+    if depth >= _MAX_FAST_DEPTH:
+        return -1
+    if kind is dict:
+        # '{"k": v, ...}': 2 braces + per-entry key + ': ' + value,
+        # joined by ', '.
+        total = 2
+        first = True
+        for key, val in value.items():
+            if type(key) is not str:
+                return -1
+            key_len = _plain_str_len(key)
+            if key_len < 0:
+                return -1
+            val_len = _json_size_fast(val, depth + 1)
+            if val_len < 0:
+                return -1
+            total += key_len + 2 + val_len + (0 if first else 2)
+            first = False
+        return total
+    if kind is list:
+        total = 2
+        first = True
+        for item in value:
+            item_len = _json_size_fast(item, depth + 1)
+            if item_len < 0:
+                return -1
+            total += item_len + (0 if first else 2)
+            first = False
+        return total
+    return -1
 
 
 class Event:
@@ -45,12 +151,15 @@ class Event:
             relay flags).  Not part of the application contract.
     """
 
-    _ids = itertools.count(1)
+    __slots__ = ("name", "payload", "event_type", "source", "target",
+                 "_size_kb", "_size_cache", "headers", "event_id",
+                 "_admin")
 
     def __init__(self, name: str, payload: Optional[Dict[str, Any]] = None,
                  event_type: str = REQUEST, source: Optional[str] = None,
                  target: Optional[str] = None,
                  size_kb: Optional[float] = None):
+        global _next_event_id
         if event_type not in (REQUEST, REPLY):
             raise ValueError(f"event_type must be request/reply, got {event_type!r}")
         self.name = name
@@ -59,23 +168,34 @@ class Event:
         self.source = source
         self.target = target
         self._size_kb = size_kb
+        self._size_cache: Optional[float] = None
         self.headers: Dict[str, Any] = {}
-        self.event_id = next(Event._ids)
+        self.event_id = _next_event_id
+        _next_event_id += 1
+        # Precomputed: checked per monitor notification and per
+        # transmission, i.e. several times per event on the hot path.
+        self._admin = name.startswith(ADMIN_PREFIX)
 
     # ------------------------------------------------------------------
     @property
     def is_admin(self) -> bool:
-        return self.name.startswith(ADMIN_PREFIX)
+        return self._admin
 
     @property
     def size_kb(self) -> float:
         if self._size_kb is not None:
             return self._size_kb
-        try:
-            body = len(json.dumps(self.payload))
-        except (TypeError, ValueError):
-            body = 256  # conservative estimate for exotic payloads
-        return EVENT_OVERHEAD_KB + body / 1024.0
+        if self._size_cache is not None:
+            return self._size_cache
+        body = _json_size_fast(self.payload)
+        if body < 0:
+            try:
+                body = len(json.dumps(self.payload))
+            except (TypeError, ValueError):
+                body = 256  # conservative estimate for exotic payloads
+        size = EVENT_OVERHEAD_KB + body / 1024.0
+        self._size_cache = size
+        return size
 
     @size_kb.setter
     def size_kb(self, value: float) -> None:
@@ -98,12 +218,17 @@ class Event:
     # ------------------------------------------------------------------
     def to_wire(self) -> Dict[str, Any]:
         """Serialize for transmission between address spaces."""
-        try:
-            json.dumps(self.payload)
-        except (TypeError, ValueError) as exc:
-            raise SerializationError(
-                f"event {self.name!r} payload is not JSON-serializable: {exc}"
-            ) from exc
+        # Validation fast path: vouch for common primitive payloads
+        # without running the encoder; anything unusual (tuples, custom
+        # types, deep or cyclic nesting) takes the encoder and keeps its
+        # exact accept/reject behavior.
+        if not _jsonable_fast(self.payload):
+            try:
+                json.dumps(self.payload)
+            except (TypeError, ValueError) as exc:
+                raise SerializationError(
+                    f"event {self.name!r} payload is not "
+                    f"JSON-serializable: {exc}") from exc
         return {
             "name": self.name,
             "payload": self.payload,

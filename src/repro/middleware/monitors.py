@@ -54,43 +54,59 @@ class EvtFrequencyMonitor(IMonitor):
 
     def __init__(self, clock: Optional[SimClock] = None):
         self.clock = clock
-        self.counts: Dict[Tuple[str, str], int] = {}
-        self.sizes: Dict[Tuple[str, str], float] = {}
+        #: (source, target) -> ``[event count, summed size_kb]``.  One
+        #: accumulator dict — notify() runs once per application send, so
+        #: a single lookup replaces parallel counts/sizes bookkeeping.
+        self._acc: Dict[Tuple[str, str], list] = {}
         self.window_started = clock.now if clock is not None else 0.0
         self.total_events = 0
+
+    @property
+    def counts(self) -> Dict[Tuple[str, str], int]:
+        return {key: acc[0] for key, acc in self._acc.items()}
+
+    @property
+    def sizes(self) -> Dict[Tuple[str, str], float]:
+        return {key: acc[1] for key, acc in self._acc.items()}
 
     def notify(self, brick: Any, event: Event, direction: str) -> None:
         if direction != "send" or event.is_admin:
             return
-        if event.source is None or event.target is None:
+        source = event.source
+        target = event.target
+        if source is None or target is None:
             return
-        key = (event.source, event.target)
-        self.counts[key] = self.counts.get(key, 0) + 1
-        self.sizes[key] = self.sizes.get(key, 0.0) + event.size_kb
+        acc = self._acc.get((source, target))
+        if acc is None:
+            self._acc[(source, target)] = [1, event.size_kb]
+        else:
+            acc[0] += 1
+            acc[1] += event.size_kb
         self.total_events += 1
 
     def collect(self) -> Dict[str, Any]:
         now = self.clock.now if self.clock is not None else None
         duration = (None if now is None
                     else max(now - self.window_started, 0.0))
+        counts: Dict[Tuple[str, str], int] = {}
         frequencies: Dict[Tuple[str, str], float] = {}
         avg_sizes: Dict[Tuple[str, str], float] = {}
-        for key, count in self.counts.items():
+        for key, (count, size_sum) in self._acc.items():
+            counts[key] = count
             if duration:
                 frequencies[key] = count / duration
-            avg_sizes[key] = self.sizes[key] / count
+            avg_sizes[key] = size_sum / count
         return {
             "kind": "evt_frequency",
             "window_start": self.window_started,
             "window_end": now,
-            "counts": dict(self.counts),
+            "counts": counts,
             "frequencies": frequencies,
             "avg_sizes": avg_sizes,
         }
 
     def reset(self) -> None:
-        self.counts.clear()
-        self.sizes.clear()
+        self._acc.clear()
         self.total_events = 0
         if self.clock is not None:
             self.window_started = self.clock.now
@@ -166,12 +182,17 @@ class NetworkReliabilityMonitor(IMonitor):
         covered by active pings.  Control traffic is unstamped — it rides a
         retransmitting transport and carries no loss information.
         """
-        if direction != "deliver" or event.is_admin:
+        if direction != "deliver":
             return
-        seq = event.headers.get("seq")
-        seq_link = event.headers.get("seq_link")
-        arrived_from = event.headers.get("arrived_from")
-        if seq is None or seq_link is None or seq_link != arrived_from:
+        headers = event.headers
+        seq = headers.get("seq")
+        # Control traffic is never stamped, so checking the stamp first
+        # lets the per-delivery hot path skip the is_admin lookup for
+        # every unstamped event; the admin check stays for exactness.
+        if seq is None or event.is_admin:
+            return
+        seq_link = headers.get("seq_link")
+        if seq_link is None or seq_link != headers.get("arrived_from"):
             return
         last = self._last_seq.get(seq_link)
         self._last_seq[seq_link] = seq

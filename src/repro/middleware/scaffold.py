@@ -44,7 +44,12 @@ class Scaffold(ABC):
         """Schedule ``brick.handle(event)`` according to the policy."""
 
     def _invoke(self, brick: Any, event: Event) -> None:
-        brick.notify_monitors(event, "deliver")
+        # Inlined notify_monitors: this runs once per delivered event,
+        # and most bricks carry no monitors at all.
+        monitors = brick.monitors
+        if monitors:
+            for monitor in monitors:
+                monitor.notify(brick, event, "deliver")
         brick.handle(event)
 
     def drain(self) -> None:
@@ -72,18 +77,27 @@ class SimScaffold(Scaffold):
         self.clock = clock
         self.dispatched = 0
         obs = obs if obs is not None else get_observability()
-        # Resolved once: the dispatch hot path pays one no-op call per
-        # event when observability is disabled, and queue-depth tracking
-        # (an extra callback hop per delivery) is wired only when on.
+        # Resolved once: when observability is disabled the dispatch hot
+        # path is the lean two-statement version (no no-op instrument
+        # calls at all); queue-depth tracking (an extra callback hop per
+        # delivery) is wired only when on.  ``clock.post`` is the
+        # handle-free, pooled scheduling primitive — dispatches are
+        # never cancelled, so the clock recycles their event objects.
         self._c_dispatched = obs.counter("middleware.scaffold.dispatched")
         self._g_queue = obs.gauge("middleware.scaffold.queue_depth")
         self._deliver = self._observed_invoke if obs.enabled else self._invoke
+        if not obs.enabled:
+            self.dispatch = self._lean_dispatch
 
     def dispatch(self, brick: Any, event: Event) -> None:
         self.dispatched += 1
         self._c_dispatched.inc()
         self._g_queue.add(1)
-        self.clock.schedule(0.0, self._deliver, brick, event)
+        self.clock.post(self._deliver, brick, event)
+
+    def _lean_dispatch(self, brick: Any, event: Event) -> None:
+        self.dispatched += 1
+        self.clock.post(self._deliver, brick, event)
 
     def _observed_invoke(self, brick: Any, event: Event) -> None:
         self._g_queue.add(-1)

@@ -1,0 +1,177 @@
+"""Profiling harness behind ``python -m repro profile``.
+
+The simulation core's optimisation work (batched event delivery,
+message coalescing, parallel campaigns) is guided by measurement, not
+guesswork; this module packages that measurement loop so it stays
+reproducible after the fact.  It wraps any campaign callable in
+:mod:`cProfile`, distills the statistics into a
+:class:`ProfileReport` (top-N functions by cumulative or internal
+time), and serves them through the common Report API — so
+``--json`` output can be archived next to ``BENCH_sim.json`` and
+diffed across optimisation rounds.
+
+Profiling numbers are wall-clock and therefore inherently
+non-deterministic; unlike every other report in the repository the
+rendering makes no byte-identity promise.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.report import ReportBase
+
+#: Valid ``sort`` arguments and the pstats tuple index they order by.
+SORT_KEYS = ("cumulative", "tottime")
+
+
+def _short_path(filename: str) -> str:
+    """Trim site/package prefixes so rows read ``repro/sim/clock.py``."""
+    for marker in ("/repro/", "\\repro\\"):
+        index = filename.rfind(marker)
+        if index >= 0:
+            return "repro/" + filename[index + len(marker):].replace(
+                "\\", "/")
+    return filename
+
+
+@dataclass
+class ProfileRow:
+    """One function's aggregate cost within the profiled run."""
+
+    function: str
+    calls: int
+    primitive_calls: int
+    tottime: float
+    cumtime: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "function": self.function,
+            "calls": self.calls,
+            "primitive_calls": self.primitive_calls,
+            "tottime": round(self.tottime, 6),
+            "cumtime": round(self.cumtime, 6),
+        }
+
+
+@dataclass
+class ProfileReport(ReportBase):
+    """Top-N profile of one campaign run, via the common Report API."""
+
+    target: str
+    sort: str
+    total_calls: int
+    primitive_calls: int
+    total_seconds: float
+    rows: List[ProfileRow] = field(default_factory=list)
+
+    def to_dict(self, **opts: Any) -> Dict[str, Any]:
+        return {
+            "target": self.target,
+            "sort": self.sort,
+            "total_calls": self.total_calls,
+            "primitive_calls": self.primitive_calls,
+            "total_seconds": round(self.total_seconds, 6),
+            "rows": [row.to_dict() for row in self.rows],
+        }
+
+    def render(self, **opts: Any) -> str:
+        headers = ["calls", "tottime", "cumtime", "function"]
+        formatted = [
+            [str(row.calls), f"{row.tottime:.4f}", f"{row.cumtime:.4f}",
+             row.function]
+            for row in self.rows
+        ]
+        widths = [len(h) for h in headers]
+        for cells in formatted:
+            for index, cell in enumerate(cells):
+                widths[index] = max(widths[index], len(cell))
+        lines = [self.summary_line(), ""]
+        lines.append("  ".join(
+            h.ljust(w) for h, w in zip(headers, widths, strict=True)))
+        lines.append("  ".join("-" * w for w in widths))
+        lines += ["  ".join(c.ljust(w)
+                            for c, w in zip(cells, widths, strict=True))
+                  for cells in formatted]
+        return "\n".join(lines)
+
+    def summary_line(self) -> str:
+        return (f"profile of {self.target}: {self.total_calls} calls "
+                f"({self.primitive_calls} primitive) in "
+                f"{self.total_seconds:.3f}s, top {len(self.rows)} by "
+                f"{self.sort}")
+
+
+def profile_callable(fn: Callable[[], Any], target: str,
+                     top: int = 20,
+                     sort: str = "cumulative") -> ProfileReport:
+    """Run *fn* under cProfile and distill the top-*top* functions.
+
+    ``sort`` orders rows by cumulative time (callees included — where
+    the campaign's wall-clock goes) or ``tottime`` (internal time —
+    which function bodies actually burn it).
+    """
+    if sort not in SORT_KEYS:
+        raise ValueError(
+            f"sort must be one of {', '.join(SORT_KEYS)}, got {sort!r}")
+    if top < 1:
+        raise ValueError("top must be >= 1")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        fn()
+    finally:
+        profiler.disable()
+    stats = pstats.Stats(profiler)
+    rows = []
+    for (filename, lineno, name), entry in stats.stats.items():
+        primitive, calls, tottime, cumtime = entry[0], entry[1], \
+            entry[2], entry[3]
+        location = (f"{_short_path(filename)}:{lineno}({name})"
+                    if lineno else name)
+        rows.append(ProfileRow(function=location, calls=calls,
+                               primitive_calls=primitive,
+                               tottime=tottime, cumtime=cumtime))
+    key = ((lambda r: r.cumtime) if sort == "cumulative"
+           else (lambda r: r.tottime))
+    rows.sort(key=lambda r: (-key(r), r.function))
+    return ProfileReport(
+        target=target,
+        sort=sort,
+        total_calls=int(stats.total_calls),
+        primitive_calls=int(stats.prim_calls),
+        total_seconds=float(stats.total_tt),
+        rows=rows[:top],
+    )
+
+
+def profile_campaign(campaign: str = "random-churn",
+                     scenario: str = "crisis", seed: int = 0,
+                     duration: Optional[float] = 20.0,
+                     improve: bool = True, top: int = 20,
+                     sort: str = "cumulative") -> ProfileReport:
+    """Profile one generated fault campaign end to end.
+
+    Builds the scenario model, generates the named campaign against it,
+    and profiles the full :func:`repro.faults.run_campaign` run — the
+    same code path the resilience benchmarks measure.
+    """
+    # Imported here so ``import repro.profiling`` stays cheap for tools
+    # that only want profile_callable.
+    from repro.faults import generate_campaign, run_campaign
+    from repro.faults.report import SCENARIOS
+
+    model = SCENARIOS[scenario](seed).model
+    plan = generate_campaign(campaign, model,
+                             duration=duration if duration else 60.0,
+                             seed=seed)
+    target = (f"{campaign} on {scenario} (seed {seed}, "
+              f"duration {duration if duration else plan.duration:g})")
+    return profile_callable(
+        lambda: run_campaign(plan, seed=seed, scenario=scenario,
+                             duration=duration, improve=improve),
+        target=target, top=top, sort=sort)

@@ -30,6 +30,9 @@ from repro.core.model import DeploymentModel
 from repro.obs import Observability, get_observability
 from repro.sim.clock import SimClock
 
+#: A batch item on the wire: (payload, size_kb).
+WireItem = Tuple[Any, float]
+
 _INF = float("inf")
 
 
@@ -72,6 +75,9 @@ class NetworkLink:
         self.delay = delay
         self.connected = connected
         self.stats = NetworkStats()
+        #: Messages currently on the wire (scheduled, not yet delivered
+        #: or dropped) — the link's in-flight queue depth.
+        self.in_flight = 0
         #: (delivered counter, dropped counter, in-flight gauge) resolved by
         #: the owning network when observability is enabled; None keeps the
         #: transmission hot path free of even no-op instrument calls.
@@ -111,6 +117,10 @@ class SimulatedNetwork:
         self.rng = random.Random(seed)
         self._endpoints: Dict[str, Optional[MessageHandler]] = {}
         self._links: Dict[Tuple[str, str], NetworkLink] = {}
+        #: name -> sorted neighbor tuple, invalidated on any topology or
+        #: connectivity change (sends resolve neighbors per message, so
+        #: recomputing per call used to be a measurable hot-path cost).
+        self._neighbors_cache: Dict[str, Tuple[str, ...]] = {}
         self.stats = NetworkStats()
         #: Observers called as (event, payload) for partition/heal events.
         self.observers: List[Callable[[str, Dict[str, Any]], None]] = []
@@ -149,6 +159,7 @@ class SimulatedNetwork:
                 self.obs.gauge("sim.network.in_flight", link=name),
             )
         self._links[key] = link
+        self._neighbors_cache.clear()
         return link
 
     def link(self, end_a: str, end_b: str) -> Optional[NetworkLink]:
@@ -170,6 +181,9 @@ class SimulatedNetwork:
 
     def neighbors(self, name: str) -> Tuple[str, ...]:
         """Endpoints connected to *name* by a currently-up link."""
+        cached = self._neighbors_cache.get(name)
+        if cached is not None:
+            return cached
         out = []
         for (a, b), link in self._links.items():
             if not link.connected:
@@ -178,7 +192,9 @@ class SimulatedNetwork:
                 out.append(b)
             elif b == name:
                 out.append(a)
-        return tuple(sorted(out))
+        result = tuple(sorted(out))
+        self._neighbors_cache[name] = result
+        return result
 
     # ------------------------------------------------------------------
     # Link dynamics
@@ -197,6 +213,7 @@ class SimulatedNetwork:
         link = self.require_link(end_a, end_b)
         if link.connected != connected:
             link.connected = connected
+            self._neighbors_cache.clear()
             self._notify("link_up" if connected else "link_down",
                          {"ends": link.ends})
 
@@ -276,11 +293,115 @@ class SimulatedNetwork:
                 on_dropped(destination, payload)
             return True  # sent, but lost in flight
         travel = link.transmission_time(size_kb)
+        link.in_flight += 1
         if link.obs_instruments is not None:
             link.obs_instruments[2].add(1)
-        self.clock.schedule(travel, self._deliver, source, destination,
-                            payload, size_kb, link)
+        self.clock.defer(travel, self._deliver, source, destination,
+                         payload, size_kb, link)
         return True
+
+    def send_many(self, source: str, destination: str,
+                  items: List[WireItem],
+                  on_dropped: Optional[Callable[[str, Any], None]] = None,
+                  reliable: bool = False) -> List[bool]:
+        """Send a batch of ``(payload, size_kb)`` items in order.
+
+        Byte-for-byte equivalent to calling :meth:`send` once per item:
+        drop decisions consume the same seeded RNG stream in the same
+        order, and every delivery fires at the same (time, FIFO-seq)
+        point of the global event order.  The speedup comes from
+        resolving endpoints/link/stats once, drawing the Bernoulli
+        variates for the whole batch up front when no ``on_dropped``
+        callback can interleave, and coalescing consecutive survivors
+        with identical travel time into one scheduled delivery event.
+
+        The coalescing is exact: consecutive surviving items occupy
+        consecutive scheduler sequence numbers in the serial path (a
+        dropped item without a callback allocates nothing), so no other
+        event can sort between them.  Any ``on_dropped`` invocation
+        closes the open batch first, because the callback may itself
+        schedule events that must interleave exactly as they would have
+        serially.
+        """
+        if source not in self._endpoints:
+            raise UnknownEntityError("endpoint", source)
+        if destination not in self._endpoints:
+            raise UnknownEntityError("endpoint", destination)
+        items = list(items)
+        stats = self.stats
+        if source == destination:
+            for payload, size_kb in items:
+                stats.sent += 1
+                stats.kb_sent += size_kb
+                self._deliver_local(source, destination, payload, size_kb)
+            return [True] * len(items)
+        link = self._links.get(_pair(source, destination))
+        if link is None:
+            results = []
+            for payload, size_kb in items:
+                stats.sent += 1
+                stats.kb_sent += size_kb
+                stats.dropped += 1
+                if on_dropped is not None:
+                    on_dropped(destination, payload)
+                results.append(False)
+            return results
+        lstats = link.stats
+        instruments = link.obs_instruments
+        rng_random = self.rng.random
+        schedule = self.clock.defer
+        # Whole-batch Bernoulli pass: safe only when nothing can run
+        # between the draws (serially they interleave with on_dropped).
+        variates: Optional[List[float]] = None
+        if not reliable and on_dropped is None and link.connected:
+            variates = [rng_random() for __ in range(len(items))]
+        results: List[bool] = []
+        group: Optional[List[WireItem]] = None
+        group_travel = 0.0
+        for index, item in enumerate(items):
+            payload, size_kb = item
+            stats.sent += 1
+            stats.kb_sent += size_kb
+            if not link.connected:
+                stats.dropped += 1
+                lstats.sent += 1
+                lstats.dropped += 1
+                lstats.kb_sent += size_kb
+                if instruments is not None:
+                    instruments[1].inc()
+                if on_dropped is not None:
+                    group = None
+                    on_dropped(destination, payload)
+                results.append(False)
+                continue
+            lstats.sent += 1
+            lstats.kb_sent += size_kb
+            if not reliable:
+                variate = (variates[index] if variates is not None
+                           else rng_random())
+                if variate > link.reliability:
+                    stats.dropped += 1
+                    lstats.dropped += 1
+                    if instruments is not None:
+                        instruments[1].inc()
+                    if on_dropped is not None:
+                        group = None
+                        on_dropped(destination, payload)
+                    results.append(True)  # sent, but lost in flight
+                    continue
+            travel = link.transmission_time(size_kb)
+            if group is None or travel != group_travel:
+                group = [item]
+                group_travel = travel
+                schedule(travel, self._deliver_batch, source, destination,
+                         group, link)
+            else:
+                group.append(item)
+            link.in_flight += 1
+            if instruments is not None:
+                instruments[2].add(1)
+            results.append(True)
+        return results
 
     def _deliver_local(self, source: str, destination: str, payload: Any,
                        size_kb: float) -> None:
@@ -293,6 +414,7 @@ class SimulatedNetwork:
     def _deliver(self, source: str, destination: str, payload: Any,
                  size_kb: float, link: NetworkLink) -> None:
         instruments = link.obs_instruments
+        link.in_flight -= 1
         if instruments is not None:
             instruments[2].add(-1)
         # A link that went down while the message was in flight drops it.
@@ -311,6 +433,36 @@ class SimulatedNetwork:
         handler = self._endpoints[destination]
         if handler is not None:
             handler(source, payload, size_kb)
+
+    def _deliver_batch(self, source: str, destination: str,
+                       items: List[WireItem], link: NetworkLink) -> None:
+        """Deliver a coalesced batch: per-message semantics of
+        :meth:`_deliver`, applied in order at one (time, seq) point."""
+        instruments = link.obs_instruments
+        stats = self.stats
+        lstats = link.stats
+        link.in_flight -= len(items)
+        if instruments is not None:
+            instruments[2].add(-len(items))
+        handler = self._endpoints[destination]
+        for payload, size_kb in items:
+            # The link state is checked per message: a delivery callback
+            # cannot change it mid-batch today, but the serial path read
+            # it per event and this loop keeps that contract.
+            if not link.connected:
+                stats.dropped += 1
+                lstats.dropped += 1
+                if instruments is not None:
+                    instruments[1].inc()
+                continue
+            stats.delivered += 1
+            stats.kb_delivered += size_kb
+            lstats.delivered += 1
+            lstats.kb_delivered += size_kb
+            if instruments is not None:
+                instruments[0].inc()
+            if handler is not None:
+                handler(source, payload, size_kb)
 
     def ping(self, source: str, destination: str,
              size_kb: float = 0.01) -> bool:

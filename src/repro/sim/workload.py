@@ -67,14 +67,20 @@ class InteractionWorkload:
         self.rate_scale = rate_scale
         self.events_emitted = 0
         self._running = False
-        self._streams: List[Tuple[str, str, float, float]] = []
+        #: (source, target, rate, evt_size, period) per directed stream;
+        #: the period is precomputed so the periodic hot path does not
+        #: divide once per emitted event.
+        self._streams: List[Tuple[str, str, float, float, float]] = []
         for comp_a, comp_b, link in model.interaction_pairs():
             rate = link.frequency * rate_scale
             if rate <= 0.0:
                 continue
             half = rate / 2.0
-            self._streams.append((comp_a, comp_b, half, link.evt_size))
-            self._streams.append((comp_b, comp_a, half, link.evt_size))
+            period = 1.0 / half
+            self._streams.append(
+                (comp_a, comp_b, half, link.evt_size, period))
+            self._streams.append(
+                (comp_b, comp_a, half, link.evt_size, period))
 
     # ------------------------------------------------------------------
     def start(self) -> "InteractionWorkload":
@@ -89,27 +95,31 @@ class InteractionWorkload:
     def stop(self) -> None:
         self._running = False
 
-    def _interarrival(self, rate: float, first: bool) -> float:
+    def _interarrival(self, rate: float, period: float,
+                      first: bool) -> float:
         if self.poisson:
             return self.rng.expovariate(rate)
-        period = 1.0 / rate
         if first:
             # Desynchronize periodic streams so they do not all fire at t=0.
             return period * self.rng.random()
         return period
 
     def _schedule_next(self, index: int, first: bool = False) -> None:
-        source, target, rate, size = self._streams[index]
-        self.clock.schedule(self._interarrival(rate, first),
-                            self._fire, index)
+        __, __, rate, __, period = self._streams[index]
+        self.clock.defer(self._interarrival(rate, period, first),
+                         self._fire, index)
 
     def _fire(self, index: int) -> None:
         if not self._running:
             return
-        source, target, __, size = self._streams[index]
+        source, target, rate, size, period = self._streams[index]
         self.emit(source, target, size)
         self.events_emitted += 1
-        self._schedule_next(index)
+        # Inlined _schedule_next/_interarrival: one emitted event per
+        # call, and the periodic case draws nothing from the RNG.
+        if self.poisson:
+            period = self.rng.expovariate(rate)
+        self.clock.defer(period, self._fire, index)
 
 
 def generate_trace(model: DeploymentModel, duration: float,

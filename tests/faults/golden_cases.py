@@ -1,0 +1,99 @@
+"""Golden resilience-report cases shared by the byte-identity test and
+the regeneration entry point.
+
+Each case pins the full canonical JSON of a ``run_campaign`` report for
+one (scenario, plan, seed) cell.  The fixtures under ``data/`` were
+generated *before* the batched simulation core landed, so the test
+asserts the optimized paths reproduce the original event-for-event
+behavior — not merely that two runs of the current code agree.
+
+Regenerate (only when a PR intentionally changes simulation semantics)
+with::
+
+    PYTHONPATH=src:tests/faults python -m golden_cases --write
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+DATA_DIR = Path(__file__).resolve().parent / "data"
+
+#: name -> keyword arguments describing the campaign cell.
+CASES = {
+    "churn_crisis_improve": {
+        "plan": "random_churn",
+        "plan_seed": 5,
+        "scenario_seed": 3,
+        "plan_duration": 40.0,
+        "seed": 5,
+        "improve": True,
+    },
+    "churn_crisis_endure": {
+        "plan": "random_churn",
+        "plan_seed": 5,
+        "scenario_seed": 3,
+        "plan_duration": 40.0,
+        "seed": 5,
+        "improve": False,
+    },
+    "partitions_crisis_improve": {
+        "plan": "rolling_partitions",
+        "plan_seed": None,
+        "scenario_seed": 3,
+        "plan_duration": 20.0,
+        "seed": 11,
+        "improve": True,
+    },
+    "churn_crisis_planner": {
+        "plan": "random_churn",
+        "plan_seed": 9,
+        "scenario_seed": 3,
+        "plan_duration": 30.0,
+        "seed": 9,
+        "improve": True,
+        "planner": True,
+    },
+}
+
+
+def build_report(case):
+    """Run one golden campaign cell and return its ResilienceReport."""
+    from repro.faults import random_churn, rolling_partitions, run_campaign
+    from repro.scenarios import CrisisConfig, build_crisis_scenario
+
+    scenario = build_crisis_scenario(CrisisConfig(seed=case["scenario_seed"]))
+    if case["plan"] == "random_churn":
+        plan = random_churn(scenario.model, case["plan_duration"],
+                            seed=case["plan_seed"], exclude_hosts=("hq",))
+    else:
+        plan = rolling_partitions(scenario.model, case["plan_duration"],
+                                  exclude_hosts=("hq",))
+    return run_campaign(plan, seed=case["seed"],
+                        improve=case["improve"],
+                        planner=case.get("planner", False))
+
+
+def fixture_path(name):
+    return DATA_DIR / f"{name}.json"
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--write", action="store_true",
+                        help="regenerate every fixture under data/")
+    args = parser.parse_args(argv)
+    if not args.write:
+        parser.error("nothing to do; pass --write to regenerate")
+    DATA_DIR.mkdir(exist_ok=True)
+    for name, case in CASES.items():
+        report = build_report(case)
+        fixture_path(name).write_text(report.render() + "\n",
+                                      encoding="utf-8")
+        print(f"wrote {fixture_path(name)}")
+
+
+if __name__ == "__main__":
+    main()

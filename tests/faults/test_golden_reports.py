@@ -1,0 +1,27 @@
+"""Byte-identity against pre-optimization golden reports.
+
+The fixtures under ``data/`` were rendered by the *pre-batching*
+simulation core (heap-per-event clock, per-message network delivery,
+uncoalesced connector flushes).  These tests assert the optimized paths
+reproduce them byte for byte: same (plan, seed) -> the exact JSON the
+original implementation produced, including every availability count,
+outage duration, and migration statistic.
+
+If one of these fails after an intentional semantic change, regenerate
+with ``python tests/faults/golden_cases.py --write`` — but for a
+performance PR a diff here means the optimization is *not*
+behavior-preserving and must be fixed, not re-pinned.
+"""
+
+import pytest
+
+from golden_cases import CASES, build_report, fixture_path
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_report_matches_pre_optimization_golden(name):
+    expected = fixture_path(name).read_text(encoding="utf-8")
+    report = build_report(CASES[name])
+    assert report.render() + "\n" == expected, (
+        f"golden report {name!r} diverged: the simulation core is no "
+        f"longer byte-identical to the pre-optimization implementation")

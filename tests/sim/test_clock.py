@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import SimClock
+from repro.sim import LegacySimClock, SimClock
 
 
 class TestScheduling:
@@ -62,6 +62,150 @@ class TestScheduling:
         clock.run()
         assert fired == []
         assert clock.pending == 0
+
+
+class TestScheduleMany:
+    def test_matches_individual_schedules(self):
+        batched, looped = SimClock(), SimClock()
+        fired_batched, fired_looped = [], []
+        items = [(delay, fired_batched.append, (index,))
+                 for index, delay in enumerate([2.0, 0.0, 1.0, 0.0, 2.0])]
+        handles = batched.schedule_many(items)
+        for index, delay in enumerate([2.0, 0.0, 1.0, 0.0, 2.0]):
+            looped.schedule(delay, fired_looped.append, index)
+        assert len(handles) == 5
+        batched.run()
+        looped.run()
+        assert fired_batched == fired_looped
+        assert batched.processed == looped.processed
+
+    def test_handles_support_cancel(self):
+        clock = SimClock()
+        fired = []
+        handles = clock.schedule_many(
+            [(1.0, fired.append, (index,)) for index in range(4)])
+        handles[1].cancel()
+        handles[3].cancel()
+        clock.run()
+        assert fired == [0, 2]
+
+    def test_negative_delay_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            clock.schedule_many([(1.0, print, ()), (-0.5, print, ())])
+
+
+class TestCancelCompaction:
+    def test_heap_stays_bounded_under_cancel_heavy_workload(self):
+        """Retry/timeout pattern: schedule a far-future timeout, cancel
+        it almost immediately, repeat.  The cancelled entries must not
+        accumulate until their distant timestamps."""
+        clock = SimClock()
+        live = 64  # a plausible steady-state of genuinely pending work
+        keepers = [clock.schedule(1e6 + i, lambda: None)
+                   for i in range(live)]
+        high_water = 0
+        for round_number in range(200):
+            handles = [clock.schedule(1000.0 + i, lambda: None)
+                       for i in range(100)]
+            for handle in handles:
+                handle.cancel()
+            high_water = max(high_water, len(clock._heap))
+        # 20k cancels passed through; without compaction the heap would
+        # hold all of them.  With it, it never exceeds a small multiple
+        # of the live set + one uncompacted batch.
+        assert high_water < 4 * (live + 100)
+        assert clock.pending == live
+        for keeper in keepers:
+            keeper.cancel()
+
+    def test_pending_is_exact_under_cancels(self):
+        clock = SimClock()
+        handles = [clock.schedule(float(i % 7), lambda: None)
+                   for i in range(50)]
+        for handle in handles[::2]:
+            handle.cancel()
+        assert clock.pending == 25
+        clock.run()
+        assert clock.pending == 0
+        assert clock.processed == 25
+
+    def test_cancel_after_fire_is_a_noop(self):
+        clock = SimClock()
+        fired = []
+        handle = clock.schedule(1.0, fired.append, "x")
+        clock.run()
+        handle.cancel()  # must not corrupt the live-event count
+        handle.cancel()
+        assert fired == ["x"]
+        assert clock.pending == 0
+        clock.schedule(1.0, fired.append, "y")
+        assert clock.pending == 1
+
+    def test_cancel_during_callback_within_same_instant(self):
+        clock = SimClock()
+        fired = []
+        later = clock.schedule(0.0, fired.append, "later")
+
+        def killer():
+            fired.append("killer")
+            later.cancel()
+
+        # killer was scheduled after `later` but fires first? No —
+        # FIFO: later was scheduled first, so it fires first.
+        clock.schedule(0.0, killer)
+        clock.run()
+        assert fired == ["later", "killer"]
+
+        # Now the reverse: the killer is scheduled first and cancels a
+        # same-instant successor before it fires.
+        clock2 = SimClock()
+        fired2 = []
+        target = {}
+
+        def killer2():
+            fired2.append("killer")
+            target["handle"].cancel()
+
+        clock2.schedule(0.0, killer2)
+        target["handle"] = clock2.schedule(0.0, fired2.append, "victim")
+        clock2.run()
+        assert fired2 == ["killer"]
+
+
+class TestLegacyParity:
+    """LegacySimClock is the pre-batching reference implementation; the
+    two clocks must fire identical sequences on mixed schedules."""
+
+    def test_interleaved_zero_and_positive_delays(self):
+        def drive(clock):
+            fired = []
+
+            def cascade(label, budget):
+                fired.append((clock.now, label))
+                if budget:
+                    clock.schedule(0.0, cascade, f"{label}.z", budget - 1)
+                    clock.schedule(0.5, cascade, f"{label}.p", budget - 1)
+
+            clock.schedule(0.0, cascade, "a", 3)
+            clock.schedule(1.0, cascade, "b", 2)
+            clock.schedule(1.0, cascade, "c", 1)
+            clock.run(10.0)
+            return fired, clock.processed, clock.now
+
+        assert drive(SimClock()) == drive(LegacySimClock())
+
+    def test_cancellation_parity(self):
+        def drive(clock):
+            fired = []
+            handles = [clock.schedule(float(i % 3), fired.append, i)
+                       for i in range(12)]
+            for handle in handles[1::3]:
+                handle.cancel()
+            clock.run()
+            return fired, clock.processed
+
+        assert drive(SimClock()) == drive(LegacySimClock())
 
 
 class TestRun:

@@ -186,3 +186,126 @@ class TestModelInterop:
         link = network.link("a", "b")
         assert link.stats.observed_reliability() == pytest.approx(0.5,
                                                                   abs=0.08)
+
+
+def _recording_pair(reliability=1.0, bandwidth=100.0, delay=0.01, seed=7):
+    """Two identical networks whose 'b' handler logs (time, payload)."""
+    out = []
+    for __ in range(2):
+        clock, network = two_host_network(reliability=reliability,
+                                          bandwidth=bandwidth, delay=delay,
+                                          seed=seed)
+        log = []
+        network.attach_handler(
+            "b", lambda s, p, k, log=log, c=clock: log.append((c.now, s, p, k)))
+        out.append((clock, network, log))
+    return out
+
+
+class TestSendMany:
+    """send_many must be byte-for-byte equivalent to a send() loop."""
+
+    def _compare(self, items, reliability=1.0, bandwidth=100.0, delay=0.01,
+                 seed=7, reliable=False, run_for=60.0):
+        (c1, n1, log1), (c2, n2, log2) = _recording_pair(
+            reliability=reliability, bandwidth=bandwidth, delay=delay,
+            seed=seed)
+        serial = [n1.send("a", "b", p, k, reliable=reliable)
+                  for p, k in items]
+        batched = n2.send_many("a", "b", items, reliable=reliable)
+        c1.run(run_for)
+        c2.run(run_for)
+        assert batched == serial
+        assert log1 == log2
+        for a, b in ((n1.stats, n2.stats),
+                     (n1.link("a", "b").stats, n2.link("a", "b").stats)):
+            assert (a.sent, a.delivered, a.dropped, a.kb_sent,
+                    a.kb_delivered) == (b.sent, b.delivered, b.dropped,
+                                        b.kb_sent, b.kb_delivered)
+        return log2
+
+    def test_uniform_batch_single_delivery_order(self):
+        log = self._compare([(f"m{i}", 2.0) for i in range(10)])
+        assert [p for __, __, p, __ in log] == [f"m{i}" for i in range(10)]
+
+    def test_mixed_sizes_preserve_order_and_times(self):
+        self._compare([("a0", 1.0), ("a1", 1.0), ("big", 40.0),
+                       ("a2", 1.0), ("a3", 1.0)])
+
+    def test_lossy_link_consumes_same_rng_stream(self):
+        for seed in range(6):
+            self._compare([(f"m{i}", 1.0) for i in range(40)],
+                          reliability=0.5, seed=seed)
+
+    def test_reliable_flag_skips_loss_in_batch(self):
+        log = self._compare([(f"m{i}", 1.0) for i in range(20)],
+                            reliability=0.0, reliable=True)
+        assert len(log) == 20
+
+    def test_loopback_batch_delivers_instantly(self):
+        clock, network = two_host_network()
+        seen = []
+        network.attach_handler("a", lambda s, p, k: seen.append(p))
+        results = network.send_many("a", "a", [("x", 1.0), ("y", 2.0)])
+        assert results == [True, True]
+        assert seen == ["x", "y"]
+
+    def test_missing_link_batch_drops_with_callback(self):
+        clock, network = two_host_network()
+        network.add_endpoint("c")
+        dropped = []
+        results = network.send_many(
+            "a", "c", [("x", 1.0), ("y", 1.0)],
+            on_dropped=lambda d, p: dropped.append(p))
+        assert results == [False, False]
+        assert dropped == ["x", "y"]
+        assert network.stats.dropped == 2
+
+    def test_disconnected_link_batch_matches_serial(self):
+        (c1, n1, log1), (c2, n2, log2) = _recording_pair()
+        n1.set_connected("a", "b", False)
+        n2.set_connected("a", "b", False)
+        dropped1, dropped2 = [], []
+        serial = [n1.send("a", "b", p, k,
+                          on_dropped=lambda d, p: dropped1.append(p))
+                  for p, k in [("x", 1.0), ("y", 1.0)]]
+        batched = n2.send_many("a", "b", [("x", 1.0), ("y", 1.0)],
+                               on_dropped=lambda d, p: dropped2.append(p))
+        assert batched == serial == [False, False]
+        assert dropped1 == dropped2 == ["x", "y"]
+
+    def test_on_dropped_callback_closes_open_group(self):
+        # A callback that itself sends must interleave exactly as it
+        # would serially; compare the full delivery logs.
+        (c1, n1, log1), (c2, n2, log2) = _recording_pair(reliability=0.6,
+                                                         seed=11)
+
+        def resend1(destination, payload):
+            n1.send("a", "b", ("resend", payload), 1.0)
+
+        def resend2(destination, payload):
+            n2.send("a", "b", ("resend", payload), 1.0)
+
+        items = [(f"m{i}", 1.0) for i in range(30)]
+        serial = [n1.send("a", "b", p, k, on_dropped=resend1)
+                  for p, k in items]
+        batched = n2.send_many("a", "b", items, on_dropped=resend2)
+        c1.run(60.0)
+        c2.run(60.0)
+        assert batched == serial
+        assert log1 == log2
+
+    def test_in_flight_gauge_returns_to_zero(self):
+        clock, network = two_host_network()
+        network.send_many("a", "b", [(f"m{i}", 1.0) for i in range(8)])
+        link = network.link("a", "b")
+        assert link.in_flight == 8
+        clock.run(10.0)
+        assert link.in_flight == 0
+
+    def test_unknown_endpoints_rejected(self):
+        clock, network = two_host_network()
+        with pytest.raises(UnknownEntityError):
+            network.send_many("ghost", "b", [("x", 1.0)])
+        with pytest.raises(UnknownEntityError):
+            network.send_many("a", "ghost", [("x", 1.0)])

@@ -1,0 +1,79 @@
+"""Tests for the cProfile harness and ``python -m repro profile``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.profiling import ProfileReport, profile_callable
+
+
+def _busy():
+    total = 0
+    for i in range(2000):
+        total += i * i
+    return total
+
+
+class TestProfileCallable:
+    def test_reports_profiled_function(self):
+        report = profile_callable(_busy, target="busy loop", top=5)
+        assert isinstance(report, ProfileReport)
+        assert report.total_calls >= 1
+        assert len(report.rows) <= 5
+        assert any("_busy" in row.function for row in report.rows)
+
+    def test_sort_tottime(self):
+        report = profile_callable(_busy, target="busy", sort="tottime")
+        times = [row.tottime for row in report.rows]
+        assert times == sorted(times, reverse=True)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            profile_callable(_busy, target="busy", sort="calls")
+        with pytest.raises(ValueError):
+            profile_callable(_busy, target="busy", top=0)
+
+    def test_exception_still_disables_profiler(self):
+        def boom():
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            profile_callable(boom, target="boom")
+        # Profiling again must work (the first profiler was disabled).
+        assert profile_callable(_busy, target="busy").total_calls >= 1
+
+    def test_to_dict_is_json_safe(self):
+        report = profile_callable(_busy, target="busy", top=3)
+        payload = json.loads(report.to_json())
+        assert payload["target"] == "busy"
+        assert all({"function", "calls", "tottime", "cumtime"}
+                   <= set(row) for row in payload["rows"])
+
+
+class TestProfileVerb:
+    def test_renders_table(self, capsys):
+        code = main(["profile", "--duration", "2", "--top", "5",
+                     "--no-improve"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "profile of random-churn on crisis" in out
+        assert "cumtime" in out
+        assert "repro/" in out
+
+    def test_json_output_file(self, tmp_path, capsys):
+        path = str(tmp_path / "profile.json")
+        code = main(["profile", "--duration", "2", "--no-improve",
+                     "-o", path])
+        assert code == 0
+        payload = json.loads(open(path).read())
+        assert payload["rows"]
+        assert "wrote profile" in capsys.readouterr().out
+
+    def test_quiet(self, capsys):
+        code = main(["profile", "--duration", "2", "--no-improve",
+                     "--quiet"])
+        assert code == 0
+        out = capsys.readouterr().out.strip()
+        assert out.startswith("profile of")
+        assert "\n" not in out
